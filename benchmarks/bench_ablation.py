@@ -1,0 +1,111 @@
+"""Ablation experiments for the design knobs DESIGN.md calls out.
+
+* ε-sweep: the paper's rounds are O(1/ε) (2-Cycle) and O(log log n + 1/ε)
+  (connectivity) — smaller ε trades per-machine space for extra rounds;
+* budget-growth exponent: Algorithm 7/9 grow d → d^1.4; ablate the
+  exponent to show slower growth costs extra phases while the output is
+  unchanged;
+* leader-sampling constant: fewer leaders contract faster per phase but
+  risk stalls; the default must sit on the stable side.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AMPCConfig
+from repro.algorithms.connectivity import connectivity
+from repro.algorithms.two_cycle import two_cycle
+from repro.graph import generators, validation
+
+EPSILONS = [0.3, 0.5, 0.7]
+
+
+@pytest.mark.parametrize("epsilon", EPSILONS)
+def test_epsilon_tradeoff_two_cycle(benchmark, record, epsilon):
+    g, truth = generators.two_cycle_instance(8192, True, rng=3)
+    result = benchmark.pedantic(
+        lambda: two_cycle(g, epsilon=epsilon, seed=1), rounds=1, iterations=1
+    )
+    assert result.is_two_cycles == truth
+    record(
+        "ablation: epsilon sweep (2-cycle, n=8192)",
+        ["epsilon", "space S", "shrink rounds", "total rounds",
+         "max reads/machine"],
+        [epsilon, result.config.space, result.shrink_rounds,
+         result.report.n_rounds, result.report.max_machine_reads],
+        rounds=result.report.n_rounds,
+    )
+
+
+def test_epsilon_monotonicity(benchmark):
+    """Smaller ε (less space per machine) must not *reduce* rounds."""
+    g, _ = generators.two_cycle_instance(8192, True, rng=3)
+    rounds = {
+        eps: two_cycle(g, epsilon=eps, seed=1).shrink_rounds
+        for eps in EPSILONS
+    }
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert rounds[0.3] >= rounds[0.7], rounds
+
+
+@pytest.mark.parametrize("exponent", [1.1, 1.4, 2.0])
+def test_budget_growth_exponent(benchmark, record, exponent):
+    """Ablate d -> d^exponent in the connectivity budget schedule by
+    replaying the schedule arithmetic: phases needed until the budget
+    reaches the cap, plus the contraction phases after."""
+    import math
+
+    n = 32768
+    config = AMPCConfig.for_input(4 * n, seed=1)
+    d = max(2.0, math.sqrt(config.total_space / n), math.log2(n))
+    d_cap = max(n ** (config.epsilon / 3.0),
+                math.sqrt(config.read_budget / 4.0), d)
+    growth_phases = 0
+    while d < d_cap and growth_phases < 64:
+        d = min(d**exponent, d_cap)
+        growth_phases += 1
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    record(
+        "ablation: budget growth exponent (schedule, n=32768)",
+        ["exponent", "phases to reach cap", "cap"],
+        [exponent, growth_phases, f"{d_cap:.0f}"],
+        growth_phases=growth_phases,
+    )
+    if exponent >= 1.4:
+        assert growth_phases <= 4
+
+
+@pytest.mark.parametrize("leader_c", [1.0, 2.0, 4.0])
+def test_leader_constant(benchmark, record, leader_c):
+    """The Θ(log n / d) constant: contraction stays correct across it;
+    larger c = more leaders = slower contraction (more phases)."""
+    import repro.primitives.sampling as sampling
+
+    g = generators.erdos_renyi_gnm(4096, 12288, rng=4)
+    original = sampling.leader_probability
+
+    def patched(n, d, c=leader_c):
+        return original(n, d, c)
+
+    sampling.leader_probability = patched
+    try:
+        import repro.algorithms.connectivity as conn_mod
+
+        conn_mod.leader_probability = patched
+        result = benchmark.pedantic(
+            lambda: connectivity(g, seed=1), rounds=1, iterations=1
+        )
+    finally:
+        sampling.leader_probability = original
+        import repro.algorithms.connectivity as conn_mod
+
+        conn_mod.leader_probability = original
+    assert validation.same_partition(
+        result.labels, validation.components_reference(g)
+    )
+    record(
+        "ablation: leader-sampling constant (connectivity, n=4096)",
+        ["c", "phases", "rounds"],
+        [leader_c, result.phases, result.report.n_rounds],
+        phases=result.phases,
+    )

@@ -1,0 +1,66 @@
+"""Experiment F1-row3 — 2-edge connectivity: AMPC O(log log n) (paper §9).
+
+Reproduces the Figure 1 row "2-edge connectivity: O(log log_{m/n} n)":
+the full BC-labeling pipeline (spanning forest → rooting → Low/High →
+critical edges → connectivity) at growing n, with planted-bridge
+workloads so correctness is asserted against the known ground truth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.biconnectivity import bc_labeling
+from repro.baselines import seq
+from repro.graph import generators
+
+SIZES = [(8, 16), (16, 32), (32, 64)]  # (clusters, cluster_size)
+
+_rounds: dict[int, int] = {}
+
+
+@pytest.mark.parametrize("clusters,cluster_size", SIZES)
+def test_bc_labeling_pipeline(benchmark, record, clusters, cluster_size):
+    g, planted = generators.bridged_clusters(
+        clusters, cluster_size, 3, rng=clusters
+    )
+    result = benchmark.pedantic(
+        lambda: bc_labeling(g, seed=1), rounds=1, iterations=1
+    )
+    planted_set = {(min(u, v), max(u, v)) for u, v in planted.tolist()}
+    assert {tuple(e) for e in result.bridges.tolist()} == planted_set
+    n = g.n
+    _rounds[n] = result.report.n_rounds
+    record(
+        "F1-row3: 2-edge connectivity (AMPC)",
+        ["n", "m", "bridges", "articulation", "2ecc", "rounds"],
+        [n, g.m, result.bridges.shape[0],
+         result.articulation_points.size,
+         int(np.unique(result.two_edge_labels).size),
+         result.report.n_rounds],
+        rounds=result.report.n_rounds,
+    )
+
+
+def test_er_workload_matches_sequential(benchmark, record):
+    g = generators.erdos_renyi_gnm(2000, 2600, rng=5)
+    result = benchmark.pedantic(
+        lambda: bc_labeling(g, seed=1), rounds=1, iterations=1
+    )
+    ref_bridges, ref_artic = seq.bridges_and_articulation(g)
+    assert np.array_equal(result.bridges, ref_bridges)
+    assert np.array_equal(result.articulation_points, ref_artic)
+    record(
+        "F1-row3: 2-edge connectivity (ER workload)",
+        ["n", "m", "bridges", "articulation", "rounds"],
+        [g.n, g.m, result.bridges.shape[0],
+         result.articulation_points.size, result.report.n_rounds],
+        rounds=result.report.n_rounds,
+    )
+
+
+def test_shape_near_flat(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rounds = [_rounds[k] for k in sorted(_rounds)]
+    # Pipeline rounds grow (at most) with log log n: over a 16x size
+    # range that is within a few rounds.
+    assert max(rounds) - min(rounds) <= 12, rounds

@@ -1,0 +1,89 @@
+"""Experiment L2.1 — DDS contention (paper §2.1, Lemma 2.1).
+
+Two reproductions of the lemma's claim that every DDS server answers
+O(S) queries w.h.p.:
+
+* the abstract weighted balls-in-bins experiment at the lemma's
+  parameters (max ball weight P, total weight T, P = O(S^{1-Ω(1)})),
+  showing the max/mean load ratio concentrating toward 1 as S grows;
+* the measured per-server read loads from real algorithm runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.contention import balls_in_bins_trial, contention_profile
+from repro.graph import generators
+
+REGIMES = [  # (T, P): S = T / P with P = O(S^{1 - eps})
+    (1 << 14, 16),
+    (1 << 17, 32),
+    (1 << 20, 64),
+]
+
+
+@pytest.mark.parametrize("total,bins", REGIMES)
+def test_balls_in_bins_max_load(benchmark, record, total, bins):
+    def run():
+        ratios = [
+            balls_in_bins_trial(total, bins, rng=trial).ratio
+            for trial in range(5)
+        ]
+        return ratios
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    worst = max(ratios)
+    record(
+        "L2.1: balls in bins (abstract)",
+        ["T", "P", "S=T/P", "worst max/mean over 5 trials"],
+        [total, bins, total // bins, f"{worst:.3f}"],
+        worst_ratio=worst,
+    )
+    assert worst < 1.6  # O(S) with a small hidden constant
+
+
+def test_ratio_concentrates_with_s(benchmark, record):
+    small = np.mean([balls_in_bins_trial(1 << 12, 64, rng=t).ratio
+                     for t in range(5)])
+    large = np.mean([balls_in_bins_trial(1 << 20, 64, rng=t).ratio
+                     for t in range(5)])
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    record(
+        "L2.1: concentration",
+        ["S small (64)", "ratio", "S large (16384)", "ratio "],
+        ["2^6", f"{small:.3f}", "2^14", f"{large:.3f}"],
+    )
+    assert large < small
+
+
+def test_measured_contention_from_real_runs(benchmark, record):
+    """Per-server loads measured during actual AMPC algorithm traffic."""
+    from repro.algorithms.two_cycle import two_cycle
+    from repro.algorithms.connectivity import connectivity
+
+    g, _ = generators.two_cycle_instance(8192, True, rng=1)
+    res1 = benchmark.pedantic(
+        lambda: two_cycle(g, seed=1), rounds=1, iterations=1
+    )
+    stats1 = contention_profile(res1.report)
+
+    g2 = generators.erdos_renyi_gnm(4096, 12288, rng=2)
+    res2 = connectivity(g2, seed=1)
+    stats2 = contention_profile(res2.report)
+
+    record(
+        "L2.1: measured server loads",
+        ["algorithm", "servers", "mean load", "max load", "max/mean"],
+        ["2-cycle n=8192", stats1.n_bins, f"{stats1.mean_load:.0f}",
+         int(stats1.max_load), f"{stats1.ratio:.2f}"],
+    )
+    from conftest import record_row
+
+    record_row(
+        "L2.1: measured server loads",
+        ["algorithm", "servers", "mean load", "max load", "max/mean"],
+        ["connectivity n=4096", stats2.n_bins, f"{stats2.mean_load:.0f}",
+         int(stats2.max_load), f"{stats2.ratio:.2f}"],
+    )
+    assert stats1.ratio < 8
+    assert stats2.ratio < 8

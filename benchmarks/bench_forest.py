@@ -1,0 +1,62 @@
+"""Experiment F1-row6 — Forest connectivity: AMPC O(1) (paper §8).
+
+Reproduces the Figure 1 row "Forest Connectivity: O(1) |
+O(log D · log log_{m/n} n)": AMPC rounds flat over a 64x range of forest
+sizes, compared against label propagation whose cost follows the tree
+depth.
+"""
+
+import pytest
+
+from repro.algorithms.forest import forest_connectivity
+from repro.baselines.label_propagation import label_propagation
+from repro.graph import generators, validation
+
+NS = [512, 2048, 8192, 32768]
+
+_ampc_rounds: dict[int, int] = {}
+
+
+@pytest.mark.parametrize("n", NS)
+def test_ampc_forest_connectivity(benchmark, record, n):
+    g = generators.random_forest(n, max(2, n // 512), rng=n)
+    result = benchmark.pedantic(
+        lambda: forest_connectivity(g, seed=1), rounds=1, iterations=1
+    )
+    assert validation.same_partition(
+        result.labels, validation.components_reference(g)
+    )
+    _ampc_rounds[n] = result.report.n_rounds
+    record(
+        "F1-row6: forest connectivity (AMPC)",
+        ["n", "trees", "rounds", "communication"],
+        [n, result.n_trees, result.report.n_rounds,
+         result.report.total_communication],
+        rounds=result.report.n_rounds,
+    )
+
+
+def test_deep_forest_vs_label_propagation(benchmark, record):
+    """A path-shaped tree (depth = n - 1) is the adversarial case for
+    diameter-bound MPC algorithms; AMPC rounds do not notice."""
+    g = generators.path(2048)
+    ampc = forest_connectivity(g, seed=1)
+    result = benchmark.pedantic(
+        lambda: label_propagation(g, seed=1), rounds=1, iterations=1
+    )
+    record(
+        "F1-row6: deep tree comparison",
+        ["workload", "AMPC rounds", "label-prop rounds"],
+        ["path-2048 (depth 2047)", ampc.report.n_rounds,
+         result.report.n_rounds],
+        ampc_rounds=ampc.report.n_rounds,
+        mpc_rounds=result.report.n_rounds,
+    )
+    assert ampc.report.n_rounds < 40
+    assert result.report.n_rounds > 500
+
+
+def test_shape_flat(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rounds = [_ampc_rounds[n] for n in NS]
+    assert max(rounds) - min(rounds) <= 4, rounds

@@ -1,0 +1,66 @@
+"""Experiment T6 — list ranking: AMPC O(1/ε) vs MPC Θ(log n) (§8.1).
+
+Theorem 6's round bound against Wyllie's pointer jumping; both must
+produce identical ranks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.list_ranking import list_ranking, sequential_list_ranks
+from repro.baselines.pointer_doubling import mpc_list_ranking
+from repro.graph import generators
+
+NS = [512, 2048, 8192, 32768]
+
+_ampc_rounds: dict[int, int] = {}
+_mpc_rounds: dict[int, int] = {}
+
+
+@pytest.mark.parametrize("n", NS)
+def test_ampc_list_ranking(benchmark, record, n):
+    succ = generators.linked_list(n, rng=n)
+    result = benchmark.pedantic(
+        lambda: list_ranking(succ, seed=1), rounds=1, iterations=1
+    )
+    assert np.array_equal(result.ranks, sequential_list_ranks(succ))
+    _ampc_rounds[n] = result.report.n_rounds
+    record(
+        "T6: list ranking (AMPC)",
+        ["n", "shrink rounds", "total rounds", "communication"],
+        [n, result.shrink_rounds, result.report.n_rounds,
+         result.report.total_communication],
+        rounds=result.report.n_rounds,
+    )
+
+
+@pytest.mark.parametrize("n", NS)
+def test_mpc_list_ranking(benchmark, record, n):
+    succ = generators.linked_list(n, rng=n)
+    result = benchmark.pedantic(
+        lambda: mpc_list_ranking(succ, seed=1), rounds=1, iterations=1
+    )
+    assert np.array_equal(result.ranks, sequential_list_ranks(succ))
+    _mpc_rounds[n] = result.report.n_rounds
+    record(
+        "T6: list ranking (MPC Wyllie)",
+        ["n", "doublings", "rounds"],
+        [n, result.iterations, result.report.n_rounds],
+        rounds=result.report.n_rounds,
+    )
+
+
+def test_shape(benchmark):
+    from conftest import record_row
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for n in NS:
+        record_row(
+            "T6: list ranking (comparison)",
+            ["n", "AMPC rounds", "MPC rounds", "MPC/AMPC"],
+            [n, _ampc_rounds[n], _mpc_rounds[n],
+             f"{_mpc_rounds[n] / _ampc_rounds[n]:.2f}"],
+        )
+    assert _ampc_rounds[NS[-1]] - _ampc_rounds[NS[0]] <= 3
+    assert _mpc_rounds[NS[-1]] - _mpc_rounds[NS[0]] >= 10
+    assert _ampc_rounds[8192] < _mpc_rounds[8192]

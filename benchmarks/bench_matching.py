@@ -1,0 +1,41 @@
+"""Extension experiment — maximal matching in O(1/ε) rounds (§10).
+
+The paper lists maximal matching as future work; the library implements
+it via the edge-side LFMM query process (see
+:mod:`repro.algorithms.matching`). Same shape claim as MIS: iterations
+flat in n.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.matching import maximal_matching, sequential_lfmm
+from repro.graph import generators
+
+NS = [512, 2048, 8192]
+
+_iters: dict[int, int] = {}
+
+
+@pytest.mark.parametrize("n", NS)
+def test_ampc_matching(benchmark, record, n):
+    g = generators.erdos_renyi_gnm(n, 3 * n, rng=n)
+    result = benchmark.pedantic(
+        lambda: maximal_matching(g, seed=1), rounds=1, iterations=1
+    )
+    assert np.array_equal(result.edge_ids, sequential_lfmm(g, result.pi))
+    _iters[n] = result.iterations
+    record(
+        "extension: maximal matching (AMPC)",
+        ["n", "m", "|matching|", "iterations", "rounds"],
+        [n, g.m, result.edge_ids.size, result.iterations,
+         result.report.n_rounds],
+        rounds=result.report.n_rounds,
+        iterations=result.iterations,
+    )
+
+
+def test_shape_flat(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    iters = [_iters[n] for n in NS]
+    assert max(iters) <= 3, iters

@@ -1,0 +1,76 @@
+"""Experiment F1-row4 — MIS: AMPC O(1) vs MPC Θ(log n)-style (paper §5).
+
+Reproduces the Figure 1 row "Maximal independent set: O(1) | Õ(√log n)".
+The implementable MPC baseline is Luby's algorithm (Θ(log n) iterations);
+the claim checked here is the shape: AMPC iterations flat in n, Luby's
+growing, with AMPC's advantage widening (see luby_mis module docstring
+for why Ghaffari–Uitto is out of scope).
+"""
+
+import pytest
+
+from repro.algorithms.mis import maximal_independent_set, sequential_lfmis
+from repro.baselines.luby_mis import luby_mis
+from repro.graph import generators
+
+NS = [512, 2048, 8192, 32768]
+
+_ampc: dict[int, tuple[int, int]] = {}
+_luby: dict[int, tuple[int, int]] = {}
+
+
+def workload(n):
+    return generators.erdos_renyi_gnm(n, 3 * n, rng=n)
+
+
+@pytest.mark.parametrize("n", NS)
+def test_ampc_mis(benchmark, record, n):
+    g = workload(n)
+    result = benchmark.pedantic(
+        lambda: maximal_independent_set(g, seed=1), rounds=1, iterations=1
+    )
+    import numpy as np
+
+    assert np.array_equal(result.in_mis, sequential_lfmis(g, result.pi))
+    _ampc[n] = (result.iterations, result.report.n_rounds)
+    record(
+        "F1-row4: MIS (AMPC side)",
+        ["n", "m", "iterations", "rounds", "query calls", "m+n"],
+        [n, g.m, result.iterations, result.report.n_rounds,
+         result.total_query_calls, g.m + g.n],
+        rounds=result.report.n_rounds,
+        iterations=result.iterations,
+    )
+
+
+@pytest.mark.parametrize("n", NS)
+def test_luby_mis(benchmark, record, n):
+    g = workload(n)
+    result = benchmark.pedantic(
+        lambda: luby_mis(g, seed=1), rounds=1, iterations=1
+    )
+    _luby[n] = (result.iterations, result.report.n_rounds)
+    record(
+        "F1-row4: MIS (MPC side, Luby)",
+        ["n", "m", "iterations", "rounds"],
+        [n, g.m, result.iterations, result.report.n_rounds],
+        rounds=result.report.n_rounds,
+        iterations=result.iterations,
+    )
+
+
+def test_shape_flat_vs_growing(benchmark):
+    from conftest import record_row
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for n in NS:
+        record_row(
+            "F1-row4: MIS (comparison)",
+            ["n", "AMPC iters", "Luby iters", "AMPC rounds", "Luby rounds"],
+            [n, _ampc[n][0], _luby[n][0], _ampc[n][1], _luby[n][1]],
+        )
+    ampc_iters = [_ampc[n][0] for n in NS]
+    luby_iters = [_luby[n][0] for n in NS]
+    assert max(ampc_iters) <= 3, f"AMPC iterations should be O(1): {ampc_iters}"
+    assert luby_iters[-1] >= ampc_iters[-1], (luby_iters, ampc_iters)
+    assert max(ampc_iters) - min(ampc_iters) <= 1

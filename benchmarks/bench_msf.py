@@ -1,0 +1,90 @@
+"""Experiment F1-row2 — MST/MSF: AMPC O(log log n) vs MPC O(log n) (§7).
+
+Reproduces the Figure 1 row "Minimum spanning tree: O(log log_{m/n} n) |
+O(log n)": AMPC phases near-flat over n, Borůvka iterations growing with
+log n; both must output the *identical* (unique) MSF.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.msf import minimum_spanning_forest, sequential_msf_ids
+from repro.baselines.boruvka import boruvka_msf
+from repro.graph import generators
+
+NS = [512, 2048, 8192]
+
+_ampc: dict[int, tuple[int, int]] = {}
+_boruvka: dict[int, tuple[int, int]] = {}
+
+
+def workload(n):
+    g = generators.erdos_renyi_gnm(n, 3 * n, rng=n)
+    return generators.with_random_weights(g, rng=n)
+
+
+@pytest.mark.parametrize("n", NS)
+def test_ampc_msf(benchmark, record, n):
+    wg = workload(n)
+    result = benchmark.pedantic(
+        lambda: minimum_spanning_forest(wg, seed=1), rounds=1, iterations=1
+    )
+    assert np.array_equal(result.edge_ids, sequential_msf_ids(wg))
+    _ampc[n] = (result.phases, result.report.n_rounds)
+    record(
+        "F1-row2: MSF (AMPC side)",
+        ["n", "m", "phases", "rounds", "budget trajectory"],
+        [n, wg.m, result.phases, result.report.n_rounds,
+         " -> ".join(f"{b:.0f}" for b in result.budgets)],
+        rounds=result.report.n_rounds,
+        phases=result.phases,
+    )
+
+
+@pytest.mark.parametrize("n", NS)
+def test_boruvka_msf(benchmark, record, n):
+    wg = workload(n)
+    result = benchmark.pedantic(
+        lambda: boruvka_msf(wg, seed=1), rounds=1, iterations=1
+    )
+    assert np.array_equal(result.edge_ids, sequential_msf_ids(wg))
+    _boruvka[n] = (result.iterations, result.report.n_rounds)
+    record(
+        "F1-row2: MSF (MPC Boruvka)",
+        ["n", "m", "iterations", "rounds"],
+        [n, wg.m, result.iterations, result.report.n_rounds],
+        rounds=result.report.n_rounds,
+    )
+
+
+def test_grid_workload_agreement(benchmark, record):
+    """Bounded-degree, high-diameter workload (the hard MPC case)."""
+    wg = generators.with_random_weights(generators.grid(48, 48), rng=9)
+    result = benchmark.pedantic(
+        lambda: minimum_spanning_forest(wg, seed=1), rounds=1, iterations=1
+    )
+    baseline = boruvka_msf(wg, seed=1)
+    assert np.array_equal(result.edge_ids, baseline.edge_ids)
+    record(
+        "F1-row2: MSF grid workload",
+        ["workload", "AMPC phases", "AMPC rounds", "Boruvka iters",
+         "Boruvka rounds"],
+        ["48x48 grid", result.phases, result.report.n_rounds,
+         baseline.iterations, baseline.report.n_rounds],
+        rounds=result.report.n_rounds,
+    )
+
+
+def test_shape(benchmark):
+    from conftest import record_row
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for n in NS:
+        record_row(
+            "F1-row2: MSF (comparison)",
+            ["n", "AMPC phases", "AMPC rounds", "Boruvka iters",
+             "Boruvka rounds"],
+            [n, _ampc[n][0], _ampc[n][1], _boruvka[n][0], _boruvka[n][1]],
+        )
+    phases = [_ampc[n][0] for n in NS]
+    assert max(phases) - min(phases) <= 1, phases

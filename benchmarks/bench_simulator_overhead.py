@@ -1,0 +1,108 @@
+"""Simulator micro-benchmarks: the cost of one simulated operation.
+
+Unlike the experiment benches (single deterministic runs measured by
+their *model* costs), these measure real wall-clock of the simulator's
+hot paths with repeated timing — the numbers that bound how large an
+instance the pure-Python simulator can sweep. Tracked so performance
+regressions in the core loop are visible (`--benchmark-compare`).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AMPCConfig, AMPCRuntime
+from repro.core.dds import DistributedDataStore
+from repro.core.partition import key_hash, partition_items
+
+
+@pytest.fixture
+def sealed_store():
+    store = DistributedDataStore(0, n_servers=64, seed=1)
+    for i in range(10_000):
+        store.write(("k", i), i)
+    store.seal()
+    return store
+
+
+def test_dds_read_throughput(benchmark, sealed_store):
+    keys = [("k", i) for i in range(10_000)]
+
+    def read_all():
+        get = sealed_store.get
+        total = 0
+        for key in keys:
+            total += get(key)
+        return total
+
+    benchmark(read_all)
+    benchmark.extra_info["ops_per_call"] = len(keys)
+
+
+def test_dds_write_throughput(benchmark):
+    def write_10k():
+        store = DistributedDataStore(0, n_servers=64, seed=1)
+        for i in range(10_000):
+            store.write(("k", i), i)
+        return store
+
+    benchmark(write_10k)
+    benchmark.extra_info["ops_per_call"] = 10_000
+
+
+def test_machine_read_path(benchmark):
+    """Full ctx.read path (cache miss) through budget accounting."""
+    config = AMPCConfig(space=20_000, n_machines=4, seed=1,
+                        budget_multiplier=4.0)
+    rt = AMPCRuntime(config)
+    pairs = [(("k", i), i) for i in range(10_000)]
+
+    def run_round():
+        def worker(ctx, v):
+            total = 0
+            for i in range(1000):
+                total += ctx.read(("k", (v * 1000 + i) % 10_000))
+            return total
+
+        # Fresh setup each call: the data must be in the store this
+        # round reads from, independent of earlier benchmark iterations.
+        return rt.round(list(range(10)), worker, setup=pairs, tag="bench")
+
+    benchmark(run_round)
+    benchmark.extra_info["reads_per_call"] = 10_000
+
+
+def test_key_hash_cost(benchmark):
+    keys = [("adj", i, i % 7) for i in range(5_000)]
+
+    def hash_all():
+        total = 0
+        for key in keys:
+            total += key_hash(key, seed=3)
+        return total
+
+    benchmark(hash_all)
+    benchmark.extra_info["ops_per_call"] = len(keys)
+
+
+def test_vectorized_partition_cost(benchmark):
+    items = np.arange(1_000_000, dtype=np.int64)
+    benchmark(lambda: partition_items(items, 64, seed=5))
+    benchmark.extra_info["ops_per_call"] = items.size
+
+
+def test_shrink_walk_cost(benchmark):
+    """End-to-end adaptive-walk round: the dominant simulator loop."""
+    from repro.algorithms.shrink import shrink
+    from repro.graph import generators
+    from repro.graph.io import orient_cycles
+
+    g = generators.cycle(8192)
+    succ, _ = orient_cycles(g)
+    config = AMPCConfig.for_input(8192, seed=1)
+
+    def run():
+        rt = AMPCRuntime(config)
+        return shrink(succ, rt, delta=0.5, target_size=200)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["elements"] = 8192

@@ -1,0 +1,73 @@
+"""Experiment F1-row5 — 2-Cycle: AMPC O(1) vs MPC O(log n) (paper §4).
+
+Reproduces the Figure 1 row "2-Cycle: O(1) | O(log n)": the AMPC round
+count must stay flat across a 256x range of n while the pointer-doubling
+MPC baseline grows by ~2 rounds per doubling.
+"""
+
+import pytest
+
+from repro.algorithms.two_cycle import two_cycle
+from repro.baselines.pointer_doubling import mpc_two_cycle
+from repro.graph import generators
+
+NS = [256, 1024, 4096, 16384, 65536]
+HEADERS = ["n", "AMPC rounds", "AMPC shrink", "MPC rounds", "MPC/AMPC"]
+
+_ampc_rounds: dict[int, int] = {}
+_mpc_rounds: dict[int, int] = {}
+
+
+@pytest.mark.parametrize("n", NS)
+def test_ampc_two_cycle(benchmark, record, n):
+    g, truth = generators.two_cycle_instance(n, n % 3 == 0, rng=n)
+    result = benchmark.pedantic(
+        lambda: two_cycle(g, seed=1), rounds=1, iterations=1
+    )
+    assert result.is_two_cycles == truth
+    _ampc_rounds[n] = result.report.n_rounds
+    record(
+        "F1-row5: 2-Cycle (AMPC side)",
+        ["n", "rounds", "shrink rounds", "communication", "maxR/budget"],
+        [n, result.report.n_rounds, result.shrink_rounds,
+         result.report.total_communication,
+         f"{result.report.max_machine_reads}/{result.config.read_budget}"],
+        rounds=result.report.n_rounds,
+        communication=result.report.total_communication,
+    )
+
+
+@pytest.mark.parametrize("n", NS)
+def test_mpc_two_cycle(benchmark, record, n):
+    g, truth = generators.two_cycle_instance(n, n % 3 == 0, rng=n)
+    result = benchmark.pedantic(
+        lambda: mpc_two_cycle(g, seed=1), rounds=1, iterations=1
+    )
+    assert result.is_two_cycles == truth
+    _mpc_rounds[n] = result.report.n_rounds
+    record(
+        "F1-row5: 2-Cycle (MPC side)",
+        ["n", "rounds", "doublings"],
+        [n, result.report.n_rounds, result.iterations],
+        rounds=result.report.n_rounds,
+    )
+
+
+def test_shape_flat_vs_log(benchmark):
+    """The paper's headline: the 2-Cycle conjecture fails in AMPC."""
+    from conftest import record_row
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert set(NS) <= set(_ampc_rounds) and set(NS) <= set(_mpc_rounds)
+    for n in NS:
+        ratio = _mpc_rounds[n] / _ampc_rounds[n]
+        record_row(
+            "F1-row5: 2-Cycle (comparison)", HEADERS,
+            [n, _ampc_rounds[n], "-", _mpc_rounds[n], f"{ratio:.2f}"],
+        )
+    ampc_growth = _ampc_rounds[NS[-1]] - _ampc_rounds[NS[0]]
+    mpc_growth = _mpc_rounds[NS[-1]] - _mpc_rounds[NS[0]]
+    assert ampc_growth <= 3, f"AMPC should be flat, grew {ampc_growth}"
+    assert mpc_growth >= 2 * 6, f"MPC should add ~2/doubling, grew {mpc_growth}"
+    # Crossover: AMPC strictly wins by n = 4096 at the latest.
+    assert _ampc_rounds[4096] < _mpc_rounds[4096]

@@ -1,0 +1,56 @@
+"""Shared infrastructure for the Figure 1 reproduction benchmarks.
+
+Each bench file covers one experiment id from DESIGN.md §4. Benchmarks
+run the solver once (`benchmark.pedantic`, the solvers are deterministic
+in their seed), attach the model costs (rounds, communication, budgets)
+to ``benchmark.extra_info``, and append a row to a per-experiment table
+that is printed at the end of the session — the same rows/series the
+paper's Figure 1 reports.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+_TABLES: dict[str, list[list]] = defaultdict(list)
+_HEADERS: dict[str, list[str]] = {}
+
+
+def record_row(experiment: str, headers: list[str], row: list) -> None:
+    """Append one measured row to an experiment's output table."""
+    _HEADERS[experiment] = headers
+    _TABLES[experiment].append(row)
+
+
+def attach(benchmark, **info) -> None:
+    """Attach model costs to the benchmark's extra_info."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value
+
+
+@pytest.fixture
+def record(benchmark):
+    """Convenience fixture combining attach() and record_row()."""
+
+    def _record(experiment: str, headers: list[str], row: list, **info):
+        attach(benchmark, **info)
+        record_row(experiment, headers, row)
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _TABLES:
+        return
+    from repro.analysis import render_table
+
+    print("\n")
+    print("=" * 78)
+    print("Figure/Lemma reproduction tables (see DESIGN.md §4, EXPERIMENTS.md)")
+    print("=" * 78)
+    for experiment in sorted(_TABLES):
+        print(f"\n--- {experiment} ---")
+        print(render_table(_HEADERS[experiment], _TABLES[experiment]))
+    print()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Minimum spanning forest of a synthetic road network.
+
+Grid-like road networks are the classic high-diameter workload: the MPC
+2-Cycle intuition says neighborhood exploration costs Θ(distance) rounds
+there, which is exactly what the AMPC model removes. This example builds
+a city grid with travel-time weights, extracts the cheapest connected
+backbone (the MSF), and compares the AMPC phase structure with the
+Borůvka MPC baseline.
+
+Run:  python examples/road_network_msf.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.analysis import render_table
+from repro.baselines import boruvka_msf
+from repro.graph import generators
+from repro.graph.graph import WeightedGraph
+
+
+def make_road_network(rows: int, cols: int, seed: int) -> WeightedGraph:
+    """A rows x cols street grid with congestion-weighted travel times.
+
+    Each street segment gets a base travel time plus lognormal congestion
+    noise; a tiny distinct jitter keeps weights unique (paper §7 requires
+    distinct weights — think of it as tie-breaking by street id).
+    """
+    grid = generators.grid(rows, cols)
+    rng = np.random.default_rng(seed)
+    edges = grid.edges()
+    m = edges.shape[0]
+    base = rng.lognormal(mean=1.0, sigma=0.6, size=m) * 60.0
+    jitter = rng.permutation(m) * 1e-6
+    return WeightedGraph.from_weighted_edges(grid.n, edges, base + jitter)
+
+
+def main() -> None:
+    rows_out = []
+    for side in (10, 20, 40):
+        network = make_road_network(side, side, seed=side)
+        ampc = repro.minimum_spanning_forest(network, seed=1)
+        mpc = boruvka_msf(network, seed=1)
+        assert np.array_equal(ampc.edge_ids, mpc.edge_ids), "MSF mismatch"
+        rows_out.append([
+            f"{side}x{side}", network.n, network.m,
+            f"{ampc.total_weight / 60.0:.1f} min",
+            ampc.phases, ampc.report.n_rounds,
+            mpc.iterations, mpc.report.n_rounds,
+        ])
+    print("cheapest road backbone (MSF): AMPC vs Boruvka")
+    print(render_table(
+        ["grid", "n", "m", "backbone cost",
+         "AMPC phases", "AMPC rounds", "Boruvka iters", "MPC rounds"],
+        rows_out,
+    ))
+
+    # The budget trajectory of the largest run: doubly exponential growth
+    # d -> d^1.4 is the mechanism behind the O(log log n) phase count.
+    network = make_road_network(40, 40, seed=40)
+    res = repro.minimum_spanning_forest(network, seed=1)
+    print("\nper-phase budget trajectory (d -> d^1.4, paper Algorithm 9):")
+    print("  " + " -> ".join(f"{b:.0f}" for b in res.budgets))
+
+    # Sanity: the backbone really spans every intersection.
+    forest = repro.Graph.from_edges(
+        network.n, network.edge_list()[res.edge_ids]
+    )
+    conn = repro.forest_connectivity(forest, seed=1)
+    print(f"\nbackbone spans the city in {conn.n_trees} connected piece(s), "
+          f"{res.edge_ids.size} segments of {network.m} kept")
+
+
+if __name__ == "__main__":
+    main()

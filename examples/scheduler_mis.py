@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Conflict-free job scheduling via maximal independent set.
+
+A cluster scheduler holds a batch of jobs; two jobs conflict when they
+need the same exclusive resource. Scheduling a maximal conflict-free
+batch is exactly MIS on the conflict graph. The AMPC algorithm (paper §5)
+settles the whole batch in O(1/ε) adaptive rounds regardless of batch
+size — this example schedules growing batches and compares against
+Luby's Θ(log n) MPC baseline, and shows the greedy-consistency property
+(the output is the *lexicographically first* MIS for the drawn priority
+order, so re-running with the same seed reproduces the schedule exactly).
+
+Run:  python examples/scheduler_mis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.analysis import render_table
+from repro.baselines import luby_mis
+from repro.graph import generators
+from repro.graph.graph import Graph
+
+
+def make_conflict_graph(n_jobs: int, n_resources: int, seed: int) -> Graph:
+    """Jobs conflict when they share a resource.
+
+    Each job requests 2 resources at random; jobs meeting on a resource
+    get pairwise conflict edges (clique per resource) — the standard
+    intersection-graph model of exclusive locks.
+    """
+    rng = np.random.default_rng(seed)
+    requests = rng.integers(0, n_resources, size=(n_jobs, 2))
+    holders: dict[int, list[int]] = {}
+    for job in range(n_jobs):
+        for resource in set(requests[job].tolist()):
+            holders.setdefault(resource, []).append(job)
+    edges = []
+    for jobs in holders.values():
+        for i in range(len(jobs)):
+            for j in range(i + 1, len(jobs)):
+                edges.append((jobs[i], jobs[j]))
+    if not edges:
+        return Graph.from_edges(n_jobs, np.zeros((0, 2), np.int64))
+    return Graph.from_edges(n_jobs, np.array(edges, dtype=np.int64))
+
+
+def main() -> None:
+    rows = []
+    for n_jobs in (500, 2_000, 8_000):
+        conflicts = make_conflict_graph(n_jobs, n_jobs // 2, seed=11)
+        ampc = repro.maximal_independent_set(conflicts, seed=1)
+        luby = luby_mis(conflicts, seed=1)
+        rows.append([
+            n_jobs, conflicts.m,
+            ampc.vertices.size,
+            ampc.iterations, ampc.report.n_rounds,
+            luby.iterations, luby.report.n_rounds,
+        ])
+    print("conflict-free batch scheduling: AMPC LFMIS vs Luby")
+    print(render_table(
+        ["jobs", "conflicts", "scheduled",
+         "AMPC iters", "AMPC rounds", "Luby iters", "Luby rounds"],
+        rows,
+    ))
+
+    # Determinism / auditability: the schedule is the greedy schedule for
+    # the drawn priority order — an operator can replay and verify it.
+    conflicts = make_conflict_graph(2_000, 1_000, seed=11)
+    first = repro.maximal_independent_set(conflicts, seed=42)
+    second = repro.maximal_independent_set(conflicts, seed=42)
+    assert np.array_equal(first.in_mis, second.in_mis)
+    from repro.algorithms.mis import sequential_lfmis
+
+    assert np.array_equal(first.in_mis, sequential_lfmis(conflicts, first.pi))
+    print("\nschedule is reproducible and equals the greedy (priority-order)"
+          " schedule — audit passed")
+
+    # Query-cost footprint (Proposition 5.1): total recursive query calls
+    # stay near m + n even though worst-case chains exist.
+    print(f"query calls: {first.total_query_calls} vs m + n = "
+          f"{conflicts.m + conflicts.n}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""repro — Adaptive Massively Parallel Computation (AMPC).
+
+A faithful, fully-instrumented single-node implementation of the AMPC model
+and the graph algorithms of *Massively Parallel Computation via Remote
+Memory Access* (Behnezhad, Dhulipala, Esfandiari, Łącki, Schudy, Mirrokni;
+SPAA 2019), together with MPC baselines and the benchmark harness that
+reproduces the paper's Figure 1 comparison.
+
+Quickstart::
+
+    import repro
+    from repro.graph import generators
+
+    g = generators.erdos_renyi_gnm(2_000, 12_000, rng=0)
+    result = repro.connectivity(g, seed=0)
+    print(result.n_components, result.report.n_rounds)
+
+Layout:
+
+* :mod:`repro.core` — the AMPC/MPC runtimes (rounds, DDS, budgets, ledger);
+* :mod:`repro.graph` — graph containers, generators, DDS encodings;
+* :mod:`repro.primitives` — charged MPC-standard primitives (sort, scan,
+  dedup, contraction, RMQ, Euler tours);
+* :mod:`repro.algorithms` — the paper's algorithms (§4–§9);
+* :mod:`repro.baselines` — MPC baselines and sequential references;
+* :mod:`repro.analysis` — contention and round-complexity analysis.
+"""
+
+from repro.algorithms import (
+    affinity_clustering,
+    bc_labeling,
+    connectivity,
+    cycle_connectivity,
+    forest_connectivity,
+    greedy_coloring,
+    greedy_edge_coloring,
+    list_ranking,
+    maximal_independent_set,
+    maximal_matching,
+    minimum_spanning_forest,
+    multi_list_ranking,
+    spanning_forest,
+    root_forest,
+    two_cycle,
+    two_edge_connectivity,
+)
+from repro.core import AMPCConfig, AMPCRuntime, MPCRuntime, RunReport
+from repro.graph import Graph, WeightedGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AMPCConfig",
+    "AMPCRuntime",
+    "MPCRuntime",
+    "RunReport",
+    "Graph",
+    "WeightedGraph",
+    "two_cycle",
+    "maximal_independent_set",
+    "maximal_matching",
+    "connectivity",
+    "minimum_spanning_forest",
+    "spanning_forest",
+    "cycle_connectivity",
+    "forest_connectivity",
+    "greedy_coloring",
+    "greedy_edge_coloring",
+    "list_ranking",
+    "multi_list_ranking",
+    "root_forest",
+    "bc_labeling",
+    "affinity_clustering",
+    "two_edge_connectivity",
+    "__version__",
+]

@@ -1,0 +1,84 @@
+"""The paper's AMPC algorithms (§4–§9)."""
+
+from .affinity import (
+    AffinityClusteringResult,
+    affinity_clustering,
+    sequential_affinity_levels,
+)
+from .biconnectivity import BCLabeling, bc_labeling, two_edge_connectivity
+from .coloring import (
+    ColoringResult,
+    greedy_coloring,
+    greedy_edge_coloring,
+    sequential_greedy_coloring,
+    sequential_greedy_edge_coloring,
+)
+from .connectivity import ConnectivityResult, connectivity
+from .forest import (
+    CycleConnectivityResult,
+    ForestConnectivityResult,
+    cycle_connectivity,
+    cycle_connectivity_pointers,
+    forest_connectivity,
+)
+from .matching import MatchingResult, maximal_matching, sequential_lfmm
+from .list_ranking import (
+    ListRankingResult,
+    MultiListRankingResult,
+    list_ranking,
+    multi_list_ranking,
+    sequential_list_ranks,
+)
+from .mis import MISResult, maximal_independent_set, query_costs, sequential_lfmis
+from .msf import MSFResult, minimum_spanning_forest, sequential_msf_ids, spanning_forest
+from .shrink import AbsorbRound, ShrinkOutcome, fill_back, shrink
+from .tree_ops import LCAIndex, RootedForest, SubtreeExtrema, depths, root_forest
+from .two_cycle import TwoCycleResult, two_cycle
+
+__all__ = [
+    "two_cycle",
+    "TwoCycleResult",
+    "shrink",
+    "fill_back",
+    "ShrinkOutcome",
+    "AbsorbRound",
+    "maximal_independent_set",
+    "MISResult",
+    "sequential_lfmis",
+    "query_costs",
+    "connectivity",
+    "ConnectivityResult",
+    "minimum_spanning_forest",
+    "MSFResult",
+    "sequential_msf_ids",
+    "spanning_forest",
+    "maximal_matching",
+    "MatchingResult",
+    "sequential_lfmm",
+    "greedy_coloring",
+    "greedy_edge_coloring",
+    "ColoringResult",
+    "sequential_greedy_coloring",
+    "sequential_greedy_edge_coloring",
+    "cycle_connectivity",
+    "cycle_connectivity_pointers",
+    "CycleConnectivityResult",
+    "forest_connectivity",
+    "ForestConnectivityResult",
+    "list_ranking",
+    "multi_list_ranking",
+    "ListRankingResult",
+    "MultiListRankingResult",
+    "sequential_list_ranks",
+    "root_forest",
+    "RootedForest",
+    "SubtreeExtrema",
+    "LCAIndex",
+    "depths",
+    "bc_labeling",
+    "two_edge_connectivity",
+    "BCLabeling",
+    "affinity_clustering",
+    "AffinityClusteringResult",
+    "sequential_affinity_levels",
+]

@@ -1,0 +1,362 @@
+"""Maximal independent set in O(1/ε) AMPC rounds (paper §5, Theorem 2).
+
+The algorithm computes the lexicographically-first MIS over a random
+permutation π — LFMIS(G, π) — by running, for every vertex, the Yoshida et
+al. query process (Algorithm 3) in its *truncated* form (Algorithm 5): a
+recursive exploration of lower-π neighborhoods capped at n^ε recursive
+calls per vertex per iteration. Each iteration is one adaptive AMPC round;
+by Lemma 5.2, after iteration i every vertex whose untruncated query cost
+is at most n^{iε/2} is settled, so O(1/ε) iterations settle everything.
+
+Because f(v, π) is a deterministic function of G and π, the output is
+*exactly* LFMIS(G, π) — tests verify equality with the sequential greedy,
+not merely maximality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import AMPCConfig
+from repro.core.cost import RunReport
+from repro.core.runtime import AMPCRuntime
+from repro.graph.graph import Graph
+from repro.primitives.sampling import random_priorities
+from repro.primitives.sorting import SORT_ROUNDS
+
+_UNKNOWN, _IN, _OUT = -1, 1, 0
+
+
+@dataclass
+class MISResult:
+    """Output and cost of one MIS run.
+
+    Attributes:
+        in_mis: boolean array, in_mis[v] iff v ∈ LFMIS(G, π).
+        pi: the permutation rank used (pi[v] = priority; lower = earlier).
+        iterations: truncated-query iterations executed (the paper's
+            Line-4 loop count; each is one adaptive round).
+        settled_at: settled_at[v] = the iteration (1-based) in which v's
+            status became known — the quantity Lemma 5.2 bounds by the
+            growth of per-vertex query costs.
+        total_query_calls: total recursive-call count across all
+            iterations — the quantity Proposition 5.1 bounds by m + n in
+            expectation for the untruncated process.
+        report: cost ledger.
+        config: deployment used.
+    """
+
+    in_mis: np.ndarray
+    pi: np.ndarray
+    iterations: int
+    total_query_calls: int
+    report: RunReport
+    config: AMPCConfig
+    settled_at: np.ndarray | None = None
+
+    @property
+    def vertices(self) -> np.ndarray:
+        """Sorted ids of the MIS members."""
+        return np.flatnonzero(self.in_mis).astype(np.int64)
+
+
+def maximal_independent_set(
+    graph: Graph,
+    *,
+    epsilon: float = 0.5,
+    seed: int = 0,
+    config: AMPCConfig | None = None,
+    query_cap: int | None = None,
+    max_iterations: int | None = None,
+) -> MISResult:
+    """LFMIS over a random permutation in O(1/ε) rounds (Algorithm 4).
+
+    Args:
+        graph: input graph.
+        epsilon: space exponent ε.
+        seed: reproducibility seed (fixes π and machine placement).
+        config: explicit deployment.
+        query_cap: per-vertex recursive-call capacity per iteration
+            (default n^ε, the paper's choice).
+        max_iterations: safety cap (default well above the O(1/ε) bound).
+    """
+    n = graph.n
+    if config is None:
+        config = AMPCConfig.for_input(max(n + graph.m, 1), epsilon=epsilon, seed=seed)
+    runtime = AMPCRuntime(config)
+    if n == 0:
+        return MISResult(
+            in_mis=np.zeros(0, bool), pi=np.zeros(0, np.int64), iterations=0,
+            total_query_calls=0, report=runtime.report, config=config,
+            settled_at=np.zeros(0, np.int64),
+        )
+    if query_cap is None:
+        query_cap = max(8, int(math.ceil(float(n) ** config.epsilon)))
+    if max_iterations is None:
+        max_iterations = 8 * int(math.ceil(1.0 / config.epsilon)) + 8
+
+    pi = random_priorities(n, config.rng(salt=0x315))
+    # Pre-sort every adjacency list by neighbor priority (Algorithm 3
+    # step 1) — a standard sort, charged once.
+    sorted_csr = _pi_sorted_csr(graph, pi)
+    runtime.charge("sort-adjacency", rounds=SORT_ROUNDS,
+                   reads=2 * graph.m, writes=2 * graph.m)
+
+    status = np.full(n, _UNKNOWN, dtype=np.int8)
+    settled_at = np.zeros(n, dtype=np.int64)
+    total_calls = 0
+    iterations = 0
+
+    while True:
+        alive = np.flatnonzero(status == _UNKNOWN).astype(np.int64)
+        if alive.size == 0:
+            break
+        iterations += 1
+        if iterations > max_iterations:
+            raise RuntimeError(
+                f"MIS did not settle within {max_iterations} iterations "
+                f"({alive.size} vertices remain); query_cap={query_cap}"
+            )
+        indptr, indices = _filter_alive(sorted_csr, status)
+        calls = _iteration(
+            runtime, alive, indptr, indices, pi, status, query_cap,
+            tag=f"mis:{iterations}",
+        )
+        total_calls += calls
+        settled_at[(status != _UNKNOWN) & (settled_at == 0)] = iterations
+
+    in_mis = status == _IN
+    return MISResult(
+        in_mis=in_mis,
+        pi=pi,
+        iterations=iterations,
+        total_query_calls=total_calls,
+        report=runtime.report,
+        config=config,
+        settled_at=settled_at,
+    )
+
+
+def _iteration(
+    runtime: AMPCRuntime,
+    alive: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    pi: np.ndarray,
+    status: np.ndarray,
+    cap: int,
+    *,
+    tag: str,
+) -> int:
+    """One Line-4 iteration: truncated queries for every unknown vertex."""
+
+    def setup():
+        # Remaining adjacency, π-sorted, with neighbor priorities inlined
+        # so the walker needs one read per scanned neighbor.
+        for idx, v in enumerate(alive.tolist()):
+            start, end = indptr[idx], indptr[idx + 1]
+            yield ("deg", v), int(end - start)
+            for i in range(end - start):
+                u = int(indices[start + i])
+                yield ("nb", v, i), (u, int(pi[u]))
+
+    def worker(ctx, item):
+        v, pi_v = item
+        settled = ctx.scratch.setdefault("settled", {})
+        calls = _Counter()
+        result = _truncated_query(ctx, v, pi_v, cap, settled, calls)
+        # Publish every status this machine newly determined; the driver
+        # merges them and prunes the graph for the next iteration.
+        fresh = ctx.scratch.setdefault("published", set())
+        for u, val in settled.items():
+            if u not in fresh:
+                fresh.add(u)
+                ctx.write(("settled", u), int(val))
+        return (calls.value, result)
+
+    items = [(int(v), int(pi[v])) for v in alive.tolist()]
+    result = runtime.round(
+        items, worker, setup=setup(), tag=tag, item_key=lambda t: t[0]
+    )
+
+    for key, value in result.store.items():
+        if isinstance(key, tuple) and key[0] == "settled":
+            status[key[1]] = _IN if value else _OUT
+    # A vertex adjacent to an in-MIS vertex is out even if no query touched
+    # it (Algorithm 4 step 4a's neighbor removal): prune via the CSR.
+    in_now = np.flatnonzero(status == _IN)
+    alive_index = {int(v): i for i, v in enumerate(alive.tolist())}
+    for v in in_now.tolist():
+        i = alive_index.get(v)
+        if i is None:
+            continue
+        for u in indices[indptr[i]:indptr[i + 1]].tolist():
+            if status[u] == _UNKNOWN:
+                status[u] = _OUT
+    return sum(c for c, _ in result.results)
+
+
+class _Counter:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+
+def _truncated_query(
+    ctx,
+    root: int,
+    pi_root: int,
+    cap: int,
+    settled: dict[int, bool],
+    calls: _Counter,
+) -> int:
+    """Iterative TruncatedQuery (Algorithm 5). Returns _IN/_OUT/_UNKNOWN.
+
+    ``settled`` is the machine-local status table shared across the
+    vertices this machine processes in the round; completed (untruncated)
+    sub-queries land there because f(·, π) values are exact.
+    """
+    if root in settled:
+        return _IN if settled[root] else _OUT
+
+    # Explicit stack to avoid Python recursion limits: frames are
+    # [vertex, pi_v, next_neighbor_index, degree]; degree = -1 until read.
+    stack: list[list[int]] = [[root, pi_root, 0, -1]]
+    budget = cap
+    ret: bool | None = None  # child return value being propagated
+
+    while stack:
+        frame = stack[-1]
+        v, pi_v, i, deg = frame
+        if deg == -1:
+            budget -= 1
+            calls.value += 1
+            if budget < 0:
+                return _UNKNOWN  # capacity exhausted (step 1 / 4d)
+            frame[3] = deg = ctx.read(("deg", v))
+            ret = None
+        if ret is not None:
+            # Returning from the recursive call on neighbor i-1 (step 4b).
+            if ret is True:
+                settled[v] = False  # an earlier-π neighbor is in (4c)
+                stack.pop()
+                ret = False
+                continue
+            ret = None
+        advanced = False
+        while i < deg:
+            entry = ctx.read(("nb", v, i))
+            u, pi_u = entry
+            if pi_u > pi_v:
+                break  # π-sorted: no earlier neighbors remain (4a)
+            frame[2] = i = i + 1
+            known = settled.get(u)
+            if known is True:
+                settled[v] = False
+                stack.pop()
+                ret = False
+                advanced = True
+                break
+            if known is False:
+                continue  # u is out; it cannot block v
+            stack.append([u, pi_u, 0, -1])
+            advanced = True
+            break
+        if advanced:
+            continue
+        # All earlier-π neighbors are out: v joins the MIS (step 4a / 3).
+        settled[v] = True
+        stack.pop()
+        ret = True
+
+    return _IN if settled[root] else _OUT
+
+
+def _pi_sorted_csr(graph: Graph, pi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """CSR copy with each row sorted by neighbor priority."""
+    indptr = graph.indptr.copy()
+    indices = graph.indices.copy()
+    src = np.repeat(np.arange(graph.n, dtype=np.int64), np.diff(indptr))
+    order = np.lexsort((pi[indices], src))
+    return indptr, indices[order]
+
+
+def _filter_alive(
+    csr: tuple[np.ndarray, np.ndarray], status: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Remaining-subgraph CSR: rows of unknown vertices, unknown neighbors,
+    reindexed so row i corresponds to the i-th unknown vertex."""
+    indptr, indices = csr
+    alive_mask = status == _UNKNOWN
+    alive = np.flatnonzero(alive_mask)
+    n = status.size
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    keep = alive_mask[src] & alive_mask[indices]
+    kept_src = src[keep]
+    kept_dst = indices[keep]
+    counts = np.bincount(kept_src, minlength=n)[alive]
+    new_indptr = np.zeros(alive.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=new_indptr[1:])
+    return new_indptr, kept_dst
+
+
+def query_costs(graph: Graph, pi: np.ndarray) -> np.ndarray:
+    """q_pi(v) for every vertex: the exact recursive-call count of the
+    *untruncated* query process (Algorithm 3), computed sequentially.
+
+    This is the quantity Proposition 5.1 bounds in expectation and
+    Lemma 5.2 compares against the per-iteration cap. No memoization, no
+    truncation: every recursive call counts, as in [46].
+    """
+    n = graph.n
+    indptr, indices = _pi_sorted_csr(graph, pi)
+    costs = np.zeros(n, dtype=np.int64)
+    for root in range(n):
+        calls = 0
+        # Frame: [vertex, next neighbor index]; ret carries the child's
+        # return value while unwinding.
+        stack = [[root, 0]]
+        calls += 1
+        ret: bool | None = None
+        while stack:
+            frame = stack[-1]
+            v, i = frame[0], frame[1]
+            if ret is not None:
+                if ret is True:
+                    stack.pop()
+                    ret = False  # an earlier neighbor is in the MIS
+                    continue
+                ret = None
+            start, end = int(indptr[v]), int(indptr[v + 1])
+            pushed = False
+            while i < end - start:
+                u = int(indices[start + i])
+                if pi[u] > pi[v]:
+                    break
+                frame[1] = i = i + 1
+                stack.append([u, 0])
+                calls += 1
+                pushed = True
+                break
+            if pushed:
+                continue
+            stack.pop()
+            ret = True
+        costs[root] = calls
+    return costs
+
+
+def sequential_lfmis(graph: Graph, pi: np.ndarray) -> np.ndarray:
+    """Greedy LFMIS(G, π) reference: boolean membership array."""
+    order = np.argsort(pi, kind="stable")
+    in_mis = np.zeros(graph.n, dtype=bool)
+    blocked = np.zeros(graph.n, dtype=bool)
+    for v in order.tolist():
+        if not blocked[v]:
+            in_mis[v] = True
+            blocked[graph.neighbors(v)] = True
+    return in_mis

@@ -1,0 +1,283 @@
+"""Minimum spanning forest in O(log log_{T/n} n) AMPC rounds (paper §7).
+
+Same phase skeleton as connectivity, with Prim's algorithm in place of BFS:
+each vertex grows a local spanning tree F_v of size d by repeatedly taking
+the lightest edge leaving F_v (Algorithm 8) — every such edge is an MSF
+edge by the cut rule, so it is committed immediately. Vertices then
+contract onto leaders sampled inside their F_v, parallel edges collapse to
+their lightest representative (only that one can be in the MSF), and the
+budget grows d → d^1.4 (Algorithm 9, Theorem 4).
+
+Edge identity is preserved through contractions with an explicit
+original-edge-id mapping (the paper's map M), so the output is a set of
+*input* edge ids whose weight sum tests verify against the sequential MSF.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import AMPCConfig
+from repro.core.cost import RunReport
+from repro.core.runtime import AMPCRuntime
+from repro.graph.graph import WeightedGraph
+from repro.graph.io import encode_weighted_graph
+from repro.primitives.contraction import contract_weighted, resolve_pointers
+from repro.primitives.sampling import leader_probability
+
+
+@dataclass
+class MSFResult:
+    """Output and cost of one MSF run.
+
+    Attributes:
+        edge_ids: canonical edge ids (rows of ``graph.edge_list()``) of the
+            minimum spanning forest, sorted.
+        total_weight: sum of the MSF edge weights.
+        phases: contraction phases executed.
+        budgets: per-phase budgets (the d -> d^1.4 trajectory).
+        report: cost ledger.
+        config: deployment used.
+    """
+
+    edge_ids: np.ndarray
+    total_weight: float
+    phases: int
+    budgets: list[float] = field(default_factory=list)
+    report: RunReport | None = None
+    config: AMPCConfig | None = None
+
+
+def minimum_spanning_forest(
+    graph: WeightedGraph,
+    *,
+    epsilon: float = 0.5,
+    seed: int = 0,
+    config: AMPCConfig | None = None,
+    max_phases: int | None = None,
+) -> MSFResult:
+    """Minimum spanning forest (paper Algorithm 9).
+
+    Edge weights must be distinct (paper §7); ties are rejected — break
+    them upstream with :func:`repro.graph.graph.total_order_key` semantics
+    (e.g. via ``generators.with_random_weights``).
+    """
+    n = graph.n
+    if config is None:
+        config = AMPCConfig.for_input(max(n + graph.m, 1), epsilon=epsilon, seed=seed)
+    if not graph.weights_distinct():
+        raise ValueError("MSF requires distinct edge weights (paper §7)")
+    runtime = AMPCRuntime(config)
+    if n == 0 or graph.m == 0:
+        return MSFResult(
+            edge_ids=np.zeros(0, np.int64), total_weight=0.0, phases=0,
+            report=runtime.report, config=config,
+        )
+    if max_phases is None:
+        max_phases = 4 * int(math.ceil(math.log2(math.log2(max(n, 4)) + 1) + 1)) \
+            + 4 * int(math.ceil(1.0 / config.epsilon)) + 8
+
+    current = graph
+    # orig_eid[j]: input-graph edge id behind current edge j (the map M).
+    orig_eid = np.arange(graph.m, dtype=np.int64)
+    committed: set[int] = set()
+    rng = config.rng(salt=0x35F)
+
+    d = max(2.0, math.sqrt(config.total_space / max(current.n, 1)),
+            math.log2(max(n, 4)))
+    d_cap = max(
+        float(n) ** (config.epsilon / 3.0),
+        math.sqrt(config.read_budget / 4.0),
+        d,
+    )
+    phases = 0
+    budgets: list[float] = []
+
+    while current.m > 0:
+        phases += 1
+        if phases > max_phases:
+            raise RuntimeError(
+                f"MSF did not converge in {max_phases} phases "
+                f"(n'={current.n}, m'={current.m}, d={d})"
+            )
+        budgets.append(d)
+
+        if current.n + current.m <= config.space:
+            runtime.charge("local-solve", rounds=1,
+                           reads=current.n + 2 * current.m)
+            for j in _local_msf(current):
+                committed.add(int(orig_eid[j]))
+            break
+
+        # Step 3a: MSFIncreaseDegree — one adaptive local-Prim round.
+        forests, msf_now = _msf_increase_degree(
+            current, int(round(d)), runtime, tag=f"prim:{phases}"
+        )
+        # Step 3b: commit the discovered MSF edges through the map M.
+        for j in msf_now:
+            committed.add(int(orig_eid[j]))
+
+        # Steps 3c/3d: leader sampling and contraction along F_v.
+        p = leader_probability(current.n, d)
+        is_leader = rng.random(current.n) < p
+        leader = _choose_leaders(current.n, forests, is_leader)
+        root = resolve_pointers(leader, runtime, tag=f"resolve:{phases}")
+        contracted, _new_of, _rep, kept = contract_weighted(
+            current, root, runtime=None
+        )
+        runtime.charge(f"contract:{phases}", rounds=1,
+                       reads=2 * current.m, writes=2 * contracted.m)
+        orig_eid = orig_eid[kept]
+        current = contracted
+
+        # Step 3e: budget growth.
+        d = min(d**1.4, d_cap)
+
+    edge_ids = np.array(sorted(committed), dtype=np.int64)
+    return MSFResult(
+        edge_ids=edge_ids,
+        total_weight=graph.total_weight(edge_ids),
+        phases=phases,
+        budgets=budgets,
+        report=runtime.report,
+        config=config,
+    )
+
+
+def _msf_increase_degree(
+    graph: WeightedGraph, d: int, runtime: AMPCRuntime, *, tag: str
+) -> tuple[dict[int, tuple[list[int], bool]], list[int]]:
+    """Algorithm 8: local Prim from every vertex, one adaptive round.
+
+    Returns (forests, msf_edge_ids) where forests[v] = (members of F_v
+    excluding v, exhausted_flag) and msf_edge_ids are current-graph edge
+    ids committed by the cut rule.
+    """
+    read_cap = 4 * d * d
+
+    def worker(ctx, v: int):
+        in_tree = {v}
+        heap: list[tuple[float, int, int]] = []
+        reads = 0
+
+        def push_edges(u: int) -> None:
+            nonlocal reads
+            deg_u = ctx.read(("deg", u))
+            reads += 1
+            for i in range(deg_u):
+                if reads >= read_cap:
+                    return
+                nbr, w, eid = ctx.read(("adjw", u, i))
+                reads += 1
+                if nbr not in in_tree:
+                    heapq.heappush(heap, (w, eid, nbr))
+
+        push_edges(v)
+        while heap and len(in_tree) < d and reads < read_cap:
+            _w, eid, b = heapq.heappop(heap)
+            if b in in_tree:
+                continue
+            in_tree.add(b)
+            ctx.write(("msf", eid), 1)
+            ctx.write(("fv", v), int(b))
+            push_edges(b)
+        # Empty heap with budget left: F_v is v's whole component.
+        exhausted = not heap and reads < read_cap
+        return (len(in_tree), bool(exhausted))
+
+    result = runtime.round(
+        list(range(graph.n)), worker,
+        setup=encode_weighted_graph(graph), tag=tag,
+    )
+    forests: dict[int, tuple[list[int], bool]] = {
+        v: ([], bool(out[1])) for v, out in zip(range(graph.n), result.results)
+    }
+    msf_now: list[int] = []
+    for key, value in result.store.items():
+        if not isinstance(key, tuple):
+            continue
+        if key[0] == "msf":
+            msf_now.append(int(key[1]))
+        elif key[0] == "fv":
+            forests[int(key[1])][0].append(int(value))
+    return forests, msf_now
+
+
+def _choose_leaders(
+    n: int,
+    forests: dict[int, tuple[list[int], bool]],
+    is_leader: np.ndarray,
+) -> np.ndarray:
+    """Contraction targets (Algorithm 9 step 3d): a leader inside F_v if
+    any, else — when F_v is v's whole component — its minimum member."""
+    leader = np.arange(n, dtype=np.int64)
+    for v in range(n):
+        if is_leader[v]:
+            continue
+        members, exhausted = forests[v]
+        if not members:
+            continue
+        leader_members = [u for u in members if is_leader[u]]
+        if leader_members:
+            leader[v] = leader_members[0]
+        elif exhausted:
+            leader[v] = min(min(members), v)
+    return leader
+
+
+def _local_msf(graph: WeightedGraph) -> np.ndarray:
+    """Kruskal on one machine for the endgame; returns current edge ids."""
+    edges = graph.edge_list()
+    weights = graph.edge_weights()
+    order = np.argsort(weights, kind="stable")
+    parent = np.arange(graph.n, dtype=np.int64)
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = int(parent[root])
+        while parent[x] != root:
+            parent[x], x = root, int(parent[x])
+        return root
+
+    chosen: list[int] = []
+    for j in order.tolist():
+        u, v = int(edges[j, 0]), int(edges[j, 1])
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[max(ru, rv)] = min(ru, rv)
+            chosen.append(j)
+    return np.array(chosen, dtype=np.int64)
+
+
+def sequential_msf_ids(graph: WeightedGraph) -> np.ndarray:
+    """Kruskal reference over the input graph: canonical edge ids."""
+    return np.sort(_local_msf(graph))
+
+
+def spanning_forest(
+    graph,
+    *,
+    epsilon: float = 0.5,
+    seed: int = 0,
+    config: AMPCConfig | None = None,
+) -> tuple[np.ndarray, MSFResult]:
+    """Spanning forest in O(log log_{T/n} n) rounds (paper Corollary 7.2).
+
+    Assigns arbitrary distinct weights and runs the MSF algorithm; returns
+    (edges, msf_result) where ``edges`` is the (k, 2) array of spanning
+    forest edges of the *input* graph.
+    """
+    from repro.graph.generators import with_distinct_integer_weights
+
+    if config is None:
+        config = AMPCConfig.for_input(
+            max(graph.n + graph.m, 1), epsilon=epsilon, seed=seed
+        )
+    weighted = with_distinct_integer_weights(graph, rng=config.rng(salt=0x5F))
+    result = minimum_spanning_forest(weighted, config=config)
+    return weighted.edge_list()[result.edge_ids], result

@@ -1,0 +1,307 @@
+"""The Shrink primitive (paper §4, Algorithm 1) and its fill-back.
+
+Shrink contracts a pointer structure — a union of cycles and/or lists given
+as a successor array — onto a random sample of its elements. Each round:
+
+1. every element is sampled independently with probability n^{-δ/2}
+   (n = the *initial* size, as in the paper);
+2. each sampled element adaptively walks successor pointers until the next
+   sampled element, absorbing everything it passes — the defining AMPC
+   round: O(n^{δ/2}) expected reads per walk, issued sequentially within
+   one round;
+3. the structure contracts to the samples; absorbed elements record who
+   absorbed them and at what (weighted) distance, enabling an O(1)-rounds-
+   per-level *fill-back* that propagates labels or ranks to every original
+   element afterwards (used by Algorithm 10's connectivity labels and
+   Algorithm 11's list ranking).
+
+Differences from the pseudocode, none affecting the guarantees:
+
+* we walk only the successor direction — for cycles, forward walks from all
+  samples already cover every segment exactly once (the paper's backward
+  walk duplicates work); for lists, the head is always forced into the
+  sample so every element is covered;
+* a cycle that receives no sample (probability n^{-Ω(1)} for the sizes the
+  theorems address) survives a round untouched instead of vanishing, which
+  keeps the implementation correct on every input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.runtime import AMPCRuntime
+from repro.primitives.sampling import shrink_probability
+
+TAIL = -1
+
+
+@dataclass
+class AbsorbRound:
+    """Record of one shrink round, consumed by :func:`fill_back`.
+
+    Attributes:
+        absorbed: ids absorbed this round.
+        absorber: absorber[i] is the sample that absorbed absorbed[i].
+        offset: offset[i] is the weighted distance from the absorber to
+            absorbed[i] along the pre-round structure.
+    """
+
+    absorbed: np.ndarray
+    absorber: np.ndarray
+    offset: np.ndarray
+
+
+@dataclass
+class ShrinkOutcome:
+    """Result of running Shrink to its target size.
+
+    Attributes:
+        alive: ids of surviving elements.
+        succ: succ[i] = successor id of alive[i] (TAIL for list tails),
+            *in original-id space*.
+        length: length[i] = weighted distance from alive[i] to its
+            successor along the original structure.
+        history: per-round absorption records, oldest first.
+        n_rounds: shrink rounds executed.
+    """
+
+    alive: np.ndarray
+    succ: np.ndarray
+    length: np.ndarray
+    history: list[AbsorbRound] = field(default_factory=list)
+    n_rounds: int = 0
+
+
+def shrink(
+    succ: np.ndarray,
+    runtime: AMPCRuntime,
+    *,
+    delta: float,
+    target_size: int,
+    weights: np.ndarray | None = None,
+    forced: np.ndarray | None = None,
+    max_rounds: int | None = None,
+    tag: str = "shrink",
+) -> ShrinkOutcome:
+    """Run Shrink(G, δ, t) until at most ``target_size`` elements survive.
+
+    Args:
+        succ: successor array over ids 0..n-1; ``succ[v] = TAIL`` marks a
+            list tail. Every id with an entry is an element.
+        runtime: the AMPC runtime to execute (and charge) rounds on.
+        delta: the paper's δ; per-round sampling probability is n^{-δ/2}.
+        target_size: stop once at most this many elements survive (the
+            paper stops at O(n^ε), when one machine can finish locally).
+        weights: initial per-link weights (default: all ones — the link
+            from v to succ[v] represents one original link).
+        forced: ids always included in the sample (Algorithm 11 forces the
+            list head v0 so ranks stay anchored).
+        max_rounds: safety cap; default 4 * ceil(1/delta) + 8, generously
+            above the paper's O(1/δ) bound, so a failure to shrink is
+            reported as an error rather than a hang.
+        tag: ledger label prefix.
+
+    Returns:
+        ShrinkOutcome; ``runtime.report`` accumulates the per-round costs.
+    """
+    n = int(succ.size)
+    if n == 0:
+        return ShrinkOutcome(
+            alive=np.zeros(0, np.int64),
+            succ=np.zeros(0, np.int64),
+            length=np.zeros(0, np.float64),
+        )
+    probability = shrink_probability(n, delta)
+    if max_rounds is None:
+        max_rounds = 4 * int(np.ceil(1.0 / max(delta, 1e-9))) + 8
+
+    alive = np.arange(n, dtype=np.int64)
+    cur_succ = succ.astype(np.int64, copy=True)
+    cur_len = (
+        np.ones(n, dtype=np.float64)
+        if weights is None
+        else weights.astype(np.float64, copy=True)
+    )
+    forced_set = (
+        np.zeros(0, dtype=np.int64)
+        if forced is None
+        else np.asarray(forced, dtype=np.int64)
+    )
+    history: list[AbsorbRound] = []
+    rounds = 0
+    rng = runtime.config.rng(salt=0x5581 + len(runtime.report.rounds))
+
+    def reducible_count(ids: np.ndarray) -> int:
+        # Elements that could still be absorbed: not a self-loop (a fully
+        # contracted cycle) and not a forced survivor (a list head). These
+        # irreducible elements are exactly the final structure's size
+        # floor, so the stop condition compares against them.
+        reducible = int(ids.size - np.count_nonzero(cur_succ[ids] == ids))
+        if forced_set.size:
+            reducible -= int(np.isin(forced_set, ids).sum())
+        return reducible
+
+    while reducible_count(alive) > target_size and rounds < max_rounds:
+        rounds += 1
+        sampled_mask = rng.random(alive.size) < probability
+        if forced_set.size:
+            sampled_mask |= np.isin(alive, forced_set)
+        if not sampled_mask.any():
+            # Force one sample: zero progress rounds would only stall.
+            sampled_mask[int(rng.integers(0, alive.size))] = True
+        samples = alive[sampled_mask]
+
+        outcome = _shrink_round(
+            runtime,
+            alive=alive,
+            samples=samples,
+            succ=cur_succ,
+            length=cur_len,
+            tag=f"{tag}:{rounds}",
+        )
+        new_alive, cur_succ, cur_len, record = outcome
+        history.append(record)
+        alive = new_alive
+
+    if reducible_count(alive) > target_size:
+        raise RuntimeError(
+            f"shrink did not reach target size {target_size} within "
+            f"{max_rounds} rounds (still {alive.size} alive); "
+            f"delta={delta} may be too small for n={n}"
+        )
+    return ShrinkOutcome(
+        alive=alive,
+        succ=cur_succ[alive],
+        length=cur_len[alive],
+        history=history,
+        n_rounds=rounds,
+    )
+
+
+def _shrink_round(
+    runtime: AMPCRuntime,
+    *,
+    alive: np.ndarray,
+    samples: np.ndarray,
+    succ: np.ndarray,
+    length: np.ndarray,
+    tag: str,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, AbsorbRound]:
+    """One adaptive Shrink round on the runtime; returns the contraction."""
+
+    def setup():
+        for v in alive.tolist():
+            yield ("succ", v), int(succ[v])
+            yield ("len", v), float(length[v])
+        for v in samples.tolist():
+            yield ("smp", v), 1
+
+    def walk(ctx, v: int):
+        # Adaptive traversal: each next key depends on the previous read.
+        cur = ctx.read(("succ", v))
+        cum = ctx.read(("len", v))
+        while cur != TAIL and cur != v and ctx.read(("smp", cur)) is None:
+            ctx.write(("absorb", cur), (int(v), float(cum)))
+            cum += ctx.read(("len", cur))
+            cur = ctx.read(("succ", cur))
+        return (int(v), int(cur), float(cum))
+
+    result = runtime.round(
+        samples.tolist(), walk, setup=setup(), tag=tag
+    )
+
+    absorbed_ids: list[int] = []
+    absorbers: list[int] = []
+    offsets: list[float] = []
+    for key, value in result.store.items():
+        if isinstance(key, tuple) and key[0] == "absorb":
+            absorbed_ids.append(int(key[1]))
+            absorbers.append(int(value[0]))
+            offsets.append(float(value[1]))
+    record = AbsorbRound(
+        absorbed=np.array(absorbed_ids, dtype=np.int64),
+        absorber=np.array(absorbers, dtype=np.int64),
+        offset=np.array(offsets, dtype=np.float64),
+    )
+
+    new_succ = succ.copy()
+    new_len = length.copy()
+    for v, nxt, cum in result.results:
+        new_succ[v] = nxt
+        new_len[v] = cum
+
+    # Survivors: everything not absorbed — the samples, plus elements of
+    # structures no walk touched (unsampled cycles keep their pointers).
+    alive_mask = np.zeros(succ.size, dtype=bool)
+    alive_mask[alive] = True
+    alive_mask[record.absorbed] = False
+    new_alive = np.flatnonzero(alive_mask).astype(np.int64)
+    return new_alive, new_succ, new_len, record
+
+
+def fill_back(
+    runtime: AMPCRuntime,
+    history: list[AbsorbRound],
+    values: dict[int, float],
+    *,
+    additive: bool,
+    tag: str = "fill-back",
+) -> dict[int, float]:
+    """Propagate per-element values from survivors to absorbed elements.
+
+    Runs one adaptive round per shrink level, newest level first — the
+    reverse pass of Algorithm 11 (step 4). With ``additive=True`` the value
+    of an absorbed element is ``value(absorber) + offset`` (list ranking);
+    with ``additive=False`` it is ``value(absorber)`` (component labels,
+    Algorithm 10).
+
+    Args:
+        runtime: runtime to execute rounds on.
+        history: the ShrinkOutcome history.
+        values: value per surviving element (absorbers' values must be
+            derivable level by level; survivors of the final round seed it).
+        additive: add the stored offset (rank semantics) or copy (labels).
+        tag: ledger label prefix.
+
+    Returns:
+        dict mapping every element ever absorbed (plus the seeds) to its
+        value.
+    """
+    out = dict(values)
+    for level in range(len(history) - 1, -1, -1):
+        record = history[level]
+        if record.absorbed.size == 0:
+            runtime.charge(f"{tag}:{level}", rounds=1)
+            continue
+
+        needed = np.unique(record.absorber)
+
+        def setup():
+            for element in needed.tolist():
+                yield ("val", int(element)), float(out[element])
+            for i in range(record.absorbed.size):
+                yield ("abs", int(record.absorbed[i])), (
+                    int(record.absorber[i]),
+                    float(record.offset[i]),
+                )
+
+        def worker(ctx, u: int):
+            absorber, offset = ctx.read(("abs", u))
+            base = ctx.read(("val", absorber))
+            if base is None:
+                raise RuntimeError(
+                    f"fill-back level {level}: absorber {absorber} of {u} "
+                    f"has no value yet"
+                )
+            return float(base + offset) if additive else float(base)
+
+        result = runtime.round(
+            record.absorbed.tolist(), worker, setup=setup(),
+            tag=f"{tag}:{level}",
+        )
+        for u, value in zip(record.absorbed.tolist(), result.results):
+            out[int(u)] = value
+    return out

@@ -1,0 +1,20 @@
+"""Analysis utilities: contention, complexity fits, report tables."""
+
+from .complexity import FitResult, best_family, fit_family, growth_ratio
+from .contention import ContentionStats, balls_in_bins_trial, contention_profile
+from .report import ComparisonRow, Figure1Report, render_table
+from .timeline import render_timeline
+
+__all__ = [
+    "balls_in_bins_trial",
+    "contention_profile",
+    "ContentionStats",
+    "fit_family",
+    "best_family",
+    "growth_ratio",
+    "FitResult",
+    "ComparisonRow",
+    "Figure1Report",
+    "render_table",
+    "render_timeline",
+]

@@ -1,0 +1,87 @@
+"""Round-complexity curve fitting for the benchmark harness.
+
+The Figure 1 reproduction needs to decide, from measured (n, rounds)
+points, which growth family a curve belongs to: flat / log log n / log n.
+These helpers fit each family by least squares and report relative errors
+— the benchmarks assert the expected family wins (or at least that the
+paper's claimed family fits no worse than the alternative).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class FitResult:
+    """Per-family goodness of fit.
+
+    Attributes:
+        family: "constant" | "loglog" | "log" | "linear".
+        params: (a, b) with model rounds ≈ a + b·g(n).
+        rss: residual sum of squares.
+    """
+
+    family: str
+    params: tuple[float, float]
+    rss: float
+
+
+_FAMILIES = {
+    "constant": lambda n: np.zeros_like(n, dtype=np.float64),
+    "loglog": lambda n: np.log2(np.log2(np.maximum(n, 4))),
+    "log": lambda n: np.log2(np.maximum(n, 2)),
+    "linear": lambda n: n.astype(np.float64),
+}
+
+
+def fit_family(ns: np.ndarray, rounds: np.ndarray, family: str) -> FitResult:
+    """Least-squares fit rounds ≈ a + b·g(n) for one growth family."""
+    ns = np.asarray(ns, dtype=np.float64)
+    rounds = np.asarray(rounds, dtype=np.float64)
+    g = _FAMILIES[family](ns)
+    design = np.column_stack([np.ones_like(g), g])
+    coef, *_ = np.linalg.lstsq(design, rounds, rcond=None)
+    if family != "constant":
+        # Growth families must not fit by pretending to be constant.
+        coef = np.clip(coef, [-np.inf, 0.0], None)
+    pred = design @ coef
+    rss = float(((rounds - pred) ** 2).sum())
+    return FitResult(family=family, params=(float(coef[0]), float(coef[1])), rss=rss)
+
+
+def best_family(
+    ns: np.ndarray, rounds: np.ndarray, *, tolerance: float = 0.25
+) -> str:
+    """The simplest family within ``tolerance`` of the best residual.
+
+    Parsimony rule: families with more expressive shapes can always fit a
+    bit better on noise; prefer the lowest-complexity family whose RSS is
+    within (1 + tolerance) of the minimum.
+    """
+    fits = {fam: fit_family(ns, rounds, fam) for fam in _FAMILIES}
+    min_rss = min(f.rss for f in fits.values())
+    threshold = min_rss * (1.0 + tolerance) + 1e-9
+    candidates = [fam for fam, f in fits.items() if f.rss <= threshold]
+    candidates.sort(key=_complexity_rank)
+    return candidates[0]
+
+
+def _complexity_rank(family: str) -> int:
+    return ["constant", "loglog", "log", "linear"].index(family)
+
+
+def growth_ratio(ns: np.ndarray, rounds: np.ndarray) -> float:
+    """rounds(max n) / rounds(min n) — a scale-free flatness summary.
+
+    A flat (AMPC) curve keeps this near 1 while an MPC log-n curve grows
+    with the n range; benchmark assertions compare the two.
+    """
+    ns = np.asarray(ns)
+    rounds = np.asarray(rounds, dtype=np.float64)
+    lo = rounds[int(np.argmin(ns))]
+    hi = rounds[int(np.argmax(ns))]
+    return float(hi / lo) if lo else math.inf

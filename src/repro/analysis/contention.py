@@ -1,0 +1,110 @@
+"""Contention analysis (paper §2.1, Lemma 2.1).
+
+Lemma 2.1: T weighted balls (key-value pairs, weight = times queried) of
+max weight P and total weight T, thrown independently into P bins (DDS
+servers), give every bin total weight O(S) = O(T/P) w.h.p. when
+P = O(S^{1-Ω(1)}).
+
+Two entry points:
+
+* :func:`balls_in_bins_trial` — the lemma's abstract experiment, with the
+  adversarial weight profile (weights up to P);
+* :func:`contention_profile` — the empirical counterpart measured from a
+  real algorithm run's per-round DDS server loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cost import RunReport, load_balance_gini
+
+
+@dataclass
+class ContentionStats:
+    """Max-load statistics of one (abstract or measured) experiment.
+
+    Attributes:
+        n_bins: number of DDS servers P.
+        mean_load: average per-bin load (≈ S by construction).
+        max_load: heaviest bin.
+        ratio: max_load / mean_load — the lemma predicts an O(1) ratio
+            concentrating as S grows.
+        gini: load-inequality summary (0 = perfectly even).
+    """
+
+    n_bins: int
+    mean_load: float
+    max_load: float
+    ratio: float
+    gini: float
+
+    @classmethod
+    def from_loads(cls, loads: np.ndarray) -> "ContentionStats":
+        loads = np.asarray(loads, dtype=np.float64)
+        mean = float(loads.mean()) if loads.size else 0.0
+        mx = float(loads.max()) if loads.size else 0.0
+        return cls(
+            n_bins=int(loads.size),
+            mean_load=mean,
+            max_load=mx,
+            ratio=mx / mean if mean else 0.0,
+            gini=load_balance_gini(loads),
+        )
+
+
+def balls_in_bins_trial(
+    total_weight: int,
+    n_bins: int,
+    *,
+    max_ball_weight: int | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> ContentionStats:
+    """One trial of the Lemma 2.1 experiment.
+
+    Balls are generated with an adversarial-ish profile: as many balls of
+    weight ``max_ball_weight`` (default P, the lemma's cap) as the total
+    allows, the remainder weight 1 — heavy balls maximize the variance the
+    lemma must absorb.
+
+    Args:
+        total_weight: T, also the total number of queries.
+        n_bins: P, the number of servers.
+        max_ball_weight: heaviest single key (default P).
+        rng: randomness source.
+    """
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    if max_ball_weight is None:
+        max_ball_weight = n_bins
+    max_ball_weight = max(1, min(max_ball_weight, total_weight))
+    n_heavy = total_weight // max_ball_weight
+    rest = total_weight - n_heavy * max_ball_weight
+    weights = np.concatenate([
+        np.full(n_heavy, max_ball_weight, dtype=np.int64),
+        np.ones(rest, dtype=np.int64),
+    ])
+    bins = gen.integers(0, n_bins, size=weights.size)
+    loads = np.zeros(n_bins, dtype=np.int64)
+    np.add.at(loads, bins, weights)
+    return ContentionStats.from_loads(loads)
+
+
+def contention_profile(report: RunReport) -> ContentionStats:
+    """Worst-round contention measured from a run's ledger."""
+    worst = None
+    for stats in report.rounds:
+        if stats.kind != "adaptive" or stats.total_reads == 0:
+            continue
+        mean = stats.total_reads / max(stats.n_machines_active, 1)
+        ratio = stats.max_server_load / mean if mean else 0.0
+        if worst is None or ratio > worst.ratio:
+            worst = ContentionStats(
+                n_bins=stats.n_machines_active,
+                mean_load=mean,
+                max_load=float(stats.max_server_load),
+                ratio=ratio,
+                gini=0.0,
+            )
+    return worst if worst is not None else ContentionStats(0, 0.0, 0.0, 0.0, 0.0)

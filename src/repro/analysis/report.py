@@ -1,0 +1,68 @@
+"""Tabular reporting for the Figure 1 reproduction.
+
+The benchmark files collect (problem, n, AMPC rounds, MPC rounds, ...)
+rows and render them with these helpers, in the same shape as the paper's
+Figure 1: one row per problem, AMPC column vs MPC column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+@dataclass
+class ComparisonRow:
+    """One measured (problem, n) comparison point."""
+
+    problem: str
+    n: int
+    m: int
+    ampc_rounds: int
+    mpc_rounds: int
+    ampc_detail: str = ""
+    mpc_detail: str = ""
+
+    @property
+    def speedup(self) -> float:
+        return self.mpc_rounds / self.ampc_rounds if self.ampc_rounds else 0.0
+
+
+@dataclass
+class Figure1Report:
+    """Accumulates comparison rows and renders the Figure 1 table."""
+
+    rows: list[ComparisonRow] = field(default_factory=list)
+
+    def add(self, row: ComparisonRow) -> None:
+        self.rows.append(row)
+
+    def render(self) -> str:
+        header = (
+            f"{'problem':<22} {'n':>8} {'m':>9} {'AMPC rounds':>12} "
+            f"{'MPC rounds':>11} {'MPC/AMPC':>9}  detail"
+        )
+        lines = [header, "-" * len(header)]
+        for r in self.rows:
+            detail = "; ".join(x for x in (r.ampc_detail, r.mpc_detail) if x)
+            lines.append(
+                f"{r.problem:<22} {r.n:>8} {r.m:>9} {r.ampc_rounds:>12} "
+                f"{r.mpc_rounds:>11} {r.speedup:>9.2f}  {detail}"
+            )
+        return "\n".join(lines)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> str:
+    """Plain fixed-width table used by examples and benchmark output."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    def fmt(row: Sequence[Any]) -> str:
+        return "  ".join(str(c).rjust(w) for c, w in zip(row, widths))
+
+    lines = [fmt(headers), "  ".join("-" * w for w in widths)]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""ASCII timeline rendering of a run's ledger.
+
+Turns a :class:`~repro.core.cost.RunReport` into a per-round bar chart of
+communication volume with adaptivity markers — a quick visual answer to
+"where do the rounds and the bytes go?" without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from repro.core.cost import RunReport
+
+_KIND_MARK = {
+    "adaptive": "A",
+    "primitive": "p",
+    "mpc": "m",
+    "bootstrap": ".",
+}
+
+
+def render_timeline(
+    report: RunReport,
+    *,
+    width: int = 48,
+    metric: str = "communication",
+) -> str:
+    """Render the ledger as one bar per round record.
+
+    Args:
+        report: the run ledger.
+        width: maximum bar width in characters.
+        metric: "communication" (reads+writes), "reads", or
+            "max_machine_reads".
+
+    Each line: ``tag  kind-mark  bar  value``; the legend explains marks.
+    """
+    if not report.rounds:
+        return "(empty report)"
+
+    def value_of(stats) -> int:
+        if metric == "communication":
+            return stats.communication
+        if metric == "reads":
+            return stats.total_reads
+        if metric == "max_machine_reads":
+            return stats.max_machine_reads
+        raise ValueError(f"unknown metric {metric!r}")
+
+    values = [value_of(r) for r in report.rounds]
+    peak = max(values) or 1
+    tag_width = min(28, max(len(r.tag) for r in report.rounds))
+    lines = [
+        f"{'round':<{tag_width}}  k  {metric} "
+        f"(bar peak = {peak})",
+    ]
+    for stats, value in zip(report.rounds, values):
+        bar = "#" * max(0, round(width * value / peak))
+        if value and not bar:
+            bar = "."
+        mark = _KIND_MARK.get(stats.kind, "?")
+        lines.append(
+            f"{stats.tag[:tag_width]:<{tag_width}}  {mark}  {bar} {value}"
+        )
+    lines.append(
+        "legend: A adaptive round, p charged primitive, m MPC round, "
+        ". bootstrap"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""MPC baselines (Figure 1's right column) and sequential references."""
+
+from . import seq
+from .andoni_mpc import AndoniMPCResult, andoni_mpc_connectivity
+from .boruvka import BoruvkaResult, boruvka_msf
+from .label_propagation import (
+    MPCConnectivityResult,
+    hooking_connectivity,
+    label_propagation,
+)
+from .luby_mis import LubyMISResult, luby_mis
+from .message_passing import mpc_list_ranking_simulated
+from .pointer_doubling import (
+    MPCListRankingResult,
+    MPCTwoCycleResult,
+    mpc_list_ranking,
+    mpc_two_cycle,
+)
+
+__all__ = [
+    "seq",
+    "andoni_mpc_connectivity",
+    "AndoniMPCResult",
+    "boruvka_msf",
+    "BoruvkaResult",
+    "label_propagation",
+    "hooking_connectivity",
+    "MPCConnectivityResult",
+    "luby_mis",
+    "LubyMISResult",
+    "mpc_two_cycle",
+    "MPCTwoCycleResult",
+    "mpc_list_ranking",
+    "MPCListRankingResult",
+    "mpc_list_ranking_simulated",
+]

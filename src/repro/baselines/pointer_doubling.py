@@ -1,0 +1,137 @@
+"""MPC pointer-doubling baselines: 2-Cycle and list ranking in Θ(log n).
+
+These are the classic non-adaptive algorithms the AMPC results are
+measured against (paper Figure 1, rows "2-Cycle" and the list-ranking
+machinery behind forest connectivity). In MPC, following a pointer chain
+needs one round per hop, so algorithms double pointers instead:
+``succ ← succ∘succ`` halves the remaining distance each iteration,
+reaching any fixed point after ⌈log₂ n⌉ iterations — the Ω(log n)
+behaviour the 2-Cycle conjecture says is unavoidable in MPC.
+
+Execution is vectorized numpy with every iteration charged to the ledger
+as ``ROUNDS_PER_JUMP`` MPC rounds (request to the successor's machine,
+response back); :mod:`repro.baselines.message_passing` holds a
+fully-simulated message-level variant used to validate this accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import AMPCConfig
+from repro.core.cost import RunReport
+from repro.core.runtime import MPCRuntime
+from repro.graph.graph import Graph
+from repro.graph.io import orient_cycles
+
+# One doubling step: machine(v) requests succ[succ[v]] from machine(succ[v])
+# and receives the answer next round.
+ROUNDS_PER_JUMP = 2
+
+
+@dataclass
+class MPCTwoCycleResult:
+    """Baseline answer and cost for the 2-Cycle problem."""
+
+    n_cycles: int
+    is_two_cycles: bool
+    iterations: int
+    report: RunReport
+    config: AMPCConfig
+
+
+def mpc_two_cycle(
+    graph: Graph,
+    *,
+    epsilon: float = 0.5,
+    seed: int = 0,
+    config: AMPCConfig | None = None,
+) -> MPCTwoCycleResult:
+    """2-Cycle via min-label pointer doubling: Θ(log n) MPC rounds.
+
+    Every vertex tracks the minimum vertex id among the 2^k cycle
+    positions ahead of it; after ⌈log₂ n⌉ doublings that is the cycle
+    minimum, and counting distinct minima answers the problem.
+    """
+    if config is None:
+        config = AMPCConfig.for_input(max(graph.n, 1), epsilon=epsilon, seed=seed)
+    runtime = MPCRuntime(config)
+    succ, _ = orient_cycles(graph)
+    runtime.charge("orient-cycles", rounds=1, reads=graph.n,
+                   writes=graph.n, kind="mpc")
+    n = graph.n
+    best = np.arange(n, dtype=np.int64)
+    ptr = succ.copy()
+    iterations = int(math.ceil(math.log2(max(n, 2))))
+    for i in range(iterations):
+        best = np.minimum(best, best[ptr])
+        ptr = ptr[ptr]
+        runtime.charge(f"jump:{i}", rounds=ROUNDS_PER_JUMP,
+                       reads=2 * n, writes=2 * n, kind="mpc")
+    n_cycles = int(np.unique(best).size)
+    return MPCTwoCycleResult(
+        n_cycles=n_cycles,
+        is_two_cycles=n_cycles == 2,
+        iterations=iterations,
+        report=runtime.report,
+        config=config,
+    )
+
+
+@dataclass
+class MPCListRankingResult:
+    """Baseline ranks and cost for list ranking."""
+
+    ranks: np.ndarray
+    iterations: int
+    report: RunReport
+    config: AMPCConfig
+
+
+def mpc_list_ranking(
+    succ: np.ndarray,
+    *,
+    epsilon: float = 0.5,
+    seed: int = 0,
+    config: AMPCConfig | None = None,
+) -> MPCListRankingResult:
+    """Wyllie's list ranking: Θ(log n) MPC rounds.
+
+    rank(v) accumulates the distance to v's current pointer target while
+    pointers double; once every pointer reaches the tail, rank(v) is the
+    distance *to the tail*, which converts to distance from the head as
+    (list length - 1) - rank.
+    """
+    n = int(succ.size)
+    if config is None:
+        config = AMPCConfig.for_input(max(n, 1), epsilon=epsilon, seed=seed)
+    runtime = MPCRuntime(config)
+    if n == 0:
+        return MPCListRankingResult(
+            ranks=np.zeros(0, np.int64), iterations=0,
+            report=runtime.report, config=config,
+        )
+    # Tail sentinel: point the tail at itself with distance 0.
+    ptr = succ.copy()
+    dist = np.where(succ >= 0, 1, 0).astype(np.int64)
+    ptr[ptr < 0] = np.flatnonzero(succ < 0)[0] if (succ < 0).any() else 0
+    tail = int(np.flatnonzero(succ < 0)[0])
+    ptr[tail] = tail
+    iterations = int(math.ceil(math.log2(max(n, 2))))
+    for i in range(iterations):
+        dist = dist + dist[ptr]
+        ptr = ptr[ptr]
+        runtime.charge(f"jump:{i}", rounds=ROUNDS_PER_JUMP,
+                       reads=2 * n, writes=2 * n, kind="mpc")
+    if not np.all(ptr == tail):
+        raise ValueError("input was not a single linked list")
+    ranks = (n - 1) - dist
+    return MPCListRankingResult(
+        ranks=ranks,
+        iterations=iterations,
+        report=runtime.report,
+        config=config,
+    )

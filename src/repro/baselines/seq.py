@@ -1,0 +1,120 @@
+"""Sequential reference implementations — the correctness anchors.
+
+Every distributed algorithm in the library is tested against one of these
+single-threaded classics (and, in the test suite, against networkx where
+it offers the same primitive).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph, WeightedGraph
+
+
+def components(graph: Graph) -> np.ndarray:
+    """Union-find component labels (min vertex id per component)."""
+    from repro.graph.validation import components_reference
+
+    return components_reference(graph)
+
+
+def lfmis(graph: Graph, pi: np.ndarray) -> np.ndarray:
+    """Greedy lexicographically-first MIS for permutation pi."""
+    from repro.algorithms.mis import sequential_lfmis
+
+    return sequential_lfmis(graph, pi)
+
+
+def msf_edge_ids(graph: WeightedGraph) -> np.ndarray:
+    """Kruskal MSF as sorted canonical edge ids."""
+    from repro.algorithms.msf import sequential_msf_ids
+
+    return sequential_msf_ids(graph)
+
+
+def list_ranks(succ: np.ndarray, head: int | None = None) -> np.ndarray:
+    """O(n) list ranking."""
+    from repro.algorithms.list_ranking import sequential_list_ranks
+
+    return sequential_list_ranks(succ, head)
+
+
+def count_cycles(graph: Graph) -> int:
+    """Number of cycles in a union of simple cycles."""
+    from repro.graph.io import orient_cycles
+
+    succ, _ = orient_cycles(graph)
+    seen = np.zeros(graph.n, dtype=bool)
+    cycles = 0
+    for v in range(graph.n):
+        if seen[v]:
+            continue
+        cycles += 1
+        cur = v
+        while not seen[cur]:
+            seen[cur] = True
+            cur = int(succ[cur])
+    return cycles
+
+
+def bridges_and_articulation(
+    graph: Graph,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Hopcroft–Tarjan bridges and articulation points (iterative DFS).
+
+    The classic O(n + m) lowlink algorithm (paper §9 cites it as the
+    sequential solution the parallel pipeline replaces).
+    """
+    n = graph.n
+    disc = np.full(n, -1, dtype=np.int64)
+    low = np.full(n, -1, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64)
+    bridges: list[tuple[int, int]] = []
+    articulation = np.zeros(n, dtype=bool)
+    timer = 0
+
+    for start in range(n):
+        if disc[start] != -1:
+            continue
+        root_children = 0
+        # Frame: (vertex, iterator index into neighbors).
+        stack: list[list[int]] = [[start, 0]]
+        disc[start] = low[start] = timer
+        timer += 1
+        while stack:
+            frame = stack[-1]
+            v, i = frame
+            nbrs = graph.neighbors(v)
+            if i < nbrs.size:
+                frame[1] += 1
+                u = int(nbrs[i])
+                if disc[u] == -1:
+                    parent[u] = v
+                    if v == start:
+                        root_children += 1
+                    disc[u] = low[u] = timer
+                    timer += 1
+                    stack.append([u, 0])
+                elif u != parent[v]:
+                    low[v] = min(low[v], disc[u])
+            else:
+                stack.pop()
+                p = int(parent[v])
+                if p != -1:
+                    low[p] = min(low[p], low[v])
+                    if low[v] > disc[p]:
+                        bridges.append((min(v, p), max(v, p)))
+                    if p != start and low[v] >= disc[p]:
+                        articulation[p] = True
+        if root_children >= 2:
+            articulation[start] = True
+
+    bridge_arr = np.array(sorted(bridges), dtype=np.int64).reshape(-1, 2)
+    return bridge_arr, np.flatnonzero(articulation).astype(np.int64)
+
+
+def two_edge_components(graph: Graph) -> np.ndarray:
+    """2-edge-connected component labels: components after bridge removal."""
+    bridge_arr, _ = bridges_and_articulation(graph)
+    return components(graph.subgraph_without_edges(bridge_arr))

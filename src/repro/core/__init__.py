@@ -1,0 +1,64 @@
+"""Core AMPC/MPC simulation machinery (paper §2).
+
+Public surface:
+
+* :class:`AMPCConfig` — deployment parameters (ε, S, P, budgets, seed).
+* :class:`AMPCRuntime` — rounds, stores, machines, accounting.
+* :class:`MPCRuntime` — message-passing-only runtime for baselines.
+* :class:`DistributedDataStore` — one round's key-value store D_i.
+* :class:`MachineContext` / :class:`MPCMachineContext` — per-machine APIs.
+* :class:`RoundStats` / :class:`RunReport` — the cost ledger.
+"""
+
+from .config import AMPCConfig
+from .cost import RoundStats, RunReport, Timer, load_balance_gini, merge_reports
+from .dds import DistributedDataStore, value_words
+from .errors import (
+    AdaptivityError,
+    AMPCError,
+    BudgetExceededError,
+    RoundProtocolError,
+    StoreNotSealedError,
+    StoreSealedError,
+    ValueSizeError,
+)
+from .faults import FaultInjectingRuntime, MachineCrash
+from .machine import MachineContext, MPCMachineContext
+from .partition import key_hash, machine_of, partition_items, server_of, splitmix64
+from .pram import PRAMSimulator
+from .runtime import AMPCRuntime, MPCRuntime, RoundResult
+from .slackness import SlacknessEstimate, SlacknessModel, estimate_run
+
+__all__ = [
+    "AMPCConfig",
+    "AMPCRuntime",
+    "MPCRuntime",
+    "RoundResult",
+    "DistributedDataStore",
+    "MachineContext",
+    "MPCMachineContext",
+    "RoundStats",
+    "RunReport",
+    "Timer",
+    "merge_reports",
+    "load_balance_gini",
+    "value_words",
+    "AMPCError",
+    "BudgetExceededError",
+    "StoreSealedError",
+    "StoreNotSealedError",
+    "ValueSizeError",
+    "RoundProtocolError",
+    "AdaptivityError",
+    "key_hash",
+    "server_of",
+    "machine_of",
+    "partition_items",
+    "splitmix64",
+    "PRAMSimulator",
+    "FaultInjectingRuntime",
+    "MachineCrash",
+    "SlacknessModel",
+    "SlacknessEstimate",
+    "estimate_run",
+]

@@ -1,0 +1,260 @@
+"""The distributed data store (DDS) of the AMPC model (paper §2).
+
+One :class:`DistributedDataStore` instance models one D_i: the collection of
+key-value pairs written during round i and readable (only) during round i+1.
+Semantics implemented exactly as specified:
+
+* key → constant-size value (size bound enforced);
+* k pairs sharing a key ``x`` are individually addressable as
+  ``(x, 1) ... (x, k)`` — indices assigned in write order, which is one
+  valid choice of the model's "arbitrary" assignment;
+* querying a missing key yields an empty response (``None``);
+* the store is *sealed* between rounds: reads before sealing and writes
+  after sealing raise, enforcing the model's round discipline.
+
+The store also plays the role of the P serving machines of §2.1: every read
+is attributed to the server owning the key (random placement via
+:mod:`repro.core.partition`), giving the per-server load data behind the
+Lemma 2.1 contention analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Iterator
+
+import numpy as np
+
+from .errors import StoreNotSealedError, StoreSealedError, ValueSizeError
+from .partition import server_of
+
+
+def value_words(value: Any) -> int:
+    """Number of machine words a key or value occupies.
+
+    Scalars (int, float, str treated as an interned symbol) count as one
+    word; tuples count component-wise. Used to enforce the model's
+    constant-size bound on key-value pairs.
+    """
+    if type(value) is tuple:
+        # Fast path: flat tuples are by far the common case (profiled).
+        total = 0
+        for v in value:
+            total += value_words(v) if type(v) is tuple else 1
+        return total
+    return 1
+
+
+class DistributedDataStore:
+    """One round's key-value store D_i.
+
+    Args:
+        round_index: which round's output this store holds (i in D_i).
+        n_servers: number of serving machines the keyspace is spread over.
+        seed: placement seed (keys are placed independently per deployment).
+        max_words: constant-size bound for each key and each value.
+        track_contention: maintain a per-server read-load histogram.
+    """
+
+    __slots__ = (
+        "round_index",
+        "n_servers",
+        "seed",
+        "max_words",
+        "track_contention",
+        "_data",
+        "_sealed",
+        "_server_reads",
+        "_server_items",
+        "_server_map",
+        "n_writes",
+        "n_reads",
+    )
+
+    def __init__(
+        self,
+        round_index: int,
+        n_servers: int,
+        seed: int = 0,
+        max_words: int = 8,
+        track_contention: bool = True,
+    ) -> None:
+        self.round_index = round_index
+        self.n_servers = n_servers
+        self.seed = seed
+        self.max_words = max_words
+        self.track_contention = track_contention
+        self._data: dict[Hashable, Any] = {}
+        # key -> owning server, filled at write time so reads don't
+        # re-hash (profiling showed per-read hashing dominating).
+        self._server_map: dict[Hashable, int] = {}
+        self._sealed = False
+        self._server_reads = np.zeros(n_servers, dtype=np.int64)
+        self._server_items = np.zeros(n_servers, dtype=np.int64)
+        self.n_writes = 0
+        self.n_reads = 0
+
+    # -- write side (open during round i) ---------------------------------
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    def write(self, key: Hashable, value: Any) -> None:
+        """Append one key-value pair.
+
+        Duplicate keys accumulate: the j-th write of key ``x`` becomes
+        addressable as ``(x, j)`` with j starting at 1, and a plain read of
+        ``x`` returns the first value written.
+        """
+        if self._sealed:
+            raise StoreSealedError(
+                f"store D_{self.round_index} is sealed; writes belong to the "
+                f"next round's store"
+            )
+        if value_words(key) > self.max_words:
+            raise ValueSizeError(f"key exceeds {self.max_words} words: {key!r}")
+        if value_words(value) > self.max_words:
+            raise ValueSizeError(
+                f"value exceeds {self.max_words} words: {value!r}"
+            )
+        existing = self._data.get(key)
+        if existing is None:
+            self._data[key] = value
+        elif isinstance(existing, _Bucket):
+            existing.values.append(value)
+        else:
+            self._data[key] = _Bucket([existing, value])
+        self.n_writes += 1
+        if self.track_contention:
+            server = self._server_map.get(key)
+            if server is None:
+                server = server_of(key, self.n_servers, self.seed)
+                self._server_map[key] = server
+            self._server_items[server] += 1
+
+    def write_many(self, pairs: Iterable[tuple[Hashable, Any]]) -> int:
+        """Bulk :meth:`write`; returns the number of pairs written."""
+        count = 0
+        for key, value in pairs:
+            self.write(key, value)
+            count += 1
+        return count
+
+    def seal(self) -> None:
+        """Freeze the store; from now on it is read-only (round boundary)."""
+        self._sealed = True
+
+    # -- read side (open during round i+1) --------------------------------
+
+    def get(self, key: Hashable) -> Any:
+        """Query one key. Returns the (first) value, or None if absent.
+
+        For a key written k > 1 times, this returns the value addressable as
+        ``(key, 1)``; use :meth:`get_indexed` for the others.
+        """
+        if not self._sealed:
+            raise StoreNotSealedError(
+                f"store D_{self.round_index} is still being written; it must "
+                f"be sealed before reads"
+            )
+        self.n_reads += 1
+        if self.track_contention:
+            server = self._server_map.get(key)
+            if server is None:
+                server = server_of(key, self.n_servers, self.seed)
+                self._server_map[key] = server
+            self._server_reads[server] += 1
+        found = self._data.get(key)
+        if isinstance(found, _Bucket):
+            return found.values[0]
+        return found
+
+    def get_indexed(self, key: Hashable, index: int) -> Any:
+        """Query the ``index``-th (1-based) pair with this key, or None.
+
+        This is the model's ``(x, i)`` addressing for duplicate keys.
+        """
+        if index < 1:
+            raise ValueError(f"duplicate-key indices are 1-based, got {index}")
+        if not self._sealed:
+            raise StoreNotSealedError(
+                f"store D_{self.round_index} is still being written"
+            )
+        self.n_reads += 1
+        if self.track_contention:
+            server = self._server_map.get(key)
+            if server is None:
+                server = server_of(key, self.n_servers, self.seed)
+                self._server_map[key] = server
+            self._server_reads[server] += 1
+        found = self._data.get(key)
+        if found is None:
+            return None
+        if isinstance(found, _Bucket):
+            return found.values[index - 1] if index <= len(found.values) else None
+        return found if index == 1 else None
+
+    def multiplicity(self, key: Hashable) -> int:
+        """How many pairs share ``key`` (0 if absent).
+
+        A real deployment would discover this by probing (x, 1), (x, 2), ...;
+        the simulator exposes it directly, and
+        :meth:`repro.core.machine.MachineContext.read_bucket` charges the
+        probing cost so algorithm accounting stays faithful.
+        """
+        found = self._data.get(key)
+        if found is None:
+            return 0
+        if isinstance(found, _Bucket):
+            return len(found.values)
+        return 1
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        """Number of distinct keys stored."""
+        return len(self._data)
+
+    @property
+    def n_pairs(self) -> int:
+        """Total key-value pairs stored (counting duplicates)."""
+        return self.n_writes
+
+    def items(self) -> Iterator[tuple[Hashable, Any]]:
+        """Iterate all (key, value) pairs, expanding duplicate buckets.
+
+        Coordinator-side convenience for collecting round outputs; per-pair
+        read charging is handled by the runtime helpers that call it.
+        """
+        for key, value in self._data.items():
+            if isinstance(value, _Bucket):
+                for v in value.values:
+                    yield key, v
+            else:
+                yield key, value
+
+    # -- contention accounting (Lemma 2.1) --------------------------------
+
+    @property
+    def server_read_loads(self) -> np.ndarray:
+        """Reads served per DDS server (copy)."""
+        return self._server_reads.copy()
+
+    @property
+    def server_item_loads(self) -> np.ndarray:
+        """Key-value pairs stored per DDS server (copy)."""
+        return self._server_items.copy()
+
+    def max_server_load(self) -> int:
+        """Maximum reads any single server answered for this store."""
+        return int(self._server_reads.max()) if self.n_servers else 0
+
+
+class _Bucket:
+    """Internal container for duplicate-key values (in write order)."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: list[Any]) -> None:
+        self.values = values

@@ -1,0 +1,156 @@
+"""Fault-tolerance simulation (paper §2.1, "Fault tolerance").
+
+The paper argues AMPC inherits MapReduce-style fault tolerance: because
+the readable store D_{i-1} is immutable for the whole of round i, "a
+failing machine can be simply replaced with a different machine that
+would perform the computation from scratch" — and §2.1's case *against*
+intra-round writes is exactly that they would break this property.
+
+:class:`FaultInjectingRuntime` makes that argument executable. It crashes
+machine programs mid-round with configurable probability (raising
+:class:`MachineCrash` from inside the worker at a random read), discards
+the crashed attempt's partial writes, and re-executes the affected work
+from scratch against the same sealed store. Tests assert the recovered
+run produces *bit-identical* results and stores to a fault-free run —
+the paper's claim, verified.
+
+Retries re-incur their reads/writes (recovery is not free in the real
+world); the ledger tracks both the logical costs and the retry overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Sequence
+
+import numpy as np
+
+from .config import AMPCConfig
+from .errors import AMPCError
+from .machine import MachineContext
+from .runtime import AMPCRuntime, RoundResult
+
+
+class MachineCrash(AMPCError):
+    """Injected machine failure (not a model violation — a simulated
+    hardware fault)."""
+
+    def __init__(self, machine_id: int, after_reads: int):
+        self.machine_id = machine_id
+        self.after_reads = after_reads
+        super().__init__(
+            f"machine {machine_id} crashed after {after_reads} reads"
+        )
+
+
+class _CrashingContext(MachineContext):
+    """MachineContext that raises MachineCrash at a preselected read."""
+
+    __slots__ = ("crash_at", "buffered_writes")
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.crash_at: int | None = None
+        # Writes are buffered until the machine finishes cleanly — a
+        # crashed attempt must leave no trace in D_i (the framework
+        # discards a failed task's output, as in MapReduce).
+        self.buffered_writes: list[tuple[Hashable, Any]] = []
+
+    def read(self, key: Hashable) -> Any:
+        if self.crash_at is not None and self.reads_used >= self.crash_at:
+            raise MachineCrash(self.machine_id, self.reads_used)
+        return super().read(key)
+
+    def write(self, key: Hashable, value: Any) -> None:
+        self._charge_write(1)
+        self.buffered_writes.append((key, value))
+
+    def commit(self) -> None:
+        for key, value in self.buffered_writes:
+            self._next.write(key, value)
+        self.buffered_writes.clear()
+
+
+class FaultInjectingRuntime(AMPCRuntime):
+    """AMPCRuntime that randomly crashes machines and recovers them.
+
+    Args:
+        config: deployment parameters.
+        crash_probability: chance that a given machine's execution of its
+            round work crashes (at a uniformly random read).
+        max_retries: attempts per machine before giving up (a real
+            framework reschedules indefinitely; tests keep it finite).
+    """
+
+    def __init__(
+        self,
+        config: AMPCConfig,
+        *,
+        crash_probability: float = 0.2,
+        max_retries: int = 16,
+    ) -> None:
+        super().__init__(config)
+        if not (0.0 <= crash_probability < 1.0):
+            raise ValueError("crash_probability must be in [0, 1)")
+        self.crash_probability = crash_probability
+        self.max_retries = max_retries
+        self.crashes_injected = 0
+        self.retry_reads = 0
+        self._fault_rng = np.random.default_rng(
+            np.random.SeedSequence((config.seed, 0xFA117))
+        )
+
+    machine_context_cls = _CrashingContext
+
+    def round(
+        self,
+        work: Sequence[Any] | None = None,
+        worker: Callable[..., Any] | None = None,
+        **kwargs,
+    ) -> RoundResult:
+        """One round with fault injection on the work/worker path.
+
+        Per-machine execution is wrapped in a retry loop: a crash discards
+        the attempt's buffered writes and restarts that machine's items
+        from scratch against the same sealed store — possible *only*
+        because the store is immutable during the round (§2.1).
+        """
+        if worker is None:
+            return super().round(work, worker, **kwargs)
+
+        attempts_log = {"crashes": 0, "retry_reads": 0}
+        original_worker = worker
+        runtime = self
+
+        def wrapped(ctx: _CrashingContext, item: Any) -> Any:
+            # Group boundaries: the runtime calls items machine-grouped;
+            # decide one crash point per (machine, attempt).
+            for attempt in range(runtime.max_retries + 1):
+                if attempt == 0 and runtime._fault_rng.random() < runtime.crash_probability:
+                    # Crash somewhere within this item's processing.
+                    ctx.crash_at = ctx.reads_used + int(
+                        runtime._fault_rng.integers(0, 8)
+                    )
+                else:
+                    ctx.crash_at = None
+                reads_before = ctx.reads_used
+                writes_mark = len(ctx.buffered_writes)
+                try:
+                    out = original_worker(ctx, item)
+                    ctx.commit()
+                    return out
+                except MachineCrash:
+                    attempts_log["crashes"] += 1
+                    # Discard partial output; charge the wasted reads as
+                    # retry overhead; clear the cache like a fresh machine.
+                    del ctx.buffered_writes[writes_mark:]
+                    attempts_log["retry_reads"] += ctx.reads_used - reads_before
+                    ctx._cache.clear()
+                    ctx.scratch.clear()
+            raise RuntimeError(
+                f"machine gave up after {runtime.max_retries} retries"
+            )
+
+        result = super().round(work, wrapped, **kwargs)
+        self.crashes_injected += attempts_log["crashes"]
+        self.retry_reads += attempts_log["retry_reads"]
+        return result

@@ -1,0 +1,190 @@
+"""Per-machine execution contexts.
+
+A machine program in round i is a Python callable receiving a
+:class:`MachineContext`. The context is the machine's only interface to the
+world: adaptive reads from the sealed previous store D_{i-1}, and writes into
+the next store D_i. It charges every read and write against the machine's
+O(S) budgets (paper §2) and caches read results (paper §2.1 assumption 4:
+"each worker machine queries for each key at most once ... machines have
+sufficient space to cache the results"), so repeated reads of a key cost one
+query total.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable
+
+from .config import AMPCConfig
+from .dds import DistributedDataStore
+from .errors import AdaptivityError, BudgetExceededError
+
+
+class MachineContext:
+    """Interface handed to a machine program for one AMPC round.
+
+    Attributes:
+        machine_id: this machine's id in [0, n_machines).
+        n_machines: P, the deployment size.
+        config: the deployment configuration (space S, budgets, seed).
+        reads_used / writes_used: budget consumption so far this round.
+    """
+
+    __slots__ = (
+        "machine_id",
+        "n_machines",
+        "config",
+        "_prev",
+        "_next",
+        "_cache",
+        "scratch",
+        "reads_used",
+        "writes_used",
+        "read_violation",
+        "write_violation",
+    )
+
+    def __init__(
+        self,
+        machine_id: int,
+        config: AMPCConfig,
+        prev_store: DistributedDataStore,
+        next_store: DistributedDataStore,
+    ) -> None:
+        self.machine_id = machine_id
+        self.n_machines = config.n_machines
+        self.config = config
+        self._prev = prev_store
+        self._next = next_store
+        self._cache: dict[Hashable, Any] = {}
+        # Free-form per-machine, per-round local memory for machine
+        # programs (e.g. MIS shares settled statuses across the vertices a
+        # machine processes within one round). Lives in the machine's own
+        # space S; cleared at the round boundary like everything else.
+        self.scratch: dict[Hashable, Any] = {}
+        self.reads_used = 0
+        self.writes_used = 0
+        self.read_violation = False
+        self.write_violation = False
+
+    # -- reads (adaptive, from D_{i-1}) ------------------------------------
+
+    def read(self, key: Hashable) -> Any:
+        """Query one key from the previous round's store.
+
+        Adaptive: the key may depend on the results of earlier reads in the
+        same round — this is the defining capability of AMPC. Results are
+        cached, so re-reading a key is free (model assumption 4).
+
+        Returns the value, or None if the key is absent.
+        """
+        if key in self._cache:
+            return self._cache[key]
+        self._charge_read(1)
+        value = self._prev.get(key)
+        self._cache[key] = value
+        return value
+
+    def read_indexed(self, key: Hashable, index: int) -> Any:
+        """Query the ``index``-th (1-based) duplicate of ``key``."""
+        cache_key = ("__dup__", key, index)
+        if cache_key in self._cache:
+            return self._cache[cache_key]
+        self._charge_read(1)
+        value = self._prev.get_indexed(key, index)
+        self._cache[cache_key] = value
+        return value
+
+    def read_bucket(self, key: Hashable, limit: int | None = None) -> list[Any]:
+        """Read all duplicates of ``key`` (up to ``limit``), in index order.
+
+        Charges one query per pair retrieved, plus one for the terminating
+        empty probe — exactly the cost of probing (x, 1), (x, 2), ... in a
+        real deployment.
+        """
+        values: list[Any] = []
+        index = 1
+        while limit is None or index <= limit:
+            value = self.read_indexed(key, index)
+            if value is None:
+                break
+            values.append(value)
+            index += 1
+        return values
+
+    def read_many(self, keys: Iterable[Hashable]) -> list[Any]:
+        """Batch :meth:`read`; one query per (uncached) key."""
+        return [self.read(key) for key in keys]
+
+    # -- writes (into D_i, visible next round) -----------------------------
+
+    def write(self, key: Hashable, value: Any) -> None:
+        """Write one key-value pair into the next round's store."""
+        self._charge_write(1)
+        self._next.write(key, value)
+
+    def write_many(self, pairs: Iterable[tuple[Hashable, Any]]) -> None:
+        for key, value in pairs:
+            self.write(key, value)
+
+    # -- budget accounting --------------------------------------------------
+
+    def _charge_read(self, count: int) -> None:
+        self.reads_used += count
+        if self.reads_used > self.config.read_budget:
+            self.read_violation = True
+            if self.config.strict:
+                raise BudgetExceededError(
+                    self.machine_id, "read", self.reads_used,
+                    self.config.read_budget,
+                )
+
+    def _charge_write(self, count: int) -> None:
+        self.writes_used += count
+        if self.writes_used > self.config.write_budget:
+            self.write_violation = True
+            if self.config.strict:
+                raise BudgetExceededError(
+                    self.machine_id, "write", self.writes_used,
+                    self.config.write_budget,
+                )
+
+
+class MPCMachineContext(MachineContext):
+    """Machine context restricted to MPC semantics.
+
+    In the MPC model a machine can only see messages that were addressed to
+    it: there is no random read access. Following the paper's simulation of
+    MPC inside AMPC (§2), a message to machine x is a DDS pair keyed
+    ``("msg", x)`` (duplicates = multiple messages), and machine x may read
+    only its own inbox. Any other read raises
+    :class:`~repro.core.errors.AdaptivityError`, which keeps the MPC
+    baselines honest — they cannot accidentally use adaptive reads.
+    """
+
+    __slots__ = ()
+
+    def inbox(self) -> list[Any]:
+        """All messages addressed to this machine this round."""
+        return self.read_bucket(("msg", self.machine_id))
+
+    def send(self, dst_machine: int, payload: Any) -> None:
+        """Send a message to machine ``dst_machine`` (arrives next round)."""
+        self.write(("msg", dst_machine), payload)
+
+    def read(self, key: Hashable) -> Any:
+        if not (isinstance(key, tuple) and len(key) == 2 and key[0] == "msg"
+                and key[1] == self.machine_id):
+            raise AdaptivityError(
+                f"MPC machine {self.machine_id} attempted adaptive read of "
+                f"{key!r}; MPC machines may only read their own inbox"
+            )
+        return super().read(key)
+
+    def read_indexed(self, key: Hashable, index: int) -> Any:
+        if not (isinstance(key, tuple) and len(key) == 2 and key[0] == "msg"
+                and key[1] == self.machine_id):
+            raise AdaptivityError(
+                f"MPC machine {self.machine_id} attempted adaptive read of "
+                f"{key!r}; MPC machines may only read their own inbox"
+            )
+        return super().read_indexed(key, index)

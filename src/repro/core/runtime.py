@@ -1,0 +1,369 @@
+"""The AMPC runtime: rounds, stores, machines, and cost accounting.
+
+Execution model (paper §2): computation proceeds in rounds. In round i every
+machine may issue up to O(S) *adaptive* reads against the sealed store
+D_{i-1} and up to O(S) writes into D_i; D_i is sealed at the round boundary.
+The runtime realizes this with one :class:`~repro.core.dds.DistributedDataStore`
+per round and one :class:`~repro.core.machine.MachineContext` per active
+machine per round.
+
+Driver pattern
+--------------
+
+Algorithms are written as *drivers*: plain Python that orchestrates rounds.
+A driver calls :meth:`AMPCRuntime.round` with
+
+* ``setup`` — key-value pairs the machines will read this round. In a real
+  deployment these were written by machines during the previous round; the
+  runtime charges them as (distributed) writes of this round's record.
+* ``work`` + ``worker`` — the work items (vertices, samples, list elements),
+  randomly partitioned over machines exactly like the paper's "randomly
+  distribute the vertices to the machines", and the per-item program. The
+  worker's return value is collected for the driver and charged as one write
+  (result publication).
+
+Steps the paper treats as standard MPC primitives (sorting, duplicate
+removal, broadcasts; §3) are performed driver-side with vectorized numpy and
+charged via :meth:`AMPCRuntime.charge` with a documented round cost. The
+ledger (:class:`~repro.core.cost.RunReport`) therefore reflects the model
+costs — rounds, communication, per-machine maxima, DDS contention — even
+though the simulator is a single process.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from typing import Any, Callable, Hashable, Iterable, Sequence
+
+import numpy as np
+
+from .config import AMPCConfig
+from .cost import RoundStats, RunReport
+from .dds import DistributedDataStore
+from .errors import RoundProtocolError
+from .machine import MachineContext, MPCMachineContext
+from .partition import machine_of, partition_items
+
+Pairs = Iterable[tuple[Hashable, Any]]
+
+
+class AMPCRuntime:
+    """Simulated AMPC deployment executing one algorithm run.
+
+    Args:
+        config: deployment parameters (S, P, ε, budgets, seed).
+
+    Attributes:
+        report: the accumulating cost ledger.
+        store: the currently-readable sealed store (D_{i-1}); None before
+            bootstrap.
+    """
+
+    machine_context_cls = MachineContext
+
+    def __init__(self, config: AMPCConfig) -> None:
+        self.config = config
+        self.report = RunReport()
+        self._store: DistributedDataStore | None = None
+        self._round_counter = 0
+        self._store_counter = 0
+
+    # ------------------------------------------------------------------
+    # store lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def store(self) -> DistributedDataStore | None:
+        """The sealed store machines would read from next (D_{i-1})."""
+        return self._store
+
+    def _new_store(self) -> DistributedDataStore:
+        store = DistributedDataStore(
+            round_index=self._store_counter,
+            n_servers=self.config.n_machines,
+            seed=self.config.seed,
+            max_words=self.config.max_words,
+            track_contention=self.config.track_contention,
+        )
+        self._store_counter += 1
+        return store
+
+    def bootstrap(self, pairs: Pairs, tag: str = "bootstrap") -> None:
+        """Load the input into D_0 (paper §2: "The input data is stored in
+        D_0 and uses a set of keys known to all machines").
+
+        Charged zero rounds — the input placement is given, not computed.
+        """
+        store = self._new_store()
+        count = store.write_many(pairs)
+        store.seal()
+        self._store = store
+        self.report.add(
+            RoundStats(
+                index=len(self.report.rounds),
+                tag=tag,
+                kind="bootstrap",
+                rounds=0,
+                total_writes=count,
+                read_budget=self.config.read_budget,
+                write_budget=self.config.write_budget,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # rounds
+    # ------------------------------------------------------------------
+
+    def round(
+        self,
+        work: Sequence[Any] | None = None,
+        worker: Callable[..., Any] | None = None,
+        *,
+        setup: Pairs | None = None,
+        per_machine: Callable[[MachineContext], Any] | None = None,
+        machines: Sequence[int] | None = None,
+        tag: str = "round",
+        item_key: Callable[[Any], Hashable] | None = None,
+    ) -> "RoundResult":
+        """Execute one AMPC round.
+
+        Exactly one of (``work`` + ``worker``) or ``per_machine`` must be
+        given (or neither, for a pure data-publication round).
+
+        Args:
+            work: work items to distribute randomly over machines.
+            worker: called as ``worker(ctx, item)`` for each item on its
+                machine; return values are collected into
+                ``RoundResult.results`` aligned with ``work``.
+            setup: key-value pairs readable by the machines this round.
+            per_machine: alternative to work/worker — called once per
+                machine as ``per_machine(ctx)``.
+            machines: machine ids to run ``per_machine`` on (default: all).
+            tag: label for the cost ledger.
+            item_key: optional projection of a work item to the hashable
+                used for machine assignment (default: the item itself, or
+                its first element if it is a tuple).
+
+        Returns:
+            RoundResult with per-item results, the new sealed store, and the
+            recorded statistics.
+        """
+        if worker is not None and per_machine is not None:
+            raise RoundProtocolError("give either work/worker or per_machine")
+        if (work is None) != (worker is None):
+            raise RoundProtocolError("work and worker must be given together")
+        start = time.perf_counter()
+
+        # Stage the readable store: previous-round data plus driver setup.
+        setup_writes = 0
+        if setup is not None:
+            read_store = self._new_store()
+            setup_writes = read_store.write_many(setup)
+            read_store.seal()
+        else:
+            read_store = self._store
+            if read_store is None:
+                read_store = self._new_store()
+                read_store.seal()
+        next_store = self._new_store()
+
+        contexts: dict[int, MachineContext] = {}
+
+        def ctx_for(mid: int) -> MachineContext:
+            ctx = contexts.get(mid)
+            if ctx is None:
+                ctx = self.machine_context_cls(
+                    mid, self.config, read_store, next_store
+                )
+                contexts[mid] = ctx
+            return ctx
+
+        results: list[Any] = []
+        if worker is not None and work is not None:
+            assignment = self._assign(work, item_key)
+            results = [None] * len(work)
+            # Group by machine so each machine's items run consecutively
+            # against one shared read cache, matching the model: a machine
+            # processes all items it was assigned within the round.
+            order = np.argsort(assignment, kind="stable")
+            for idx in order:
+                item = work[int(idx)]
+                ctx = ctx_for(int(assignment[int(idx)]))
+                out = worker(ctx, item)
+                results[int(idx)] = out
+                if out is not None:
+                    # Publishing the result for the driver / next round
+                    # costs one write in a real deployment.
+                    ctx._charge_write(1)
+        elif per_machine is not None:
+            ids = range(self.config.n_machines) if machines is None else machines
+            for mid in ids:
+                ctx = ctx_for(int(mid))
+                out = per_machine(ctx)
+                if out is not None:
+                    ctx._charge_write(1)
+                    results.append(out)
+
+        next_store.seal()
+        self._store = next_store
+        self._round_counter += 1
+
+        stats = self._record(
+            tag=tag,
+            kind="adaptive",
+            contexts=contexts.values(),
+            read_store=read_store,
+            setup_writes=setup_writes,
+            next_store=next_store,
+            wall=time.perf_counter() - start,
+        )
+        return RoundResult(results=results, store=next_store, stats=stats)
+
+    def charge(
+        self,
+        tag: str,
+        rounds: int = 1,
+        *,
+        reads: int = 0,
+        writes: int = 0,
+        kind: str = "primitive",
+    ) -> RoundStats:
+        """Charge an analytically-costed step (standard MPC primitive).
+
+        The paper (§3) lets the non-adaptive parts of its algorithms use
+        "standard primitives, such as sorting, duplicate removal" that run
+        in O(1) MPC rounds at S = n^ε. Drivers perform those steps with
+        vectorized numpy and charge their round/communication cost here, so
+        the ledger still reflects the model cost.
+        """
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        per_machine = int(np.ceil(max(reads, writes) / self.config.n_machines))
+        stats = RoundStats(
+            index=len(self.report.rounds),
+            tag=tag,
+            kind=kind,
+            rounds=rounds,
+            total_reads=reads,
+            total_writes=writes,
+            max_machine_reads=per_machine,
+            max_machine_writes=per_machine,
+            n_machines_active=self.config.n_machines,
+            read_budget=self.config.read_budget,
+            write_budget=self.config.write_budget,
+        )
+        self._round_counter += rounds
+        self.report.add(stats)
+        return stats
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _assign(
+        self, work: Sequence[Any], item_key: Callable[[Any], Hashable] | None
+    ) -> np.ndarray:
+        """Random machine assignment of work items (deterministic in seed)."""
+        p = self.config.n_machines
+        seed = self.config.seed ^ (0x51ED * (self._round_counter + 1))
+        if item_key is None and len(work) > 0 and isinstance(
+            work[0], (int, np.integer)
+        ):
+            return partition_items(np.asarray(work, dtype=np.int64), p, seed)
+        keys = [item_key(w) if item_key else w for w in work]
+        return np.fromiter(
+            (machine_of(k, p, seed) for k in keys), dtype=np.int64, count=len(keys)
+        )
+
+    def _record(
+        self,
+        *,
+        tag: str,
+        kind: str,
+        contexts: Iterable[MachineContext],
+        read_store: DistributedDataStore,
+        setup_writes: int,
+        next_store: DistributedDataStore,
+        wall: float,
+    ) -> RoundStats:
+        ctx_list = list(contexts)
+        total_reads = sum(c.reads_used for c in ctx_list)
+        total_writes = setup_writes + sum(c.writes_used for c in ctx_list)
+        violations = sum(
+            (1 if c.read_violation else 0) + (1 if c.write_violation else 0)
+            for c in ctx_list
+        )
+        stats = RoundStats(
+            index=len(self.report.rounds),
+            tag=tag,
+            kind=kind,
+            rounds=1,
+            total_reads=total_reads,
+            total_writes=total_writes,
+            max_machine_reads=max((c.reads_used for c in ctx_list), default=0),
+            max_machine_writes=max((c.writes_used for c in ctx_list), default=0),
+            n_machines_active=len(ctx_list),
+            read_budget=self.config.read_budget,
+            write_budget=self.config.write_budget,
+            budget_violations=violations,
+            max_server_load=read_store.max_server_load(),
+            wall_time_s=wall,
+        )
+        self.report.add(stats)
+        return stats
+
+
+class RoundResult:
+    """Outcome of one executed round."""
+
+    __slots__ = ("results", "store", "stats")
+
+    def __init__(
+        self,
+        results: list[Any],
+        store: DistributedDataStore,
+        stats: RoundStats,
+    ) -> None:
+        self.results = results
+        self.store = store
+        self.stats = stats
+
+
+class MPCRuntime(AMPCRuntime):
+    """Runtime restricted to MPC semantics for the baseline algorithms.
+
+    Machines receive :class:`~repro.core.machine.MPCMachineContext`, whose
+    only read capability is the machine's own message inbox — adaptive reads
+    raise. Baselines implemented on this runtime therefore cannot cheat by
+    using AMPC features, making the Figure 1 comparison meaningful.
+    """
+
+    machine_context_cls = MPCMachineContext
+
+    def message_round(
+        self,
+        program: Callable[[MPCMachineContext], Any],
+        *,
+        messages: Iterable[tuple[int, Any]] | None = None,
+        machines: Sequence[int] | None = None,
+        tag: str = "mpc",
+    ) -> RoundResult:
+        """One MPC round: deliver ``messages`` and run ``program`` everywhere.
+
+        Args:
+            program: per-machine program; may call ``ctx.inbox()`` and
+                ``ctx.send(dst, payload)``.
+            messages: driver-injected (dst_machine, payload) pairs delivered
+                this round (e.g. the initial data distribution).
+            machines: machine ids to run (default: all).
+            tag: ledger label.
+        """
+        setup = None
+        if messages is not None:
+            setup = ((("msg", dst), payload) for dst, payload in messages)
+        result = self.round(
+            setup=setup, per_machine=program, machines=machines, tag=tag
+        )
+        result.stats.kind = "mpc"
+        return result

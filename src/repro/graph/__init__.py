@@ -1,0 +1,16 @@
+"""Graph substrate: containers, generators, DDS encodings, validation."""
+
+from . import files, generators, io, stats, validation
+from .graph import Graph, WeightedGraph, canonical_edges, edge_set_difference
+
+__all__ = [
+    "Graph",
+    "WeightedGraph",
+    "canonical_edges",
+    "edge_set_difference",
+    "files",
+    "generators",
+    "stats",
+    "io",
+    "validation",
+]

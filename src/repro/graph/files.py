@@ -1,0 +1,117 @@
+"""Plain-text graph file formats: edge lists, with optional weights.
+
+A small, dependency-free interchange layer so the CLI and downstream
+users can feed real graphs in:
+
+* **edge list** — one edge per line, ``u v`` or ``u v weight``;
+  ``#``-prefixed comment lines and blank lines ignored (the format of
+  SNAP datasets and most published edge lists);
+* an optional header comment ``# nodes: N`` pins the vertex count
+  (otherwise it is 1 + the largest endpoint seen).
+
+Vertex ids must be non-negative integers; they are used as-is (no
+re-mapping), matching the library's 0..n-1 vertex convention.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from .graph import Graph, WeightedGraph
+
+
+def read_edge_list(source: str | Path | TextIO) -> Graph:
+    """Read an unweighted graph from an edge-list file or file object.
+
+    Weighted lines are accepted (the weight column is ignored); use
+    :func:`read_weighted_edge_list` to keep the weights.
+    """
+    edges, _weights, n = _parse(source, want_weights=False)
+    return Graph.from_edges(n, edges)
+
+
+def read_weighted_edge_list(source: str | Path | TextIO) -> WeightedGraph:
+    """Read a weighted graph; every line must carry a weight column."""
+    edges, weights, n = _parse(source, want_weights=True)
+    return WeightedGraph.from_weighted_edges(n, edges, weights)
+
+
+def write_edge_list(graph: Graph, target: str | Path | TextIO) -> None:
+    """Write a graph as an edge list (with weights for WeightedGraph)."""
+    own, handle = _open(target, "w")
+    try:
+        handle.write(f"# nodes: {graph.n}\n")
+        if isinstance(graph, WeightedGraph):
+            weights = graph.edge_weights()
+            for eid, (u, v) in enumerate(graph.edge_list()):
+                handle.write(f"{u} {v} {float(weights[eid])!r}\n")
+        else:
+            for u, v in graph.edges():
+                handle.write(f"{u} {v}\n")
+    finally:
+        if own:
+            handle.close()
+
+
+def _open(source, mode: str) -> tuple[bool, TextIO]:
+    if isinstance(source, (str, Path)):
+        return True, open(source, mode, encoding="utf-8")
+    return False, source
+
+
+def _parse(source, *, want_weights: bool):
+    own, handle = _open(source, "r")
+    edges: list[tuple[int, int]] = []
+    weights: list[float] = []
+    declared_n: int | None = None
+    max_id = -1
+    try:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                body = line[1:].strip().lower()
+                if body.startswith("nodes:"):
+                    declared_n = int(body.split(":", 1)[1])
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"line {lineno}: expected 'u v [w]': {line!r}")
+            u, v = int(parts[0]), int(parts[1])
+            if u < 0 or v < 0:
+                raise ValueError(f"line {lineno}: negative vertex id")
+            if want_weights:
+                if len(parts) < 3:
+                    raise ValueError(
+                        f"line {lineno}: weighted read needs a weight column"
+                    )
+                weights.append(float(parts[2]))
+            edges.append((u, v))
+            max_id = max(max_id, u, v)
+    finally:
+        if own:
+            handle.close()
+    n = declared_n if declared_n is not None else max_id + 1
+    if max_id >= n:
+        raise ValueError(
+            f"declared nodes: {n} but saw vertex id {max_id}"
+        )
+    edge_arr = (np.array(edges, dtype=np.int64)
+                if edges else np.zeros((0, 2), np.int64))
+    weight_arr = np.array(weights, dtype=np.float64)
+    return edge_arr, weight_arr, max(n, 0)
+
+
+def loads(text: str) -> Graph:
+    """Parse an edge list from a string (testing convenience)."""
+    return read_edge_list(io.StringIO(text))
+
+
+def loads_weighted(text: str) -> WeightedGraph:
+    """Parse a weighted edge list from a string."""
+    return read_weighted_edge_list(io.StringIO(text))

@@ -1,0 +1,450 @@
+"""Workload generators for the paper's experiments.
+
+Every generator takes an explicit ``rng`` (numpy Generator) or ``seed`` so
+workloads are reproducible; vertex ids can be shuffled (``relabel``) so
+algorithms cannot exploit generator-friendly orderings — important for the
+2-Cycle problem, where consecutive labels would make the instance trivial.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Graph, WeightedGraph
+
+
+def _rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def relabel(graph: Graph, rng: np.random.Generator | int | None = None) -> tuple[Graph, np.ndarray]:
+    """Randomly permute vertex ids; returns (graph', perm) with perm[old]=new."""
+    gen = _rng(rng)
+    perm = gen.permutation(graph.n).astype(np.int64)
+    edges = graph.edges()
+    new_edges = perm[edges]
+    return Graph.from_edges(graph.n, new_edges), perm
+
+
+# ---------------------------------------------------------------------------
+# cycles, paths, lists (2-Cycle problem, forest connectivity, list ranking)
+# ---------------------------------------------------------------------------
+
+def cycle(n: int) -> Graph:
+    """Single cycle 0-1-...-(n-1)-0. Requires n >= 3."""
+    if n < 3:
+        raise ValueError("a simple cycle needs n >= 3")
+    v = np.arange(n, dtype=np.int64)
+    edges = np.column_stack([v, (v + 1) % n])
+    return Graph.from_edges(n, edges)
+
+
+def path(n: int) -> Graph:
+    """Simple path on n vertices (n - 1 edges)."""
+    if n < 1:
+        raise ValueError("path needs n >= 1")
+    v = np.arange(n - 1, dtype=np.int64)
+    return Graph.from_edges(n, np.column_stack([v, v + 1]))
+
+
+def union_of_cycles(lengths: list[int]) -> Graph:
+    """Disjoint cycles with the given lengths (each >= 3)."""
+    total = sum(lengths)
+    chunks = []
+    base = 0
+    for k in lengths:
+        if k < 3:
+            raise ValueError("cycle lengths must be >= 3")
+        v = base + np.arange(k, dtype=np.int64)
+        chunks.append(np.column_stack([v, base + (np.arange(k) + 1) % k]))
+        base += k
+    return Graph.from_edges(total, np.concatenate(chunks, axis=0))
+
+
+def two_cycle_instance(
+    n: int, two: bool, rng: np.random.Generator | int | None = None
+) -> tuple[Graph, bool]:
+    """A 2-Cycle problem instance (paper §4): one n-cycle, or two n/2-cycles.
+
+    Vertex labels are randomly permuted so the answer is not readable from
+    the labeling. Returns (graph, is_two_cycles). ``n`` must be even, >= 6.
+    """
+    if n < 6 or n % 2:
+        raise ValueError("2-Cycle instances need even n >= 6")
+    base = union_of_cycles([n // 2, n // 2]) if two else cycle(n)
+    g, _ = relabel(base, rng)
+    return g, two
+
+
+def random_two_cycle_instance(
+    n: int, rng: np.random.Generator | int | None = None
+) -> tuple[Graph, bool]:
+    """Uniformly random one-or-two-cycle instance."""
+    gen = _rng(rng)
+    two = bool(gen.integers(0, 2))
+    return two_cycle_instance(n, two, gen)
+
+
+def linked_list(n: int, rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """A random successor array representing a list of n elements.
+
+    Returns ``succ`` with ``succ[v]`` the next element and ``succ[tail] = -1``;
+    element ids are a random permutation of 0..n-1 and the head is
+    ``succ``'s unique non-successor (exposed via :func:`list_head`).
+    """
+    gen = _rng(rng)
+    order = gen.permutation(n).astype(np.int64)
+    succ = np.full(n, -1, dtype=np.int64)
+    succ[order[:-1]] = order[1:]
+    return succ
+
+
+def list_head(succ: np.ndarray) -> int:
+    """The unique element that is nobody's successor."""
+    n = succ.size
+    seen = np.zeros(n, dtype=bool)
+    valid = succ[succ >= 0]
+    seen[valid] = True
+    heads = np.flatnonzero(~seen)
+    if heads.size != 1:
+        raise ValueError(f"not a single list: found {heads.size} heads")
+    return int(heads[0])
+
+
+# ---------------------------------------------------------------------------
+# random graphs (connectivity, MIS, MSF workloads)
+# ---------------------------------------------------------------------------
+
+def erdos_renyi_gnm(
+    n: int, m: int, rng: np.random.Generator | int | None = None
+) -> Graph:
+    """G(n, m): m distinct uniform random edges (no self-loops)."""
+    if m < 0 or m > n * (n - 1) // 2:
+        raise ValueError(f"m={m} out of range for n={n}")
+    gen = _rng(rng)
+    edges: dict[tuple[int, int], None] = {}
+    # Rejection sampling in batches: for the sparse regimes we use
+    # (m << n^2) acceptance is near 1, so this is near-linear.
+    while len(edges) < m:
+        need = m - len(edges)
+        batch = gen.integers(0, n, size=(max(need * 2, 16), 2))
+        batch = batch[batch[:, 0] != batch[:, 1]]
+        lo = np.minimum(batch[:, 0], batch[:, 1])
+        hi = np.maximum(batch[:, 0], batch[:, 1])
+        for u, v in zip(lo.tolist(), hi.tolist()):
+            if len(edges) >= m:
+                break
+            edges[(u, v)] = None
+    arr = np.array(list(edges.keys()), dtype=np.int64) if edges else np.zeros((0, 2), np.int64)
+    return Graph.from_edges(n, arr)
+
+
+def erdos_renyi_gnp(
+    n: int, p: float, rng: np.random.Generator | int | None = None
+) -> Graph:
+    """G(n, p) via the expected edge count (sampled as G(n, m))."""
+    if not (0.0 <= p <= 1.0):
+        raise ValueError("p must be in [0, 1]")
+    gen = _rng(rng)
+    max_m = n * (n - 1) // 2
+    m = int(gen.binomial(max_m, p)) if max_m else 0
+    return erdos_renyi_gnm(n, m, gen)
+
+
+def barabasi_albert(
+    n: int, k: int, rng: np.random.Generator | int | None = None
+) -> Graph:
+    """Preferential-attachment power-law graph: each new vertex attaches to
+    k existing vertices chosen proportionally to degree.
+
+    The skewed degree distribution stresses the per-machine query bounds
+    (high-degree vertices make neighborhood exploration expensive).
+    """
+    if k < 1 or n <= k:
+        raise ValueError("need n > k >= 1")
+    gen = _rng(rng)
+    targets = list(range(k))
+    repeated: list[int] = list(range(k))
+    edges: list[tuple[int, int]] = []
+    for v in range(k, n):
+        chosen = set()
+        while len(chosen) < k:
+            pick = repeated[int(gen.integers(0, len(repeated)))]
+            chosen.add(pick)
+        for t in chosen:
+            edges.append((v, t))
+            repeated.append(v)
+            repeated.append(t)
+    return Graph.from_edges(n, np.array(edges, dtype=np.int64))
+
+
+def grid(rows: int, cols: int) -> Graph:
+    """rows x cols 4-neighbor grid (diameter rows + cols - 2)."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid needs rows, cols >= 1")
+    idx = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    horiz = np.column_stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()])
+    vert = np.column_stack([idx[:-1, :].ravel(), idx[1:, :].ravel()])
+    return Graph.from_edges(rows * cols, np.concatenate([horiz, vert]))
+
+
+def complete(n: int) -> Graph:
+    """K_n."""
+    u, v = np.triu_indices(n, k=1)
+    return Graph.from_edges(n, np.column_stack([u, v]).astype(np.int64))
+
+
+def star(n: int) -> Graph:
+    """Star with center 0 and n-1 leaves."""
+    if n < 2:
+        raise ValueError("star needs n >= 2")
+    leaves = np.arange(1, n, dtype=np.int64)
+    return Graph.from_edges(n, np.column_stack([np.zeros(n - 1, np.int64), leaves]))
+
+
+def stochastic_block_model(
+    sizes: list[int],
+    p_in: float,
+    p_out: float,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[Graph, np.ndarray]:
+    """Planted-partition graph: dense blocks, sparse cross-block edges.
+
+    Returns (graph, block) where ``block[v]`` is v's planted community —
+    ground truth for the clustering experiments (affinity clustering
+    should recover blocks at intermediate dendrogram levels).
+    """
+    if not (0.0 <= p_out <= p_in <= 1.0):
+        raise ValueError("need 0 <= p_out <= p_in <= 1")
+    gen = _rng(rng)
+    n = sum(sizes)
+    block = np.repeat(np.arange(len(sizes)), sizes).astype(np.int64)
+    edges = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            p = p_in if block[i] == block[j] else p_out
+            if gen.random() < p:
+                edges.append((i, j))
+    arr = np.array(edges, np.int64) if edges else np.zeros((0, 2), np.int64)
+    return Graph.from_edges(n, arr), block
+
+
+def watts_strogatz(
+    n: int,
+    k: int,
+    beta: float,
+    rng: np.random.Generator | int | None = None,
+) -> Graph:
+    """Small-world ring lattice with rewiring: high clustering, low
+    diameter — a qualitatively different workload from ER/BA."""
+    if k < 2 or k % 2 or k >= n:
+        raise ValueError("k must be even, 2 <= k < n")
+    if not (0.0 <= beta <= 1.0):
+        raise ValueError("beta must be in [0, 1]")
+    gen = _rng(rng)
+    edges: set[tuple[int, int]] = set()
+    for v in range(n):
+        for offset in range(1, k // 2 + 1):
+            u = (v + offset) % n
+            edges.add((min(v, u), max(v, u)))
+    rewired: set[tuple[int, int]] = set()
+    for (a, b) in sorted(edges):
+        if gen.random() < beta:
+            for _ in range(16):
+                c = int(gen.integers(0, n))
+                if c != a and (min(a, c), max(a, c)) not in edges \
+                        and (min(a, c), max(a, c)) not in rewired:
+                    rewired.add((min(a, c), max(a, c)))
+                    break
+            else:
+                rewired.add((a, b))
+        else:
+            rewired.add((a, b))
+    return Graph.from_edges(n, np.array(sorted(rewired), np.int64))
+
+
+def bipartite_random(
+    n_left: int,
+    n_right: int,
+    m: int,
+    rng: np.random.Generator | int | None = None,
+) -> Graph:
+    """Random bipartite graph (left ids 0..n_left-1, right ids after).
+
+    Bipartite inputs exercise the 2-colorability path of the coloring
+    extension and matching-heavy workloads.
+    """
+    total = n_left * n_right
+    if m < 0 or m > total:
+        raise ValueError(f"m={m} out of range")
+    gen = _rng(rng)
+    chosen = gen.choice(total, size=m, replace=False)
+    left = (chosen // n_right).astype(np.int64)
+    right = (chosen % n_right).astype(np.int64) + n_left
+    return Graph.from_edges(n_left + n_right, np.column_stack([left, right]))
+
+
+# ---------------------------------------------------------------------------
+# trees and forests (forest connectivity, tree ops, 2-edge connectivity)
+# ---------------------------------------------------------------------------
+
+def random_tree(n: int, rng: np.random.Generator | int | None = None) -> Graph:
+    """Uniform random recursive tree: vertex v attaches to a uniform u < v."""
+    if n < 1:
+        raise ValueError("tree needs n >= 1")
+    gen = _rng(rng)
+    if n == 1:
+        return Graph.from_edges(1, np.zeros((0, 2), np.int64))
+    parents = np.array([int(gen.integers(0, v)) for v in range(1, n)], dtype=np.int64)
+    edges = np.column_stack([np.arange(1, n, dtype=np.int64), parents])
+    return Graph.from_edges(n, edges)
+
+
+def random_forest(
+    n: int, n_trees: int, rng: np.random.Generator | int | None = None
+) -> Graph:
+    """Forest on n vertices with n_trees trees of near-equal random sizes."""
+    if n_trees < 1 or n_trees > n:
+        raise ValueError("need 1 <= n_trees <= n")
+    gen = _rng(rng)
+    # Random composition of n into n_trees positive parts.
+    cuts = np.sort(gen.choice(np.arange(1, n), size=n_trees - 1, replace=False)) if n_trees > 1 else np.array([], dtype=np.int64)
+    sizes = np.diff(np.concatenate([[0], cuts, [n]])).astype(int)
+    chunks = []
+    base = 0
+    for size in sizes:
+        t = random_tree(int(size), gen)
+        if t.m:
+            chunks.append(t.edges() + base)
+        base += size
+    all_edges = np.concatenate(chunks) if chunks else np.zeros((0, 2), np.int64)
+    g = Graph.from_edges(n, all_edges)
+    g2, _ = relabel(g, gen)
+    return g2
+
+
+def caterpillar(spine: int, legs_per_vertex: int) -> Graph:
+    """Path of length ``spine`` with ``legs_per_vertex`` pendant leaves each."""
+    n = spine + spine * legs_per_vertex
+    edges = []
+    for v in range(spine - 1):
+        edges.append((v, v + 1))
+    nxt = spine
+    for v in range(spine):
+        for _ in range(legs_per_vertex):
+            edges.append((v, nxt))
+            nxt += 1
+    return Graph.from_edges(n, np.array(edges, dtype=np.int64))
+
+
+# ---------------------------------------------------------------------------
+# structured instances (diameter control, bridges)
+# ---------------------------------------------------------------------------
+
+def components_with_diameter(
+    n_components: int,
+    diameter: int,
+    extra_edges_per_component: int = 0,
+    rng: np.random.Generator | int | None = None,
+) -> Graph:
+    """Disjoint components each containing a path of the given diameter.
+
+    Used to separate the MPC O(log D · log log n) bound from the AMPC
+    O(log log n) bound: the AMPC connectivity rounds should not grow with
+    ``diameter`` while diameter-limited baselines do.
+    """
+    gen = _rng(rng)
+    size = diameter + 1
+    chunks = []
+    base = 0
+    for _ in range(n_components):
+        v = base + np.arange(size - 1, dtype=np.int64)
+        comp_edges = [np.column_stack([v, v + 1])]
+        for _ in range(extra_edges_per_component):
+            a, b = gen.integers(0, size, size=2)
+            if a != b:
+                comp_edges.append(np.array([[base + a, base + b]], dtype=np.int64))
+        chunks.append(np.concatenate(comp_edges))
+        base += size
+    g = Graph.from_edges(base, np.concatenate(chunks))
+    g2, _ = relabel(g, gen)
+    return g2
+
+
+def bridged_clusters(
+    n_clusters: int,
+    cluster_size: int,
+    intra_edges: int,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[Graph, np.ndarray]:
+    """Chain of dense clusters joined by single-edge bridges.
+
+    Returns (graph, bridges) where ``bridges`` is the (n_clusters-1, 2)
+    array of the planted bridge edges — ground truth for the 2-edge
+    connectivity experiments.
+    """
+    if cluster_size < 3:
+        raise ValueError("cluster_size must be >= 3 for 2-edge-connected clusters")
+    gen = _rng(rng)
+    edges = []
+    n = n_clusters * cluster_size
+    for c in range(n_clusters):
+        base = c * cluster_size
+        v = base + np.arange(cluster_size, dtype=np.int64)
+        # A cycle makes the cluster 2-edge-connected...
+        edges.append(np.column_stack([v, base + (np.arange(cluster_size) + 1) % cluster_size]))
+        # ...plus random chords for density.
+        for _ in range(intra_edges):
+            a, b = gen.integers(0, cluster_size, size=2)
+            if a != b:
+                edges.append(np.array([[base + a, base + b]], dtype=np.int64))
+    bridges = []
+    for c in range(n_clusters - 1):
+        u = c * cluster_size + int(gen.integers(0, cluster_size))
+        v = (c + 1) * cluster_size + int(gen.integers(0, cluster_size))
+        bridges.append((u, v))
+        edges.append(np.array([[u, v]], dtype=np.int64))
+    g = Graph.from_edges(n, np.concatenate(edges))
+    return g, np.array(bridges, dtype=np.int64)
+
+
+def disjoint_union(graphs: list[Graph]) -> Graph:
+    """Disjoint union with consecutive id blocks."""
+    n = sum(g.n for g in graphs)
+    chunks = []
+    base = 0
+    for g in graphs:
+        if g.m:
+            chunks.append(g.edges() + base)
+        base += g.n
+    edges = np.concatenate(chunks) if chunks else np.zeros((0, 2), np.int64)
+    return Graph.from_edges(n, edges)
+
+
+# ---------------------------------------------------------------------------
+# weights
+# ---------------------------------------------------------------------------
+
+def with_random_weights(
+    graph: Graph, rng: np.random.Generator | int | None = None
+) -> WeightedGraph:
+    """Attach distinct uniform random weights to every edge (paper §7
+    assumes distinct weights so the MSF is unique)."""
+    gen = _rng(rng)
+    edges = graph.edges()
+    m = edges.shape[0]
+    # Distinct by construction: a random permutation plus tiny jitter.
+    weights = gen.permutation(m).astype(np.float64) + gen.random(m) * 0.5
+    return WeightedGraph.from_weighted_edges(graph.n, edges, weights)
+
+
+def with_distinct_integer_weights(
+    graph: Graph, rng: np.random.Generator | int | None = None
+) -> WeightedGraph:
+    """Attach a random permutation of 0..m-1 as integer-valued weights."""
+    gen = _rng(rng)
+    edges = graph.edges()
+    weights = gen.permutation(edges.shape[0]).astype(np.float64)
+    return WeightedGraph.from_weighted_edges(graph.n, edges, weights)

@@ -1,0 +1,128 @@
+"""DDS encodings of graphs, lists and per-vertex tables.
+
+The AMPC algorithms read graphs through the distributed data store using
+key conventions shared between drivers and machine programs:
+
+* ``("deg", v) -> deg(v)`` and ``("adj", v, i) -> i-th neighbor`` for plain
+  graphs (i is 0-based; neighbors in sorted order),
+* ``("adjw", v, i) -> (neighbor, weight, edge_id)`` for weighted graphs,
+* ``("succ", v) / ("pred", v)`` for cycle and list pointer structures,
+* ``(name, v) -> value`` for driver-published per-vertex tables (sampled
+  flags, statuses, priorities, ...).
+
+Every encoder returns an iterator of (key, value) pairs suitable for
+``AMPCRuntime.round(setup=...)``; the runtime charges their publication as
+writes, so the accounting includes the cost of re-materializing state
+between rounds, as a real deployment must.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Iterator
+
+import numpy as np
+
+from .graph import Graph, WeightedGraph
+
+Pairs = Iterator[tuple[Hashable, Any]]
+
+
+def encode_graph(graph: Graph, prefix: str = "adj") -> Pairs:
+    """CSR adjacency as ("deg", v) and (prefix, v, i) pairs."""
+    indptr, indices = graph.indptr, graph.indices
+    for v in range(graph.n):
+        start, end = indptr[v], indptr[v + 1]
+        yield ("deg", v), int(end - start)
+        for i in range(end - start):
+            yield (prefix, v, i), int(indices[start + i])
+
+
+def encode_weighted_graph(graph: WeightedGraph, prefix: str = "adjw") -> Pairs:
+    """Weighted adjacency as (prefix, v, i) -> (nbr, weight, edge_id)."""
+    indptr, indices = graph.indptr, graph.indices
+    weights, eids = graph.weights, graph.edge_ids
+    for v in range(graph.n):
+        start, end = indptr[v], indptr[v + 1]
+        yield ("deg", v), int(end - start)
+        for i in range(end - start):
+            j = start + i
+            yield (prefix, v, i), (int(indices[j]), float(weights[j]), int(eids[j]))
+
+
+def encode_cycle_pointers(graph: Graph) -> Pairs:
+    """Orient a union of cycles into ("succ", v)/("pred", v) pairs.
+
+    Every vertex must have degree exactly 2. The orientation follows each
+    cycle consistently (successor of v is the neighbor not used to enter v).
+    """
+    succ, pred = orient_cycles(graph)
+    for v in range(graph.n):
+        yield ("succ", v), int(succ[v])
+        yield ("pred", v), int(pred[v])
+
+
+def orient_cycles(graph: Graph) -> tuple[np.ndarray, np.ndarray]:
+    """Successor/predecessor arrays for a disjoint union of cycles."""
+    degs = graph.degrees
+    if graph.n and not np.all(degs == 2):
+        bad = int(np.flatnonzero(degs != 2)[0])
+        raise ValueError(
+            f"not a union of cycles: vertex {bad} has degree {degs[bad]}"
+        )
+    n = graph.n
+    succ = np.full(n, -1, dtype=np.int64)
+    pred = np.full(n, -1, dtype=np.int64)
+    visited = np.zeros(n, dtype=bool)
+    for start in range(n):
+        if visited[start]:
+            continue
+        prev = start
+        cur = int(graph.neighbors(start)[0])
+        visited[start] = True
+        succ[start] = cur
+        pred[cur] = start
+        while cur != start:
+            visited[cur] = True
+            a, b = graph.neighbors(cur)
+            nxt = int(b) if int(a) == prev else int(a)
+            succ[cur] = nxt
+            pred[nxt] = cur
+            prev, cur = cur, nxt
+    return succ, pred
+
+
+def encode_list_pointers(succ: np.ndarray, name: str = "succ") -> Pairs:
+    """Successor array as (name, v) pairs; -1 entries are encoded too (the
+    tail's successor), read back as -1 sentinels."""
+    for v in range(succ.size):
+        yield (name, v), int(succ[v])
+
+
+def encode_table(name: str, values: dict | np.ndarray) -> Pairs:
+    """Per-vertex table as (name, v) -> value pairs.
+
+    Accepts a dict (sparse) or an array (dense; index = vertex).
+    """
+    if isinstance(values, dict):
+        for v, value in values.items():
+            yield (name, v), value
+    else:
+        for v in range(len(values)):
+            yield (name, v), values[v].item() if isinstance(values[v], np.generic) else values[v]
+
+
+def encode_flags(name: str, members: Iterable[int]) -> Pairs:
+    """Set membership as (name, v) -> 1 pairs (absent = not a member)."""
+    for v in members:
+        yield (name, int(v)), 1
+
+
+def chain(*encoders: Iterable[tuple[Hashable, Any]]) -> Pairs:
+    """Concatenate several pair iterators into one setup stream."""
+    for enc in encoders:
+        yield from enc
+
+
+def graph_pair_count(graph: Graph) -> int:
+    """Number of pairs :func:`encode_graph` emits (n + 2m)."""
+    return graph.n + 2 * graph.m

@@ -1,0 +1,124 @@
+"""Descriptive graph statistics (library utility used by the CLI and
+examples; sequential — not part of the AMPC cost model)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .graph import Graph
+from .validation import components_reference
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a graph.
+
+    Attributes:
+        n / m: vertex and edge counts.
+        min_degree / max_degree / mean_degree: degree profile.
+        n_components: connected components.
+        largest_component: size of the biggest component.
+        n_isolated: vertices of degree 0.
+        clustering: average local clustering coefficient (exact).
+        degree_histogram: counts per degree (index = degree).
+    """
+
+    n: int
+    m: int
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+    n_components: int
+    largest_component: int
+    n_isolated: int
+    clustering: float
+    degree_histogram: tuple[int, ...]
+
+    def format(self) -> str:
+        lines = [
+            f"n = {self.n}, m = {self.m}",
+            f"degrees: min {self.min_degree}, mean {self.mean_degree:.2f}, "
+            f"max {self.max_degree} ({self.n_isolated} isolated)",
+            f"components: {self.n_components} "
+            f"(largest {self.largest_component})",
+            f"avg clustering coefficient: {self.clustering:.4f}",
+        ]
+        return "\n".join(lines)
+
+
+def graph_stats(graph: Graph) -> GraphStats:
+    """Compute :class:`GraphStats` for a graph."""
+    degs = graph.degrees
+    labels = components_reference(graph)
+    _, counts = np.unique(labels, return_counts=True)
+    histogram = np.bincount(degs) if graph.n else np.zeros(1, np.int64)
+    return GraphStats(
+        n=graph.n,
+        m=graph.m,
+        min_degree=int(degs.min()) if graph.n else 0,
+        max_degree=int(degs.max()) if graph.n else 0,
+        mean_degree=float(degs.mean()) if graph.n else 0.0,
+        n_components=int(counts.size),
+        largest_component=int(counts.max()) if counts.size else 0,
+        n_isolated=int((degs == 0).sum()),
+        clustering=average_clustering(graph),
+        degree_histogram=tuple(int(x) for x in histogram),
+    )
+
+
+def average_clustering(graph: Graph) -> float:
+    """Exact average local clustering coefficient.
+
+    C(v) = triangles through v / (deg(v) choose 2); vertices of degree
+    < 2 contribute 0 (the convention networkx uses).
+    """
+    if graph.n == 0:
+        return 0.0
+    total = 0.0
+    for v in range(graph.n):
+        nbrs = graph.neighbors(v)
+        d = nbrs.size
+        if d < 2:
+            continue
+        links = 0
+        nbr_set = set(nbrs.tolist())
+        for u in nbrs.tolist():
+            # Count each neighbor pair once via sorted ids.
+            for w in graph.neighbors(u).tolist():
+                if w > u and w in nbr_set:
+                    links += 1
+        total += 2.0 * links / (d * (d - 1))
+    return total / graph.n
+
+
+def triangle_count(graph: Graph) -> int:
+    """Total number of triangles (each counted once)."""
+    count = 0
+    for v in range(graph.n):
+        nbrs = graph.neighbors(v)
+        nbr_set = set(int(x) for x in nbrs if x > v)
+        for u in nbrs.tolist():
+            if u <= v:
+                continue
+            for w in graph.neighbors(u).tolist():
+                if w > u and w in nbr_set:
+                    count += 1
+    return count
+
+
+def degree_assortativity(graph: Graph) -> float:
+    """Pearson correlation of endpoint degrees over edges (NaN-safe)."""
+    if graph.m == 0:
+        return 0.0
+    edges = graph.edges()
+    degs = graph.degrees
+    x = degs[edges[:, 0]].astype(np.float64)
+    y = degs[edges[:, 1]].astype(np.float64)
+    # Symmetrize (undirected edges contribute both orientations).
+    xs = np.concatenate([x, y])
+    ys = np.concatenate([y, x])
+    if xs.std() == 0 or ys.std() == 0:
+        return 0.0
+    return float(np.corrcoef(xs, ys)[0, 1])

@@ -1,0 +1,95 @@
+"""Structural validators used by tests and defensive checks in drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Graph
+
+
+def check_csr(graph: Graph) -> None:
+    """Assert CSR invariants: monotone indptr, sorted rows, symmetry, no
+    self-loops, no duplicate neighbors. Raises AssertionError on violation."""
+    indptr, indices = graph.indptr, graph.indices
+    assert indptr.shape == (graph.n + 1,), "indptr length must be n+1"
+    assert indptr[0] == 0 and indptr[-1] == indices.size, "indptr bounds"
+    assert np.all(np.diff(indptr) >= 0), "indptr must be non-decreasing"
+    if indices.size:
+        assert indices.min() >= 0 and indices.max() < graph.n, "index range"
+    for v in range(graph.n):
+        row = graph.neighbors(v)
+        assert np.all(np.diff(row) > 0), f"row {v} not strictly sorted"
+        assert not np.any(row == v), f"self-loop at {v}"
+    # Symmetry: edge (u, v) implies (v, u).
+    degs = graph.degrees
+    src = np.repeat(np.arange(graph.n, dtype=np.int64), degs)
+    fwd = {(int(a), int(b)) for a, b in zip(src, indices)}
+    for a, b in fwd:
+        assert (b, a) in fwd, f"asymmetric edge ({a}, {b})"
+
+
+def is_union_of_cycles(graph: Graph) -> bool:
+    """True iff every vertex has degree exactly 2 (disjoint simple cycles)."""
+    return graph.n > 0 and bool(np.all(graph.degrees == 2))
+
+
+def is_forest(graph: Graph) -> bool:
+    """True iff the graph is acyclic (m = n - #components)."""
+    return graph.m == graph.n - count_components(graph)
+
+
+def count_components(graph: Graph) -> int:
+    """Number of connected components (sequential union-find reference)."""
+    parent = np.arange(graph.n, dtype=np.int64)
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = int(parent[x])
+        return x
+
+    for u, v in graph.edges():
+        ru, rv = find(int(u)), find(int(v))
+        if ru != rv:
+            parent[ru] = rv
+    return len({find(v) for v in range(graph.n)})
+
+
+def components_reference(graph: Graph) -> np.ndarray:
+    """Component label per vertex: the minimum vertex id in its component.
+
+    The sequential ground truth every connectivity algorithm is tested
+    against.
+    """
+    parent = np.arange(graph.n, dtype=np.int64)
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = int(parent[root])
+        while parent[x] != root:
+            parent[x], x = root, int(parent[x])
+        return root
+
+    for u, v in graph.edges():
+        ru, rv = find(int(u)), find(int(v))
+        if ru != rv:
+            parent[max(ru, rv)] = min(ru, rv)
+    labels = np.empty(graph.n, dtype=np.int64)
+    for v in range(graph.n):
+        labels[v] = find(v)
+    return labels
+
+
+def same_partition(labels_a: np.ndarray, labels_b: np.ndarray) -> bool:
+    """True iff two labelings induce the same partition of vertices."""
+    if labels_a.shape != labels_b.shape:
+        return False
+    mapping: dict[int, int] = {}
+    reverse: dict[int, int] = {}
+    for a, b in zip(labels_a.tolist(), labels_b.tolist()):
+        if mapping.setdefault(a, b) != b:
+            return False
+        if reverse.setdefault(b, a) != a:
+            return False
+    return True

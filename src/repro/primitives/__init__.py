@@ -1,0 +1,48 @@
+"""Charged MPC-standard primitives (paper §3) and shared building blocks."""
+
+from .contraction import (
+    compact_labels,
+    contract_graph,
+    contract_weighted,
+    resolve_pointers,
+)
+from .dedup import charged_unique, charged_unique_rows, group_min
+from .euler import EULER_ROUNDS, EulerTour, build_euler_tour
+from .prefix_sum import SCAN_ROUNDS, charged_max_scan, charged_prefix_sum
+from .rmq import RMQ_BUILD_ROUNDS, RMQ_QUERY_ROUNDS, SparseTableRMQ
+from .sampling import (
+    bernoulli_sample,
+    bernoulli_sample_nonempty,
+    leader_probability,
+    random_priorities,
+    shrink_probability,
+)
+from .sorting import SORT_ROUNDS, charged_argsort, charged_lexsort, charged_sort
+
+__all__ = [
+    "bernoulli_sample",
+    "bernoulli_sample_nonempty",
+    "shrink_probability",
+    "leader_probability",
+    "random_priorities",
+    "charged_sort",
+    "charged_argsort",
+    "charged_lexsort",
+    "charged_prefix_sum",
+    "charged_max_scan",
+    "charged_unique",
+    "charged_unique_rows",
+    "group_min",
+    "resolve_pointers",
+    "compact_labels",
+    "contract_graph",
+    "contract_weighted",
+    "SparseTableRMQ",
+    "EulerTour",
+    "build_euler_tour",
+    "SORT_ROUNDS",
+    "SCAN_ROUNDS",
+    "RMQ_BUILD_ROUNDS",
+    "RMQ_QUERY_ROUNDS",
+    "EULER_ROUNDS",
+]

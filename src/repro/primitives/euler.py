@@ -1,0 +1,121 @@
+"""Euler-tour construction for forests (Tarjan–Vishkin [42], paper §8).
+
+Each undirected tree edge {u, v} becomes two arcs u→v and v→u. Linking each
+arc (u→v) to the arc (v→w) where w follows u in v's circular adjacency
+order stitches every tree into a single Euler circuit — the classic
+reduction the paper uses to turn forest problems into cycle/list problems.
+
+Construction is local per arc (a twin lookup plus a rotation step), which
+is the O(1)-round MPC construction the paper cites (Lemma 8.6); we build
+the arrays with vectorized numpy and charge the constant cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runtime import AMPCRuntime
+    from repro.graph.graph import Graph
+
+EULER_ROUNDS = 2  # one round of twin lookups + one of rotation links
+
+
+@dataclass(frozen=True)
+class EulerTour:
+    """Arc-level Euler tour of a forest.
+
+    Attributes:
+        arc_src / arc_dst: endpoints of arc j (arc j = the j-th CSR slot:
+            arc ``indptr[u] + i`` is u → its i-th neighbor).
+        twin: twin[j] is the reverse arc of j.
+        next_arc: successor of arc j on its tree's Euler circuit.
+        n_arcs: 2m.
+    """
+
+    arc_src: np.ndarray
+    arc_dst: np.ndarray
+    twin: np.ndarray
+    next_arc: np.ndarray
+
+    @property
+    def n_arcs(self) -> int:
+        return self.arc_src.size
+
+    def arc_of(self, graph: "Graph", u: int, v: int) -> int:
+        """Arc id of u → v (v must be a neighbor of u)."""
+        row = graph.neighbors(u)
+        pos = int(np.searchsorted(row, v))
+        if pos >= row.size or row[pos] != v:
+            raise ValueError(f"({u}, {v}) is not an edge")
+        return int(graph.indptr[u] + pos)
+
+    def circuit_from(self, start_arc: int) -> np.ndarray:
+        """The full Euler circuit starting at ``start_arc`` (sequential
+        helper for tests; the algorithms use list ranking instead)."""
+        out = [start_arc]
+        cur = int(self.next_arc[start_arc])
+        while cur != start_arc:
+            out.append(cur)
+            cur = int(self.next_arc[cur])
+        return np.array(out, dtype=np.int64)
+
+
+def build_euler_tour(
+    graph: "Graph",
+    runtime: "AMPCRuntime | None" = None,
+    *,
+    tag: str = "euler-tour",
+) -> EulerTour:
+    """Euler tour arrays for a forest.
+
+    The graph must be a forest (acyclic); this is validated cheaply by the
+    arc count (the circuit structure itself is exercised by tests).
+    """
+    n, indptr, indices = graph.n, graph.indptr, graph.indices
+    n_arcs = indices.size
+    arc_src = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    arc_dst = indices.astype(np.int64, copy=True)
+    if n_arcs == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return EulerTour(arc_src, arc_dst, empty, empty)
+
+    # twin[j]: position of arc (dst -> src). Rows are sorted, so the twin is
+    # indptr[dst] + rank of src within dst's row, computable by vectorized
+    # searchsorted over the flattened CSR.
+    twin = _twin_arcs(indptr, indices, arc_src, arc_dst)
+    # next on the circuit: after arriving at v along (u -> v) (= twin of
+    # (v -> u)), leave along v's next rotation slot.
+    deg = np.diff(indptr)
+    pos_in_row = np.arange(n_arcs, dtype=np.int64) - indptr[arc_src]
+    rot = indptr[arc_src] + (pos_in_row + 1) % np.maximum(deg[arc_src], 1)
+    # next_arc[twin[j]] = rot[j]  for every arc j (j = v -> u; twin = u -> v).
+    next_arc = np.empty(n_arcs, dtype=np.int64)
+    next_arc[twin] = rot
+    if runtime is not None:
+        runtime.charge(tag, rounds=EULER_ROUNDS, reads=2 * n_arcs, writes=2 * n_arcs)
+    return EulerTour(arc_src, arc_dst, twin, next_arc)
+
+
+def _twin_arcs(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    arc_src: np.ndarray,
+    arc_dst: np.ndarray,
+) -> np.ndarray:
+    """twin[j] = arc id of (arc_dst[j] -> arc_src[j]), fully vectorized."""
+    twin = np.empty(arc_src.size, dtype=np.int64)
+    # Join arcs (src, dst) with arcs (dst, src) by sorting both on the same
+    # pair key; matching sorted positions pair each arc with its twin.
+    key_fwd = arc_src * np.int64(indptr.size) + arc_dst
+    key_rev = arc_dst * np.int64(indptr.size) + arc_src
+    order_fwd = np.argsort(key_fwd, kind="stable")
+    order_rev = np.argsort(key_rev, kind="stable")
+    # key_fwd[order_fwd] equals key_rev[order_rev] element-wise (each edge
+    # appears exactly once in each direction), so the sorted positions pair
+    # the arc with its twin.
+    twin[order_rev] = order_fwd
+    return twin

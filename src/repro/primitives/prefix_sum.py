@@ -1,0 +1,59 @@
+"""Prefix-sum (scan) primitive (charged, vectorized).
+
+Prefix sums run in O(1) MPC rounds at S = n^ε (two-level tree over machine
+blocks); the paper's tree-property algorithms (§8.1: subtree sizes,
+preorder numbering) consume them over Euler sequences. We compute with
+numpy and charge the constant model cost.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runtime import AMPCRuntime
+
+# Up-sweep of block sums, scan of the P block sums, down-sweep: 2 rounds
+# suffice when P <= S, which AMPCConfig.for_input guarantees in our regimes.
+SCAN_ROUNDS = 2
+
+
+def charged_prefix_sum(
+    values: np.ndarray,
+    runtime: "AMPCRuntime | None" = None,
+    *,
+    inclusive: bool = True,
+    tag: str = "scan",
+) -> np.ndarray:
+    """Prefix sum of ``values``; charges the MPC scan cost.
+
+    Args:
+        values: numeric array.
+        runtime: ledger to charge (None = free, for pure unit tests).
+        inclusive: inclusive scan (out[i] = sum(values[:i+1])) if True,
+            exclusive (out[i] = sum(values[:i])) otherwise.
+        tag: ledger label.
+    """
+    if runtime is not None:
+        runtime.charge(tag, rounds=SCAN_ROUNDS, reads=values.size, writes=values.size)
+    out = np.cumsum(values)
+    if inclusive:
+        return out
+    exclusive = np.empty_like(out)
+    exclusive[0] = 0
+    exclusive[1:] = out[:-1]
+    return exclusive
+
+
+def charged_max_scan(
+    values: np.ndarray,
+    runtime: "AMPCRuntime | None" = None,
+    *,
+    tag: str = "max-scan",
+) -> np.ndarray:
+    """Inclusive prefix maximum, same charging as :func:`charged_prefix_sum`."""
+    if runtime is not None:
+        runtime.charge(tag, rounds=SCAN_ROUNDS, reads=values.size, writes=values.size)
+    return np.maximum.accumulate(values)

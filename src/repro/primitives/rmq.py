@@ -1,0 +1,114 @@
+"""Range-minimum/maximum query structure (sparse table).
+
+Paper §8.1 ("Subtree Minimum and Maximum"): subtree min/max reduces to RMQ
+over the Euler sequence, and "RMQ can be implemented efficiently in MPC".
+The sparse table is the classic O(n log n)-space, O(1)-query structure; its
+construction is log n doubling levels of vectorized mins, each a constant
+number of MPC rounds, so we charge ``RMQ_BUILD_ROUNDS`` at build and
+``1`` query round per batch of queries.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runtime import AMPCRuntime
+
+RMQ_BUILD_ROUNDS = 2  # block-local tables + one cross-block level at S = n^eps
+RMQ_QUERY_ROUNDS = 1
+
+
+class SparseTableRMQ:
+    """Static range-min (and range-max) queries in O(1) after O(n log n) build.
+
+    Args:
+        values: the array to query over.
+        runtime: ledger to charge build/query costs to (None = free).
+    """
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        runtime: "AMPCRuntime | None" = None,
+        *,
+        tag: str = "rmq-build",
+    ) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        self.n = values.size
+        self._runtime = runtime
+        levels = max(1, int(np.floor(np.log2(self.n))) + 1) if self.n else 1
+        self._min = np.empty((levels, self.n), dtype=np.float64)
+        self._max = np.empty((levels, self.n), dtype=np.float64)
+        if self.n:
+            self._min[0] = values
+            self._max[0] = values
+            for k in range(1, levels):
+                half = 1 << (k - 1)
+                span = self.n - (1 << k) + 1
+                if span <= 0:
+                    self._min[k] = self._min[k - 1]
+                    self._max[k] = self._max[k - 1]
+                    continue
+                self._min[k, :span] = np.minimum(
+                    self._min[k - 1, :span], self._min[k - 1, half:half + span]
+                )
+                self._max[k, :span] = np.maximum(
+                    self._max[k - 1, :span], self._max[k - 1, half:half + span]
+                )
+                # Tail entries (windows overhanging the end) are never read.
+                self._min[k, span:] = self._min[k - 1, span:]
+                self._max[k, span:] = self._max[k - 1, span:]
+        if runtime is not None:
+            runtime.charge(tag, rounds=RMQ_BUILD_ROUNDS,
+                           reads=self.n, writes=self.n * levels)
+
+    def range_min(self, lo: int, hi: int) -> float:
+        """Minimum of values[lo..hi] inclusive."""
+        self._check(lo, hi)
+        k = _level(hi - lo + 1)
+        return float(min(self._min[k, lo], self._min[k, hi - (1 << k) + 1]))
+
+    def range_max(self, lo: int, hi: int) -> float:
+        """Maximum of values[lo..hi] inclusive."""
+        self._check(lo, hi)
+        k = _level(hi - lo + 1)
+        return float(max(self._max[k, lo], self._max[k, hi - (1 << k) + 1]))
+
+    def batch_range_min(
+        self, lo: np.ndarray, hi: np.ndarray, *, tag: str = "rmq-query"
+    ) -> np.ndarray:
+        """Vectorized range minima for aligned (lo, hi) arrays; charged as
+        one query round (each query is O(1) reads)."""
+        self._charge_queries(lo.size, tag)
+        lengths = hi - lo + 1
+        ks = np.floor(np.log2(np.maximum(lengths, 1))).astype(np.int64)
+        left = self._min[ks, lo]
+        right = self._min[ks, hi - (1 << ks) + 1]
+        return np.minimum(left, right)
+
+    def batch_range_max(
+        self, lo: np.ndarray, hi: np.ndarray, *, tag: str = "rmq-query"
+    ) -> np.ndarray:
+        """Vectorized range maxima; see :meth:`batch_range_min`."""
+        self._charge_queries(lo.size, tag)
+        lengths = hi - lo + 1
+        ks = np.floor(np.log2(np.maximum(lengths, 1))).astype(np.int64)
+        left = self._max[ks, lo]
+        right = self._max[ks, hi - (1 << ks) + 1]
+        return np.maximum(left, right)
+
+    def _charge_queries(self, count: int, tag: str) -> None:
+        if self._runtime is not None and count:
+            self._runtime.charge(tag, rounds=RMQ_QUERY_ROUNDS,
+                                 reads=2 * count, writes=count)
+
+    def _check(self, lo: int, hi: int) -> None:
+        if not (0 <= lo <= hi < self.n):
+            raise IndexError(f"range [{lo}, {hi}] out of bounds for n={self.n}")
+
+
+def _level(length: int) -> int:
+    return int(np.floor(np.log2(length)))

@@ -1,0 +1,77 @@
+"""Randomized sampling primitives shared by the algorithms.
+
+All functions are deterministic given the numpy Generator passed in;
+algorithm drivers derive generators from ``AMPCConfig.rng(salt)`` so every
+stage draws from an independent reproducible stream.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def bernoulli_sample(
+    n: int, probability: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Indices of a Bernoulli(probability) sample of 0..n-1.
+
+    This is the paper's "sample each vertex independently with probability
+    p" step (Algorithm 1 step 1a, Algorithm 7 step 2b, ...).
+    """
+    if not (0.0 <= probability <= 1.0):
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    mask = rng.random(n) < probability
+    return np.flatnonzero(mask).astype(np.int64)
+
+
+def bernoulli_sample_nonempty(
+    candidates: np.ndarray, probability: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Bernoulli sample of the given candidate ids, forced non-empty.
+
+    The paper's shrink loops need at least one sample to make progress; at
+    small n the w.h.p. guarantee may fail, so if the coin flips produce an
+    empty sample we promote one uniform candidate. This changes no
+    asymptotic claim (the event has probability n^{-Ω(1)}) but makes small
+    instances deterministic to finish.
+    """
+    if candidates.size == 0:
+        return candidates
+    mask = rng.random(candidates.size) < probability
+    if not mask.any():
+        mask[int(rng.integers(0, candidates.size))] = True
+    return candidates[mask]
+
+
+def shrink_probability(n: int, delta: float) -> float:
+    """The Shrink sampling probability n^{-δ/2} (paper Algorithm 1)."""
+    if n <= 1:
+        return 1.0
+    return min(1.0, float(n) ** (-delta / 2.0))
+
+
+def leader_probability(n: int, d: float, c: float = 2.0) -> float:
+    """Θ(log n / d) leader-sampling probability (paper Algorithms 7/9).
+
+    ``c`` is the hidden constant; c = 2 makes "every vertex of degree ≥ d
+    has a leader neighbor" hold w.h.p. in the regimes the benchmarks run.
+    Capped at 1/2: a probability near 1 would make *everyone* a leader and
+    stall contraction entirely — the cap only binds when d = O(log n),
+    where it still leaves a constant contraction factor per phase.
+    """
+    if d <= 0:
+        return 0.5
+    return min(0.5, c * math.log(max(n, 2)) / d)
+
+
+def random_priorities(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Distinct random priorities, i.e. a uniform random permutation rank.
+
+    Realizes the paper's "each vertex v picks a random real ρ_v ∈ [0,1]"
+    (§5) with an explicit permutation so ties are impossible.
+    """
+    return rng.permutation(n).astype(np.int64)

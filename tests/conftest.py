@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AMPCConfig, AMPCRuntime
+from repro.graph import generators
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_config() -> AMPCConfig:
+    return AMPCConfig(epsilon=0.5, space=64, n_machines=8, seed=7)
+
+
+@pytest.fixture
+def runtime(small_config: AMPCConfig) -> AMPCRuntime:
+    return AMPCRuntime(small_config)
+
+
+def graph_zoo(seed: int = 0):
+    """A spread of graph families used by correctness sweeps."""
+    return [
+        ("empty", generators.erdos_renyi_gnm(20, 0, rng=seed)),
+        ("single-edge", generators.path(2)),
+        ("path", generators.path(30)),
+        ("cycle", generators.cycle(24)),
+        ("star", generators.star(15)),
+        ("grid", generators.grid(5, 6)),
+        ("complete", generators.complete(9)),
+        ("er-sparse", generators.erdos_renyi_gnm(60, 70, rng=seed + 1)),
+        ("er-dense", generators.erdos_renyi_gnm(40, 300, rng=seed + 2)),
+        ("ba", generators.barabasi_albert(50, 2, rng=seed + 3)),
+        ("forest", generators.random_forest(50, 6, rng=seed + 4)),
+        ("two-cycles", generators.union_of_cycles([9, 13])),
+        ("components", generators.components_with_diameter(3, 8, 2, rng=seed + 5)),
+    ]

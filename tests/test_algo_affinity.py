@@ -1,0 +1,127 @@
+"""Tests for affinity clustering (the paper's [9] application)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators, validation
+from repro.algorithms.affinity import (
+    affinity_clustering,
+    sequential_affinity_levels,
+)
+
+
+def workload(n, m, seed):
+    g = generators.erdos_renyi_gnm(n, m, rng=seed)
+    return generators.with_random_weights(g, rng=seed)
+
+
+class TestDendrogramStructure:
+    def test_matches_sequential_reference(self):
+        wg = workload(120, 400, seed=1)
+        res = affinity_clustering(wg, seed=1)
+        ref = sequential_affinity_levels(wg)
+        assert len(res.levels) == len(ref)
+        for got, want in zip(res.levels, ref):
+            assert validation.same_partition(got, want)
+
+    def test_levels_coarsen_monotonically(self):
+        wg = workload(150, 500, seed=2)
+        res = affinity_clustering(wg, seed=2)
+        for finer, coarser in zip(res.levels, res.levels[1:]):
+            # Every finer cluster maps into exactly one coarser cluster.
+            seen: dict[int, int] = {}
+            for v in range(wg.n):
+                f, c = int(finer[v]), int(coarser[v])
+                assert seen.setdefault(f, c) == c
+
+    def test_final_level_is_connected_components(self):
+        wg = workload(100, 130, seed=3)
+        res = affinity_clustering(wg, seed=3)
+        assert validation.same_partition(
+            res.levels[-1], validation.components_reference(wg)
+        )
+
+    def test_first_level_merges_nearest_neighbors(self):
+        wg = workload(80, 200, seed=4)
+        res = affinity_clustering(wg, seed=4)
+        labels = res.levels[0]
+        # Every vertex shares a cluster with the endpoint of its
+        # minimum-weight incident edge.
+        for v in range(wg.n):
+            if wg.degree(v) == 0:
+                continue
+            w = wg.neighbor_weights(v)
+            nearest = int(wg.neighbors(v)[int(np.argmin(w))])
+            assert labels[v] == labels[nearest], v
+
+    def test_merge_weights_recorded_per_level(self):
+        wg = workload(60, 150, seed=5)
+        res = affinity_clustering(wg, seed=5)
+        assert len(res.merge_weights) == res.n_levels
+        assert all(w > 0 for w in res.merge_weights)
+
+    def test_clusters_at_partitions_vertices(self):
+        wg = workload(70, 180, seed=6)
+        res = affinity_clustering(wg, seed=6)
+        clusters = res.clusters_at(0)
+        merged = np.sort(np.concatenate(clusters))
+        assert np.array_equal(merged, np.arange(wg.n))
+
+
+class TestAffinityBehaviour:
+    def test_level_count_logarithmic(self):
+        # Each level at least halves the number of clusters on connected
+        # graphs, so levels <= ceil(log2 n).
+        wg = workload(256, 1024, seed=7)
+        res = affinity_clustering(wg, seed=7)
+        assert res.n_levels <= 9
+
+    def test_level_cap_respected(self):
+        wg = workload(100, 300, seed=8)
+        res = affinity_clustering(wg, n_levels=2, seed=8)
+        assert res.n_levels <= 2
+
+    def test_duplicate_weights_rejected(self):
+        from repro.graph.graph import WeightedGraph
+
+        wg = WeightedGraph.from_weighted_edges(3, [(0, 1), (1, 2)], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            affinity_clustering(wg, seed=1)
+
+    def test_empty_graph(self):
+        from repro.graph.graph import WeightedGraph
+
+        wg = WeightedGraph.from_weighted_edges(5, [], [])
+        res = affinity_clustering(wg, seed=1)
+        assert res.n_levels == 0
+
+    def test_chain_collapse_is_single_adaptive_round_per_level(self):
+        wg = workload(200, 600, seed=9)
+        res = affinity_clustering(wg, seed=9)
+        collapse_rounds = [
+            r for r in res.report.rounds if r.tag.startswith("collapse")
+        ]
+        assert len(collapse_rounds) == res.n_levels
+        assert all(r.rounds == 1 and r.kind == "adaptive"
+                   for r in collapse_rounds)
+
+    def test_separated_clusters_stay_separate_until_bridged(self):
+        # Two dense cheap clusters joined by one expensive edge: the
+        # bridge must be the *last* merge.
+        import numpy as np
+        from repro.graph.graph import WeightedGraph
+
+        rng = np.random.default_rng(3)
+        edges, weights = [], []
+        for base in (0, 6):
+            for i in range(6):
+                for j in range(i + 1, 6):
+                    edges.append((base + i, base + j))
+                    weights.append(rng.uniform(0, 1))
+        edges.append((0, 6))
+        weights.append(100.0)
+        wg = WeightedGraph.from_weighted_edges(12, edges, weights)
+        res = affinity_clustering(wg, seed=1)
+        first = res.levels[0]
+        assert first[0] != first[6]  # bridge not taken at level 0
+        assert res.levels[-1][0] == res.levels[-1][6]

@@ -1,0 +1,135 @@
+"""Tests for BC-labeling / 2-edge connectivity (§9), validated against
+networkx and the sequential Hopcroft–Tarjan reference."""
+
+from collections import defaultdict
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import generators
+from repro.algorithms.biconnectivity import bc_labeling
+from repro.baselines import seq
+
+
+def to_nx(g):
+    G = nx.Graph()
+    G.add_nodes_from(range(g.n))
+    G.add_edges_from(map(tuple, g.edges().tolist()))
+    return G
+
+
+def partition_of(labels):
+    grp = defaultdict(set)
+    for v, lab in enumerate(labels.tolist()):
+        grp[lab].add(v)
+    return {frozenset(s) for s in grp.values()}
+
+
+def full_check(g, seed):
+    res = bc_labeling(g, seed=seed)
+    G = to_nx(g)
+    assert {tuple(e) for e in res.bridges.tolist()} == {
+        tuple(sorted(e)) for e in nx.bridges(G)
+    }
+    assert set(res.articulation_points.tolist()) == set(
+        nx.articulation_points(G)
+    )
+    assert {tuple(b.tolist()) for b in res.bcc_vertex_sets} == {
+        tuple(sorted(c)) for c in nx.biconnected_components(G)
+    }
+    H = G.copy()
+    H.remove_edges_from(nx.bridges(G))
+    assert partition_of(res.two_edge_labels) == {
+        frozenset(c) for c in nx.connected_components(H)
+    }
+    return res
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("maker,seed", [
+        (lambda: generators.path(12), 1),
+        (lambda: generators.cycle(9), 2),
+        (lambda: generators.star(8), 3),
+        (lambda: generators.random_tree(25, rng=4), 4),
+        (lambda: generators.grid(5, 5), 5),
+        (lambda: generators.complete(7), 6),
+        (lambda: generators.union_of_cycles([4, 6]), 7),
+        (lambda: generators.bridged_clusters(3, 5, 2, rng=8)[0], 8),
+        (lambda: generators.erdos_renyi_gnm(50, 70, rng=9), 9),
+        (lambda: generators.erdos_renyi_gnm(80, 100, rng=10), 10),
+        (lambda: generators.barabasi_albert(40, 2, rng=11), 11),
+    ])
+    def test_structures(self, maker, seed):
+        full_check(maker(), seed)
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(4, 40), st.integers(0, 3000))
+    def test_property_random_graphs(self, n, seed):
+        m = min(int(1.4 * n), n * (n - 1) // 2)
+        g = generators.erdos_renyi_gnm(n, m, rng=seed)
+        full_check(g, seed % 13)
+
+
+class TestAgainstSequentialReference:
+    def test_bridges_match_hopcroft_tarjan(self):
+        g, _ = generators.bridged_clusters(4, 6, 2, rng=1)
+        res = bc_labeling(g, seed=1)
+        ref_bridges, ref_artic = seq.bridges_and_articulation(g)
+        assert np.array_equal(res.bridges, ref_bridges)
+        assert np.array_equal(res.articulation_points, ref_artic)
+
+    def test_two_edge_labels_match_reference(self):
+        from repro.graph.validation import same_partition
+
+        g = generators.erdos_renyi_gnm(60, 75, rng=2)
+        res = bc_labeling(g, seed=2)
+        assert same_partition(res.two_edge_labels, seq.two_edge_components(g))
+
+
+class TestPlantedStructure:
+    def test_planted_bridges_found_exactly(self):
+        g, planted = generators.bridged_clusters(5, 7, 3, rng=3)
+        res = bc_labeling(g, seed=3)
+        planted_set = {
+            (min(u, v), max(u, v)) for u, v in planted.tolist()
+        }
+        assert {tuple(e) for e in res.bridges.tolist()} == planted_set
+
+    def test_cluster_interiors_are_2edge_connected(self):
+        g, _ = generators.bridged_clusters(3, 8, 4, rng=4)
+        res = bc_labeling(g, seed=4)
+        for c in range(3):
+            block = res.two_edge_labels[c * 8:(c + 1) * 8]
+            assert np.unique(block).size == 1
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        g = generators.erdos_renyi_gnm(5, 0, rng=1)
+        res = bc_labeling(g, seed=1)
+        assert res.bridges.size == 0
+        assert res.articulation_points.size == 0
+        assert res.bcc_vertex_sets == []
+
+    def test_single_edge_is_bridge(self):
+        g = generators.path(2)
+        res = bc_labeling(g, seed=1)
+        assert res.bridges.tolist() == [[0, 1]]
+        assert res.articulation_points.size == 0
+
+    def test_triangle_has_no_bridges(self):
+        g = generators.cycle(3)
+        res = bc_labeling(g, seed=1)
+        assert res.bridges.size == 0
+        assert len(res.bcc_vertex_sets) == 1
+
+    def test_low_high_bounds(self):
+        g = generators.erdos_renyi_gnm(40, 60, rng=5)
+        res = bc_labeling(g, seed=5)
+        pn = res.forest.preorder
+        # Low/High always bracket the vertex's own preorder number.
+        assert np.all(res.low <= pn)
+        assert np.all(res.high >= pn)

@@ -1,0 +1,126 @@
+"""Tests for the §10 future-work extensions: vertex and edge coloring."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import generators
+from repro.algorithms.coloring import (
+    greedy_coloring,
+    greedy_edge_coloring,
+    sequential_greedy_coloring,
+    sequential_greedy_edge_coloring,
+)
+
+from conftest import graph_zoo
+
+
+class TestVertexColoring:
+    @pytest.mark.parametrize("name,graph", graph_zoo(seed=13))
+    def test_matches_sequential_greedy(self, name, graph):
+        res = greedy_coloring(graph, seed=5)
+        assert np.array_equal(
+            res.colors, sequential_greedy_coloring(graph, res.pi)
+        ), name
+
+    @pytest.mark.parametrize("name,graph", graph_zoo(seed=14))
+    def test_proper_and_delta_plus_one(self, name, graph):
+        res = greedy_coloring(graph, seed=6)
+        for u, v in graph.edges():
+            assert res.colors[u] != res.colors[v], name
+        if graph.n:
+            assert res.n_colors <= int(graph.degrees.max()) + 1, name
+
+    def test_complete_graph_uses_n_colors(self):
+        res = greedy_coloring(generators.complete(9), seed=1)
+        assert res.n_colors == 9
+
+    def test_bipartite_uses_two_colors(self):
+        # Even cycles are bipartite; greedy over any order uses <= 3, and
+        # properness is what matters — check <= 3 and proper.
+        g = generators.cycle(20)
+        res = greedy_coloring(g, seed=2)
+        assert res.n_colors <= 3
+
+    def test_star_uses_two_colors(self):
+        res = greedy_coloring(generators.star(12), seed=3)
+        assert res.n_colors == 2
+
+    def test_empty_graph_colors_everything_zero(self):
+        g = generators.erdos_renyi_gnm(10, 0, rng=1)
+        res = greedy_coloring(g, seed=1)
+        assert np.all(res.colors == 0)
+
+    def test_iterations_flat_in_n(self):
+        iters = []
+        for n in (200, 1600, 6400):
+            g = generators.erdos_renyi_gnm(n, 3 * n, rng=n)
+            iters.append(greedy_coloring(g, seed=1).iterations)
+        assert max(iters) <= 4, iters
+
+    def test_tiny_cap_still_exact(self):
+        g = generators.erdos_renyi_gnm(100, 300, rng=7)
+        res = greedy_coloring(g, seed=2, query_cap=4, max_iterations=1000)
+        assert np.array_equal(res.colors, sequential_greedy_coloring(g, res.pi))
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(4, 40), st.integers(0, 2000))
+    def test_property_random_graphs(self, n, seed):
+        m = min(2 * n, n * (n - 1) // 2)
+        g = generators.erdos_renyi_gnm(n, m, rng=seed)
+        res = greedy_coloring(g, seed=seed % 9)
+        assert np.array_equal(res.colors, sequential_greedy_coloring(g, res.pi))
+
+
+class TestEdgeColoring:
+    @pytest.mark.parametrize("name,graph", graph_zoo(seed=15))
+    def test_matches_sequential_greedy(self, name, graph):
+        res = greedy_edge_coloring(graph, seed=8)
+        assert np.array_equal(
+            res.colors, sequential_greedy_edge_coloring(graph, res.pi)
+        ), name
+
+    @pytest.mark.parametrize("name,graph", graph_zoo(seed=16))
+    def test_proper_edge_coloring(self, name, graph):
+        res = greedy_edge_coloring(graph, seed=9)
+        edges = graph.edges()
+        incident: dict[int, list[int]] = {}
+        for e in range(graph.m):
+            incident.setdefault(int(edges[e, 0]), []).append(e)
+            incident.setdefault(int(edges[e, 1]), []).append(e)
+        for v, es in incident.items():
+            cs = [int(res.colors[e]) for e in es]
+            assert len(set(cs)) == len(cs), (name, v)
+
+    def test_two_delta_minus_one_bound(self):
+        g = generators.erdos_renyi_gnm(100, 300, rng=10)
+        res = greedy_edge_coloring(g, seed=3)
+        assert res.n_colors <= 2 * int(g.degrees.max()) - 1
+
+    def test_matching_gets_one_color(self):
+        from repro.graph.graph import Graph
+
+        g = Graph.from_edges(6, [(0, 1), (2, 3), (4, 5)])
+        res = greedy_edge_coloring(g, seed=1)
+        assert res.n_colors == 1
+
+    def test_star_needs_degree_colors(self):
+        g = generators.star(9)
+        res = greedy_edge_coloring(g, seed=2)
+        assert res.n_colors == 8  # all edges share the center
+
+    def test_empty(self):
+        g = generators.erdos_renyi_gnm(4, 0, rng=1)
+        res = greedy_edge_coloring(g, seed=1)
+        assert res.colors.size == 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(4, 30), st.integers(0, 2000))
+    def test_property_random_graphs(self, n, seed):
+        m = min(2 * n, n * (n - 1) // 2)
+        g = generators.erdos_renyi_gnm(n, m, rng=seed)
+        res = greedy_edge_coloring(g, seed=seed % 7)
+        assert np.array_equal(
+            res.colors, sequential_greedy_edge_coloring(g, res.pi)
+        )

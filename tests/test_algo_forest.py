@@ -1,0 +1,102 @@
+"""Tests for cycle connectivity and forest connectivity (§8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import generators, validation
+from repro.algorithms.forest import cycle_connectivity, forest_connectivity
+
+
+class TestCycleConnectivity:
+    @pytest.mark.parametrize("lengths", [
+        [3], [5], [100], [3, 3], [10, 20, 30], [3] * 25, [150, 7],
+    ])
+    def test_partitions_match(self, lengths):
+        g = generators.union_of_cycles(lengths)
+        res = cycle_connectivity(g, seed=sum(lengths))
+        assert res.n_cycles == len(lengths)
+        assert validation.same_partition(
+            res.labels, validation.components_reference(g)
+        )
+
+    def test_relabeled_cycles(self):
+        g = generators.union_of_cycles([40, 60])
+        g2, _ = generators.relabel(g, rng=5)
+        res = cycle_connectivity(g2, seed=1)
+        assert res.n_cycles == 2
+
+    def test_rejects_non_cycle_input(self):
+        with pytest.raises(ValueError):
+            cycle_connectivity(generators.path(6), seed=1)
+
+    def test_rounds_flat_in_n(self):
+        rounds = []
+        for n in (64, 512, 4096):
+            g = generators.union_of_cycles([n // 2, n // 2])
+            rounds.append(cycle_connectivity(g, seed=1).report.n_rounds)
+        assert max(rounds) - min(rounds) <= 4, rounds
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(3, 40), min_size=1, max_size=8),
+           st.integers(0, 1000))
+    def test_property_random_unions(self, lengths, seed):
+        g = generators.union_of_cycles(lengths)
+        g2, _ = generators.relabel(g, rng=seed)
+        res = cycle_connectivity(g2, seed=seed % 7)
+        assert res.n_cycles == len(lengths)
+
+
+class TestForestConnectivity:
+    @pytest.mark.parametrize("n,k", [(50, 1), (100, 4), (80, 20), (30, 30)])
+    def test_partitions_match(self, n, k):
+        g = generators.random_forest(n, k, rng=n + k)
+        res = forest_connectivity(g, seed=1)
+        assert validation.same_partition(
+            res.labels, validation.components_reference(g)
+        )
+        assert res.n_trees == k
+
+    def test_single_path(self):
+        g = generators.path(64)
+        res = forest_connectivity(g, seed=2)
+        assert res.n_trees == 1
+
+    def test_star_forest(self):
+        g = generators.disjoint_union([generators.star(10), generators.star(7)])
+        res = forest_connectivity(g, seed=3)
+        assert res.n_trees == 2
+
+    def test_isolated_vertices_are_own_trees(self):
+        g = generators.random_forest(12, 12, rng=1)
+        res = forest_connectivity(g, seed=1)
+        assert res.n_trees == 12
+        assert np.array_equal(res.labels, np.arange(12))
+
+    def test_rejects_cyclic_input(self):
+        with pytest.raises(ValueError):
+            forest_connectivity(generators.cycle(6), seed=1)
+
+    def test_rounds_flat_in_n(self):
+        rounds = []
+        for n in (64, 512, 4096):
+            g = generators.random_tree(n, rng=n)
+            rounds.append(forest_connectivity(g, seed=1).report.n_rounds)
+        assert max(rounds) - min(rounds) <= 4, rounds
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(2, 60), st.integers(1, 8), st.integers(0, 1000))
+    def test_property_random_forests(self, n, k, seed):
+        k = min(k, n)
+        g = generators.random_forest(n, k, rng=seed)
+        res = forest_connectivity(g, seed=seed % 5)
+        assert validation.same_partition(
+            res.labels, validation.components_reference(g)
+        )
+
+    def test_deterministic(self):
+        g = generators.random_forest(100, 5, rng=9)
+        a = forest_connectivity(g, seed=4)
+        b = forest_connectivity(g, seed=4)
+        assert np.array_equal(a.labels, b.labels)

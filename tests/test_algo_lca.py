@@ -1,0 +1,125 @@
+"""Tests for depths and LCA over the Euler/RMQ toolkit."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import generators
+from repro.algorithms.tree_ops import LCAIndex, depths, root_forest
+
+
+def brute_lca(parent, u, v):
+    ancestors = set()
+    x = u
+    while True:
+        ancestors.add(x)
+        if parent[x] == x:
+            break
+        x = int(parent[x])
+    x = v
+    while x not in ancestors:
+        x = int(parent[x])
+    return x
+
+
+class TestDepths:
+    def test_path_depths(self):
+        g = generators.path(12)
+        rf = root_forest(g, roots=np.array([0]), seed=1)
+        assert depths(rf).tolist() == list(range(12))
+
+    def test_star_depths(self):
+        g = generators.star(9)
+        rf = root_forest(g, roots=np.array([0]), seed=1)
+        d = depths(rf)
+        assert d[0] == 0 and np.all(d[1:] == 1)
+
+    def test_roots_have_depth_zero(self):
+        g = generators.random_forest(60, 5, rng=2)
+        rf = root_forest(g, seed=2)
+        d = depths(rf)
+        assert np.all(d[rf.roots] == 0)
+
+    def test_depth_is_parent_depth_plus_one(self):
+        g = generators.random_tree(40, rng=3)
+        rf = root_forest(g, seed=3)
+        d = depths(rf)
+        for v in range(40):
+            if rf.parent[v] != v:
+                assert d[v] == d[rf.parent[v]] + 1
+
+
+class TestLCA:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_brute_force(self, seed):
+        g = generators.random_tree(60, rng=seed)
+        rf = root_forest(g, seed=seed)
+        idx = LCAIndex(rf)
+        rng = np.random.default_rng(seed)
+        for u, v in rng.integers(0, 60, (80, 2)).tolist():
+            assert idx.lca(u, v) == brute_lca(rf.parent, u, v)
+
+    def test_lca_of_vertex_with_itself(self):
+        g = generators.random_tree(20, rng=4)
+        rf = root_forest(g, seed=4)
+        idx = LCAIndex(rf)
+        assert idx.lca(7, 7) == 7
+
+    def test_lca_with_root(self):
+        g = generators.random_tree(25, rng=5)
+        rf = root_forest(g, seed=5)
+        idx = LCAIndex(rf)
+        root = int(rf.roots[0])
+        for v in range(25):
+            assert idx.lca(root, v) == root
+
+    def test_ancestor_is_own_lca(self):
+        g = generators.path(15)
+        rf = root_forest(g, roots=np.array([0]), seed=1)
+        idx = LCAIndex(rf)
+        assert idx.lca(3, 11) == 3
+        assert idx.lca(11, 3) == 3
+
+    def test_cross_tree_rejected(self):
+        g = generators.disjoint_union(
+            [generators.path(5), generators.path(5)]
+        )
+        rf = root_forest(g, seed=1)
+        idx = LCAIndex(rf)
+        with pytest.raises(ValueError):
+            idx.lca(0, 7)
+
+    def test_distance_matches_shortest_path(self):
+        g = generators.random_tree(50, rng=6)
+        rf = root_forest(g, seed=6)
+        idx = LCAIndex(rf)
+        G = nx.Graph()
+        G.add_nodes_from(range(50))
+        G.add_edges_from(map(tuple, g.edges().tolist()))
+        rng = np.random.default_rng(6)
+        for u, v in rng.integers(0, 50, (40, 2)).tolist():
+            assert idx.distance(u, v) == nx.shortest_path_length(G, u, v)
+
+    def test_works_on_forest(self):
+        g = generators.random_forest(60, 4, rng=7)
+        rf = root_forest(g, seed=7)
+        idx = LCAIndex(rf)
+        labels = rf.root_of
+        for lab in np.unique(labels).tolist():
+            members = np.flatnonzero(labels == lab)
+            if members.size >= 2:
+                u, v = int(members[0]), int(members[-1])
+                assert idx.lca(u, v) == brute_lca(rf.parent, u, v)
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(2, 40), st.integers(0, 2000), st.data())
+    def test_property_random_trees(self, n, seed, data):
+        g = generators.random_tree(n, rng=seed)
+        rf = root_forest(g, seed=seed % 7)
+        idx = LCAIndex(rf)
+        u = data.draw(st.integers(0, n - 1))
+        v = data.draw(st.integers(0, n - 1))
+        got = idx.lca(u, v)
+        assert got == brute_lca(rf.parent, u, v)

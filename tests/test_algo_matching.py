@@ -1,0 +1,89 @@
+"""Tests for the maximal-matching extension (paper §10 future work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import generators
+from repro.algorithms.matching import maximal_matching, sequential_lfmm
+
+from conftest import graph_zoo
+
+
+def assert_valid_matching(g, edge_ids):
+    edges = g.edges()
+    used: set[int] = set()
+    for e in edge_ids.tolist():
+        u, v = int(edges[e, 0]), int(edges[e, 1])
+        assert u not in used and v not in used, "not a matching"
+        used.add(u)
+        used.add(v)
+    for e in range(g.m):
+        u, v = int(edges[e, 0]), int(edges[e, 1])
+        assert u in used or v in used, "not maximal"
+
+
+class TestLFMMEquality:
+    @pytest.mark.parametrize("name,graph", graph_zoo(seed=9))
+    def test_matches_sequential_greedy(self, name, graph):
+        res = maximal_matching(graph, seed=7)
+        assert np.array_equal(res.edge_ids, sequential_lfmm(graph, res.pi)), name
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(4, 50), st.integers(0, 4000))
+    def test_property_random_graphs(self, n, seed):
+        m = min(2 * n, n * (n - 1) // 2)
+        g = generators.erdos_renyi_gnm(n, m, rng=seed)
+        res = maximal_matching(g, seed=seed % 11)
+        assert np.array_equal(res.edge_ids, sequential_lfmm(g, res.pi))
+
+
+class TestMatchingValidity:
+    @pytest.mark.parametrize("name,graph", graph_zoo(seed=10))
+    def test_matching_and_maximal(self, name, graph):
+        res = maximal_matching(graph, seed=3)
+        assert_valid_matching(graph, res.edge_ids)
+
+    def test_star_matches_exactly_one(self):
+        res = maximal_matching(generators.star(15), seed=1)
+        assert res.edge_ids.size == 1
+
+    def test_perfect_matching_on_disjoint_edges(self):
+        edges = np.array([[0, 1], [2, 3], [4, 5]])
+        from repro.graph.graph import Graph
+
+        g = Graph.from_edges(6, edges)
+        res = maximal_matching(g, seed=1)
+        assert res.edge_ids.tolist() == [0, 1, 2]
+
+    def test_empty_graph(self):
+        g = generators.erdos_renyi_gnm(5, 0, rng=1)
+        res = maximal_matching(g, seed=1)
+        assert res.edge_ids.size == 0
+
+    def test_path_alternation(self):
+        g = generators.path(9)
+        res = maximal_matching(g, seed=2)
+        # Any maximal matching of P9 has 3 or 4 edges.
+        assert res.edge_ids.size in (3, 4)
+
+
+class TestMatchingComplexity:
+    def test_iterations_flat_in_n(self):
+        iters = []
+        for n in (200, 1600, 6400):
+            g = generators.erdos_renyi_gnm(n, 3 * n, rng=n)
+            iters.append(maximal_matching(g, seed=1).iterations)
+        assert max(iters) <= 3, iters
+
+    def test_tiny_cap_still_exact(self):
+        g = generators.erdos_renyi_gnm(120, 360, rng=5)
+        res = maximal_matching(g, seed=2, query_cap=4, max_iterations=500)
+        assert np.array_equal(res.edge_ids, sequential_lfmm(g, res.pi))
+
+    def test_deterministic(self):
+        g = generators.erdos_renyi_gnm(300, 900, rng=6)
+        a = maximal_matching(g, seed=4)
+        b = maximal_matching(g, seed=4)
+        assert np.array_equal(a.edge_ids, b.edge_ids)

@@ -1,0 +1,113 @@
+"""Tests for the AMPC maximal independent set (§5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import generators
+from repro.algorithms.mis import maximal_independent_set, sequential_lfmis
+from repro.baselines.luby_mis import luby_mis
+
+from conftest import graph_zoo
+
+
+def assert_valid_mis(g, in_mis):
+    mis = np.flatnonzero(in_mis)
+    mis_set = set(mis.tolist())
+    for u, v in g.edges():
+        assert not (int(u) in mis_set and int(v) in mis_set), "not independent"
+    for v in range(g.n):
+        if v not in mis_set:
+            assert any(int(u) in mis_set for u in g.neighbors(v)), "not maximal"
+
+
+class TestLFMISEquality:
+    """The algorithm must produce *exactly* LFMIS(G, π), not just any MIS."""
+
+    @pytest.mark.parametrize("name,graph", graph_zoo(seed=3))
+    def test_matches_sequential_greedy(self, name, graph):
+        res = maximal_independent_set(graph, seed=11)
+        ref = sequential_lfmis(graph, res.pi)
+        assert np.array_equal(res.in_mis, ref), name
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(5, 60), st.integers(0, 5000))
+    def test_property_random_graphs(self, n, seed):
+        m = min(n * 2, n * (n - 1) // 2)
+        g = generators.erdos_renyi_gnm(n, m, rng=seed)
+        res = maximal_independent_set(g, seed=seed % 13)
+        assert np.array_equal(res.in_mis, sequential_lfmis(g, res.pi))
+
+
+class TestMISValidity:
+    @pytest.mark.parametrize("name,graph", graph_zoo(seed=5))
+    def test_independent_and_maximal(self, name, graph):
+        res = maximal_independent_set(graph, seed=2)
+        assert_valid_mis(graph, res.in_mis)
+
+    def test_isolated_vertices_always_in_mis(self):
+        g = generators.random_forest(20, 20, rng=1)  # all isolated
+        res = maximal_independent_set(g, seed=1)
+        assert res.in_mis.all()
+
+    def test_complete_graph_single_vertex(self):
+        g = generators.complete(12)
+        res = maximal_independent_set(g, seed=3)
+        assert res.vertices.size == 1
+        # The winner is the minimum-priority vertex.
+        assert res.pi[res.vertices[0]] == res.pi.min()
+
+    def test_empty_graph(self):
+        g = generators.erdos_renyi_gnm(1, 0, rng=0)
+        res = maximal_independent_set(g, seed=0)
+        assert res.vertices.tolist() == [0]
+
+
+class TestMISComplexity:
+    def test_iterations_flat_in_n(self):
+        iters = []
+        for n in (200, 1600, 6400):
+            g = generators.erdos_renyi_gnm(n, 3 * n, rng=n)
+            iters.append(maximal_independent_set(g, seed=1).iterations)
+        assert max(iters) <= 3, iters
+
+    def test_luby_baseline_needs_more_iterations_at_scale(self):
+        g = generators.erdos_renyi_gnm(3000, 9000, rng=4)
+        ampc = maximal_independent_set(g, seed=1)
+        luby = luby_mis(g, seed=1)
+        assert luby.iterations > ampc.iterations
+
+    def test_total_query_calls_near_m_plus_n(self):
+        # Proposition 5.1: E[sum q_pi(v)] <= m + n for the untruncated
+        # process; the truncated one re-queries across iterations, so
+        # allow a small constant factor.
+        g = generators.erdos_renyi_gnm(1000, 4000, rng=7)
+        res = maximal_independent_set(g, seed=3)
+        assert res.total_query_calls < 4 * (g.n + g.m)
+
+    def test_query_cap_respected_via_budget(self):
+        g = generators.barabasi_albert(500, 4, rng=8)
+        res = maximal_independent_set(g, seed=2, query_cap=32)
+        assert_valid_mis(g, res.in_mis)
+
+    def test_tiny_query_cap_still_terminates(self):
+        g = generators.erdos_renyi_gnm(100, 300, rng=9)
+        res = maximal_independent_set(g, seed=1, query_cap=4,
+                                      max_iterations=500)
+        assert np.array_equal(res.in_mis, sequential_lfmis(g, res.pi))
+
+    def test_deterministic_given_seed(self):
+        g = generators.erdos_renyi_gnm(300, 900, rng=10)
+        a = maximal_independent_set(g, seed=6)
+        b = maximal_independent_set(g, seed=6)
+        assert np.array_equal(a.in_mis, b.in_mis)
+        assert a.report.n_rounds == b.report.n_rounds
+
+    def test_different_seeds_may_differ(self):
+        g = generators.erdos_renyi_gnm(300, 900, rng=10)
+        a = maximal_independent_set(g, seed=1)
+        b = maximal_independent_set(g, seed=2)
+        # Different permutations: allow equality but sizes usually differ;
+        # at minimum both are valid and pis differ.
+        assert not np.array_equal(a.pi, b.pi)

@@ -1,0 +1,143 @@
+"""Tests for tree rooting, subtree sizes, preorder, subtree extrema (§8.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import generators
+from repro.algorithms.tree_ops import root_forest
+
+
+def reference_tables(graph, parent, roots):
+    """Sizes, depths, and subtree membership from the parent array."""
+    n = graph.n
+    depth = np.zeros(n, dtype=np.int64)
+    for v in range(n):
+        x, c = v, 0
+        while parent[x] != x:
+            x = int(parent[x])
+            c += 1
+        depth[v] = c
+    size = np.ones(n, dtype=np.int64)
+    for v in np.argsort(-depth):
+        if parent[v] != v:
+            size[parent[v]] += size[v]
+    members = {v: [v] for v in range(n)}
+    for v in range(n):
+        x = v
+        while parent[x] != x:
+            x = int(parent[x])
+            members[x].append(v)
+    return depth, size, members
+
+
+class TestRooting:
+    @pytest.mark.parametrize("maker,seed", [
+        (lambda: generators.random_tree(50, rng=1), 1),
+        (lambda: generators.random_forest(80, 5, rng=2), 2),
+        (lambda: generators.path(33), 3),
+        (lambda: generators.star(21), 4),
+        (lambda: generators.caterpillar(8, 2), 5),
+    ])
+    def test_parent_is_valid_orientation(self, maker, seed):
+        g = maker()
+        rf = root_forest(g, seed=seed)
+        roots = set(rf.roots.tolist())
+        for v in range(g.n):
+            p = int(rf.parent[v])
+            if v in roots:
+                assert p == v
+            else:
+                assert g.has_edge(v, p)
+        # Every vertex reaches a root.
+        for v in range(g.n):
+            x, hops = v, 0
+            while rf.parent[x] != x:
+                x = int(rf.parent[x])
+                hops += 1
+                assert hops <= g.n
+            assert x in roots
+
+    def test_default_roots_are_component_minima(self):
+        g = generators.random_forest(40, 4, rng=7)
+        rf = root_forest(g, seed=1)
+        from repro.graph.validation import components_reference
+
+        assert rf.roots.tolist() == np.unique(components_reference(g)).tolist()
+
+    def test_custom_root_respected(self):
+        g = generators.random_tree(30, rng=8)
+        rf = root_forest(g, roots=np.array([17]), seed=1)
+        assert rf.parent[17] == 17
+        assert rf.roots.tolist() == [17]
+
+    def test_duplicate_roots_rejected(self):
+        g = generators.path(6)
+        with pytest.raises(ValueError):
+            root_forest(g, roots=np.array([0, 3]), seed=1)
+
+    def test_non_forest_rejected(self):
+        with pytest.raises(ValueError):
+            root_forest(generators.cycle(5), seed=1)
+
+    def test_root_of_consistent_with_parent_chains(self):
+        g = generators.random_forest(60, 6, rng=9)
+        rf = root_forest(g, seed=1)
+        for v in range(g.n):
+            x = v
+            while rf.parent[x] != x:
+                x = int(rf.parent[x])
+            assert rf.root_of[v] == x
+
+
+class TestDerivedTables:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_subtree_sizes(self, seed):
+        g = generators.random_forest(70, 3, rng=seed)
+        rf = root_forest(g, seed=seed)
+        _, size, _ = reference_tables(g, rf.parent, rf.roots)
+        assert np.array_equal(rf.subtree_size, size)
+
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_preorder_unique_and_interval_consistent(self, seed):
+        g = generators.random_forest(60, 4, rng=seed)
+        rf = root_forest(g, seed=seed)
+        assert np.unique(rf.preorder).size == g.n
+        _, _, members = reference_tables(g, rf.parent, rf.roots)
+        for v in range(g.n):
+            lo = rf.preorder[v]
+            hi = lo + rf.subtree_size[v] - 1
+            got = sorted(int(rf.preorder[u]) for u in members[v])
+            assert got == list(range(lo, hi + 1))
+
+    def test_preorder_of_child_greater_than_parent(self):
+        g = generators.random_tree(40, rng=6)
+        rf = root_forest(g, seed=2)
+        for v in range(g.n):
+            if rf.parent[v] != v:
+                assert rf.preorder[v] > rf.preorder[rf.parent[v]]
+
+    @pytest.mark.parametrize("seed", [7, 8])
+    def test_subtree_extrema_match_bruteforce(self, seed):
+        g = generators.random_forest(50, 3, rng=seed)
+        rf = root_forest(g, seed=seed)
+        rng = np.random.default_rng(seed)
+        vals = rng.integers(0, 1000, g.n).astype(np.float64)
+        ex = rf.subtree_values_rmq(vals)
+        _, _, members = reference_tables(g, rf.parent, rf.roots)
+        amin, amax = ex.all_subtree_min(), ex.all_subtree_max()
+        for v in range(g.n):
+            assert amin[v] == min(vals[members[v]])
+            assert amax[v] == max(vals[members[v]])
+            assert ex.subtree_min(v) == amin[v]
+            assert ex.subtree_max(v) == amax[v]
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(2, 50), st.integers(0, 2000))
+    def test_property_random_trees(self, n, seed):
+        g = generators.random_tree(n, rng=seed)
+        rf = root_forest(g, seed=seed % 9)
+        _, size, members = reference_tables(g, rf.parent, rf.roots)
+        assert np.array_equal(rf.subtree_size, size)
+        assert np.unique(rf.preorder).size == n

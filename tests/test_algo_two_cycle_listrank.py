@@ -1,0 +1,143 @@
+"""Tests for the 2-Cycle solver (§4) and list ranking (§8.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import generators
+from repro.algorithms.two_cycle import two_cycle
+from repro.algorithms.list_ranking import (
+    list_ranking,
+    multi_list_ranking,
+    sequential_list_ranks,
+)
+from repro.baselines.pointer_doubling import mpc_list_ranking, mpc_two_cycle
+
+
+class TestTwoCycle:
+    @pytest.mark.parametrize("n", [16, 64, 256, 1024])
+    @pytest.mark.parametrize("two", [False, True])
+    def test_answers_correct(self, n, two):
+        g, truth = generators.two_cycle_instance(n, two, rng=n + two)
+        res = two_cycle(g, seed=5)
+        assert res.is_two_cycles == truth
+        assert res.n_cycles == (2 if two else 1)
+
+    def test_cycle_lengths_recovered(self):
+        g, _ = generators.two_cycle_instance(400, True, rng=1)
+        res = two_cycle(g, seed=2)
+        assert res.cycle_lengths == [200, 200]
+        g, _ = generators.two_cycle_instance(400, False, rng=2)
+        res = two_cycle(g, seed=2)
+        assert res.cycle_lengths == [400]
+
+    def test_generalizes_to_many_cycles(self):
+        g = generators.union_of_cycles([50, 30, 20])
+        res = two_cycle(g, seed=3)
+        assert res.n_cycles == 3
+        assert sorted(res.cycle_lengths) == [20, 30, 50]
+
+    def test_rounds_flat_in_n(self):
+        rounds = []
+        for n in (64, 512, 4096):
+            g, _ = generators.two_cycle_instance(n, n % 3 == 0, rng=n)
+            rounds.append(two_cycle(g, seed=1).report.n_rounds)
+        assert max(rounds) - min(rounds) <= 2
+
+    def test_mpc_baseline_grows_with_n(self):
+        r64 = mpc_two_cycle(generators.two_cycle_instance(64, True, rng=1)[0],
+                            seed=1).report.n_rounds
+        r4096 = mpc_two_cycle(
+            generators.two_cycle_instance(4096, True, rng=2)[0], seed=1
+        ).report.n_rounds
+        assert r4096 >= r64 + 8  # ~2 rounds per extra doubling of n
+
+    def test_rejects_non_cycle_input(self):
+        g = generators.path(10)
+        with pytest.raises(ValueError):
+            two_cycle(g, seed=1)
+
+    def test_deterministic(self):
+        g, _ = generators.two_cycle_instance(128, True, rng=7)
+        a = two_cycle(g, seed=4)
+        b = two_cycle(g, seed=4)
+        assert a.cycle_lengths == b.cycle_lengths
+        assert a.report.n_rounds == b.report.n_rounds
+
+
+class TestListRanking:
+    @pytest.mark.parametrize("n", [1, 2, 10, 100, 1500])
+    def test_matches_sequential(self, n):
+        succ = generators.linked_list(n, rng=n)
+        res = list_ranking(succ, seed=3)
+        assert np.array_equal(res.ranks, sequential_list_ranks(succ))
+
+    def test_head_rank_zero(self):
+        succ = generators.linked_list(80, rng=4)
+        res = list_ranking(succ, seed=1)
+        assert res.ranks[res.head] == 0
+
+    def test_ranks_are_permutation(self):
+        succ = generators.linked_list(200, rng=5)
+        res = list_ranking(succ, seed=2)
+        assert np.all(np.sort(res.ranks) == np.arange(200))
+
+    def test_rounds_flat_in_n(self):
+        rounds = [
+            list_ranking(generators.linked_list(n, rng=n), seed=1).report.n_rounds
+            for n in (64, 512, 4096)
+        ]
+        assert max(rounds) - min(rounds) <= 2
+
+    def test_mpc_baseline_matches_but_slower(self):
+        succ = generators.linked_list(512, rng=6)
+        ampc = list_ranking(succ, seed=1)
+        mpc = mpc_list_ranking(succ, seed=1)
+        assert np.array_equal(ampc.ranks, mpc.ranks)
+        assert mpc.report.n_rounds > ampc.report.n_rounds
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 200), st.integers(0, 10_000))
+    def test_property_random_lists(self, n, seed):
+        succ = generators.linked_list(n, rng=seed)
+        res = list_ranking(succ, seed=seed % 17)
+        assert np.array_equal(res.ranks, sequential_list_ranks(succ))
+
+
+class TestMultiListRanking:
+    def build_union(self, sizes, seed=0):
+        offset = 0
+        succs, heads = [], []
+        for i, size in enumerate(sizes):
+            s = generators.linked_list(size, rng=seed + i)
+            heads.append(generators.list_head(s) + offset)
+            succs.append(np.where(s >= 0, s + offset, -1))
+            offset += size
+        return np.concatenate(succs), np.array(heads, np.int64), sizes
+
+    def test_each_list_ranked_independently(self):
+        succ, heads, sizes = self.build_union([30, 50, 20], seed=2)
+        res = multi_list_ranking(succ, heads, seed=1)
+        offset = 0
+        for i, size in enumerate(sizes):
+            sub = succ[offset:offset + size]
+            local = np.where(sub >= 0, sub - offset, -1)
+            assert np.array_equal(
+                res.ranks[offset:offset + size], sequential_list_ranks(local)
+            )
+            assert np.all(res.head_of[offset:offset + size] == heads[i])
+            offset += size
+
+    def test_single_element_lists(self):
+        succ = np.full(5, -1, dtype=np.int64)
+        heads = np.arange(5, dtype=np.int64)
+        res = multi_list_ranking(succ, heads, seed=1)
+        assert np.all(res.ranks == 0)
+        assert np.array_equal(res.head_of, heads)
+
+    def test_unreachable_survivor_detected(self):
+        # A cycle has no head; it can never be covered by head walks.
+        succ = np.array([1, 0], dtype=np.int64)
+        with pytest.raises((ValueError, RuntimeError)):
+            multi_list_ranking(succ, np.zeros(0, np.int64), seed=1)

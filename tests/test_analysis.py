@@ -1,0 +1,106 @@
+"""Tests for contention analysis, complexity fitting, and report tables."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ComparisonRow,
+    ContentionStats,
+    Figure1Report,
+    balls_in_bins_trial,
+    best_family,
+    contention_profile,
+    fit_family,
+    growth_ratio,
+    render_table,
+)
+
+
+class TestBallsInBins:
+    def test_lemma_regime_max_load_is_o_of_s(self):
+        # P = O(S^{1-eps}): T = 2^20, P = 64, S = 2^14.
+        stats = balls_in_bins_trial(1 << 20, 64, rng=1)
+        assert stats.mean_load == pytest.approx((1 << 20) / 64)
+        assert stats.ratio < 1.5  # O(S) w.h.p. with small constant
+
+    def test_ratio_concentrates_as_s_grows(self):
+        small = balls_in_bins_trial(1 << 10, 32, rng=2)
+        large = balls_in_bins_trial(1 << 18, 32, rng=2)
+        assert large.ratio < small.ratio
+
+    def test_heavy_balls_profile(self):
+        stats = balls_in_bins_trial(10_000, 16, max_ball_weight=16, rng=3)
+        assert stats.n_bins == 16
+        assert stats.max_load >= stats.mean_load
+
+    def test_from_loads(self):
+        stats = ContentionStats.from_loads(np.array([10.0, 10.0, 10.0]))
+        assert stats.ratio == 1.0 and stats.gini == pytest.approx(0.0)
+
+    def test_empty_loads(self):
+        stats = ContentionStats.from_loads(np.zeros(0))
+        assert stats.max_load == 0.0
+
+
+class TestContentionProfile:
+    def test_profile_from_real_run(self):
+        from repro.graph import generators
+        from repro.algorithms.two_cycle import two_cycle
+
+        g, _ = generators.two_cycle_instance(512, True, rng=1)
+        res = two_cycle(g, seed=1)
+        stats = contention_profile(res.report)
+        assert stats.n_bins > 0
+        assert stats.max_load > 0
+
+    def test_empty_report(self):
+        from repro.core import RunReport
+
+        stats = contention_profile(RunReport())
+        assert stats.n_bins == 0
+
+
+class TestComplexityFits:
+    def test_constant_data_prefers_constant(self):
+        ns = np.array([100, 1000, 10_000, 100_000])
+        rounds = np.array([7, 7, 8, 7])
+        assert best_family(ns, rounds) == "constant"
+
+    def test_log_data_prefers_log(self):
+        ns = np.array([2**k for k in range(6, 18)])
+        rounds = np.array([2 * k + 1 for k in range(6, 18)])
+        assert best_family(ns, rounds) == "log"
+
+    def test_loglog_data_prefers_loglog_over_log(self):
+        ns = np.array([2**k for k in range(4, 20)])
+        rounds = 3 + 2 * np.log2(np.log2(ns))
+        fits = {
+            fam: fit_family(ns, rounds, fam).rss
+            for fam in ("constant", "loglog", "log")
+        }
+        assert fits["loglog"] < fits["log"]
+        assert fits["loglog"] < fits["constant"]
+
+    def test_growth_ratio(self):
+        ns = np.array([10, 1000])
+        assert growth_ratio(ns, np.array([5, 5])) == 1.0
+        assert growth_ratio(ns, np.array([5, 15])) == 3.0
+
+
+class TestReports:
+    def test_figure1_rendering(self):
+        report = Figure1Report()
+        report.add(ComparisonRow("2-cycle", 1024, 1024, 6, 21))
+        text = report.render()
+        assert "2-cycle" in text
+        assert "3.50" in text  # 21 / 6
+
+    def test_speedup_zero_safe(self):
+        row = ComparisonRow("x", 1, 1, 0, 5)
+        assert row.speedup == 0.0
+
+    def test_render_table(self):
+        text = render_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "333" in lines[2] or "333" in lines[3]

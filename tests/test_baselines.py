@@ -1,0 +1,145 @@
+"""Tests for the MPC baselines and sequential references."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import generators, validation
+from repro.algorithms.list_ranking import sequential_list_ranks
+from repro.algorithms.msf import sequential_msf_ids
+from repro.baselines import (
+    boruvka_msf,
+    hooking_connectivity,
+    label_propagation,
+    luby_mis,
+    mpc_list_ranking,
+    mpc_list_ranking_simulated,
+    mpc_two_cycle,
+    seq,
+)
+
+
+class TestMPCTwoCycle:
+    @pytest.mark.parametrize("n", [8, 64, 500])
+    @pytest.mark.parametrize("two", [False, True])
+    def test_correct(self, n, two):
+        g, truth = generators.two_cycle_instance(max(n, 8), two, rng=n)
+        res = mpc_two_cycle(g, seed=1)
+        assert res.is_two_cycles == truth
+
+    def test_round_count_is_two_per_doubling(self):
+        g, _ = generators.two_cycle_instance(256, True, rng=1)
+        res = mpc_two_cycle(g, seed=1)
+        assert res.iterations == 8  # log2(256)
+        assert res.report.n_rounds == 1 + 2 * 8  # orient + jumps
+
+    def test_counts_many_cycles(self):
+        g = generators.union_of_cycles([10, 12, 14])
+        assert mpc_two_cycle(g, seed=1).n_cycles == 3
+
+
+class TestMPCListRanking:
+    @pytest.mark.parametrize("n", [1, 2, 33, 400])
+    def test_matches_sequential(self, n):
+        succ = generators.linked_list(n, rng=n)
+        res = mpc_list_ranking(succ, seed=1)
+        assert np.array_equal(res.ranks, sequential_list_ranks(succ))
+
+    def test_simulated_variant_agrees_with_charged(self):
+        succ = generators.linked_list(120, rng=3)
+        fast = mpc_list_ranking(succ, seed=2)
+        slow = mpc_list_ranking_simulated(succ, seed=2)
+        assert np.array_equal(fast.ranks, slow.ranks)
+        assert fast.iterations == slow.iterations
+        assert fast.report.n_rounds == slow.report.n_rounds
+
+    def test_simulated_variant_uses_real_messages(self):
+        succ = generators.linked_list(60, rng=4)
+        res = mpc_list_ranking_simulated(succ, seed=1)
+        # Message traffic must be non-trivial: every element's state is
+        # re-sent and dereferenced each iteration.
+        assert res.report.total_reads > 60 * res.iterations
+
+
+class TestLuby:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_valid_mis(self, seed):
+        g = generators.erdos_renyi_gnm(150, 400, rng=seed)
+        res = luby_mis(g, seed=seed)
+        mis = set(res.vertices.tolist())
+        for u, v in g.edges():
+            assert not (int(u) in mis and int(v) in mis)
+        for v in range(g.n):
+            assert v in mis or any(int(u) in mis for u in g.neighbors(v))
+
+    def test_isolated_vertices_join(self):
+        g = generators.random_forest(10, 10, rng=1)
+        assert luby_mis(g, seed=1).in_mis.all()
+
+    def test_two_rounds_per_iteration(self):
+        g = generators.erdos_renyi_gnm(100, 250, rng=2)
+        res = luby_mis(g, seed=2)
+        assert res.report.n_rounds == 2 * res.iterations
+
+
+class TestConnectivityBaselines:
+    def test_label_propagation_iterations_close_to_diameter(self):
+        g = generators.path(50)  # diameter 49
+        res = label_propagation(g, seed=1)
+        assert 25 <= res.iterations <= 51
+
+    def test_hooking_handles_star(self):
+        g = generators.star(100)
+        res = hooking_connectivity(g, seed=1)
+        assert res.n_components == 1
+        assert res.iterations <= 3
+
+    def test_both_agree_with_reference(self):
+        g = generators.erdos_renyi_gnm(200, 260, rng=3)
+        ref = validation.components_reference(g)
+        assert validation.same_partition(label_propagation(g, seed=1).labels, ref)
+        assert validation.same_partition(hooking_connectivity(g, seed=1).labels, ref)
+
+
+class TestBoruvka:
+    def test_matches_kruskal_and_networkx(self):
+        g = generators.erdos_renyi_gnm(100, 300, rng=4)
+        wg = generators.with_random_weights(g, rng=4)
+        res = boruvka_msf(wg, seed=1)
+        assert np.array_equal(res.edge_ids, sequential_msf_ids(wg))
+
+    def test_duplicate_weights_rejected(self):
+        from repro.graph.graph import WeightedGraph
+
+        wg = WeightedGraph.from_weighted_edges(3, [(0, 1), (1, 2)], [2.0, 2.0])
+        with pytest.raises(ValueError):
+            boruvka_msf(wg, seed=1)
+
+    def test_iterations_at_most_log_n(self):
+        g = generators.grid(16, 16)
+        wg = generators.with_random_weights(g, rng=5)
+        res = boruvka_msf(wg, seed=1)
+        assert res.iterations <= 9  # log2(256) + 1
+
+
+class TestSequentialReferences:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_bridges_articulation_vs_networkx(self, seed):
+        g = generators.erdos_renyi_gnm(45, 60, rng=seed)
+        G = nx.Graph()
+        G.add_nodes_from(range(g.n))
+        G.add_edges_from(map(tuple, g.edges().tolist()))
+        bridges, artic = seq.bridges_and_articulation(g)
+        assert {tuple(e) for e in bridges.tolist()} == {
+            tuple(sorted(e)) for e in nx.bridges(G)
+        }
+        assert set(artic.tolist()) == set(nx.articulation_points(G))
+
+    def test_count_cycles(self):
+        g = generators.union_of_cycles([3, 5, 9])
+        assert seq.count_cycles(g) == 3
+
+    def test_two_edge_components(self):
+        g, _ = generators.bridged_clusters(3, 5, 2, rng=2)
+        labels = seq.two_edge_components(g)
+        assert np.unique(labels).size == 3

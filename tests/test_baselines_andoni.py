@@ -1,0 +1,54 @@
+"""Tests for the Andoni et al. MPC connectivity baseline."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines import andoni_mpc_connectivity
+from repro.graph import generators, validation
+
+from conftest import graph_zoo
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name,graph", graph_zoo(seed=21))
+    def test_matches_union_find(self, name, graph):
+        res = andoni_mpc_connectivity(graph, seed=2)
+        assert validation.same_partition(
+            res.labels, validation.components_reference(graph)
+        ), name
+
+    def test_deterministic(self):
+        g = generators.erdos_renyi_gnm(300, 700, rng=1)
+        a = andoni_mpc_connectivity(g, seed=5)
+        b = andoni_mpc_connectivity(g, seed=5)
+        assert np.array_equal(a.labels, b.labels)
+        assert a.squarings_per_phase == b.squarings_per_phase
+
+
+class TestShapeVsAMPC:
+    def test_same_phase_structure_more_rounds(self):
+        """The baseline shares the AMPC algorithm's phase count but pays
+        log-D' squaring rounds per phase — the adaptivity gap isolated."""
+        g = generators.grid(28, 28)
+        mpc = andoni_mpc_connectivity(g, seed=1)
+        ampc = repro.connectivity(g, seed=1)
+        assert abs(mpc.phases - ampc.phases) <= 2
+        assert mpc.report.n_rounds > ampc.report.n_rounds
+
+    def test_squarings_grow_with_diameter(self):
+        shallow = generators.components_with_diameter(8, 8, 0, rng=1)
+        deep = generators.components_with_diameter(2, 400, 0, rng=2)
+        s_res = andoni_mpc_connectivity(shallow, seed=1)
+        d_res = andoni_mpc_connectivity(deep, seed=1)
+        assert sum(d_res.squarings_per_phase) > sum(s_res.squarings_per_phase)
+
+    def test_all_rounds_are_mpc_kind(self):
+        g = generators.erdos_renyi_gnm(200, 500, rng=3)
+        res = andoni_mpc_connectivity(g, seed=1)
+        assert all(
+            r.kind in ("mpc", "bootstrap", "primitive")
+            for r in res.report.rounds
+        )
+        # No adaptive rounds whatsoever.
+        assert not any(r.kind == "adaptive" for r in res.report.rounds)

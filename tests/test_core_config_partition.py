@@ -1,0 +1,126 @@
+"""Unit tests for AMPCConfig and deterministic key placement."""
+
+import numpy as np
+import pytest
+
+from repro.core import AMPCConfig
+from repro.core.partition import (
+    key_hash,
+    machine_of,
+    partition_items,
+    server_of,
+    splitmix64,
+)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("eps", [0.0, 1.0, -0.3, 1.5])
+    def test_epsilon_out_of_range_rejected(self, eps):
+        with pytest.raises(ValueError):
+            AMPCConfig(epsilon=eps)
+
+    def test_nonpositive_space_rejected(self):
+        with pytest.raises(ValueError):
+            AMPCConfig(space=0)
+
+    def test_nonpositive_machines_rejected(self):
+        with pytest.raises(ValueError):
+            AMPCConfig(n_machines=0)
+
+    def test_total_space_is_product(self):
+        cfg = AMPCConfig(space=100, n_machines=7)
+        assert cfg.total_space == 700
+
+    def test_budgets_scale_with_multiplier(self):
+        cfg = AMPCConfig(space=100, budget_multiplier=3.0)
+        assert cfg.read_budget == 300
+        assert cfg.write_budget == 300
+
+
+class TestForInput:
+    def test_space_is_n_to_epsilon(self):
+        cfg = AMPCConfig.for_input(10_000, epsilon=0.5, space_factor=1.0,
+                                   min_space=1)
+        assert cfg.space == 100
+
+    def test_total_space_covers_input(self):
+        n = 5_000
+        cfg = AMPCConfig.for_input(n, epsilon=0.5)
+        assert cfg.total_space >= n
+
+    def test_machine_cap_respected(self):
+        cfg = AMPCConfig.for_input(10**6, epsilon=0.1, max_machines=64)
+        assert cfg.n_machines <= 64
+
+    def test_min_space_floor(self):
+        cfg = AMPCConfig.for_input(4, epsilon=0.5, min_space=32)
+        assert cfg.space >= 32
+
+    def test_invalid_input_size_rejected(self):
+        with pytest.raises(ValueError):
+            AMPCConfig.for_input(0)
+
+    def test_with_seed_changes_only_seed(self):
+        cfg = AMPCConfig.for_input(1000, seed=1)
+        cfg2 = cfg.with_seed(99)
+        assert cfg2.seed == 99
+        assert cfg2.space == cfg.space and cfg2.n_machines == cfg.n_machines
+
+
+class TestRngStreams:
+    def test_same_salt_same_stream(self):
+        cfg = AMPCConfig(seed=5)
+        a = cfg.rng(1).random(10)
+        b = cfg.rng(1).random(10)
+        assert np.array_equal(a, b)
+
+    def test_different_salts_differ(self):
+        cfg = AMPCConfig(seed=5)
+        assert not np.array_equal(cfg.rng(1).random(10), cfg.rng(2).random(10))
+
+    def test_different_seeds_differ(self):
+        a = AMPCConfig(seed=1).rng(0).random(10)
+        b = AMPCConfig(seed=2).rng(0).random(10)
+        assert not np.array_equal(a, b)
+
+
+class TestHashing:
+    def test_splitmix_deterministic(self):
+        assert splitmix64(42) == splitmix64(42)
+
+    def test_key_hash_handles_mixed_tuples(self):
+        h = key_hash(("adj", 17, 3), seed=9)
+        assert h == key_hash(("adj", 17, 3), seed=9)
+        assert h != key_hash(("adj", 17, 4), seed=9)
+
+    def test_seed_perturbs_placement(self):
+        keys = [("k", i) for i in range(200)]
+        a = [server_of(k, 16, seed=1) for k in keys]
+        b = [server_of(k, 16, seed=2) for k in keys]
+        assert a != b
+
+    def test_unsupported_key_component_rejected(self):
+        with pytest.raises(TypeError):
+            key_hash(("a", [1, 2]))
+
+    def test_server_assignment_roughly_uniform(self):
+        counts = np.zeros(8, dtype=int)
+        for i in range(8000):
+            counts[server_of(("key", i), 8, seed=3)] += 1
+        # Each server should get close to 1000; allow generous slack.
+        assert counts.min() > 800 and counts.max() < 1200
+
+    def test_partition_items_matches_scalar_machine_of(self):
+        items = np.arange(500, dtype=np.int64)
+        vec = partition_items(items, 11, seed=77)
+        scalar = np.array([machine_of(int(i), 11, seed=77) for i in items])
+        assert np.array_equal(vec, scalar)
+
+    def test_machine_and_server_assignments_independent(self):
+        # The same key must not systematically land on the same index in
+        # both spaces (assumption 3: placement independent of work).
+        same = sum(
+            server_of(i, 8, seed=5) == machine_of(i, 8, seed=5)
+            for i in range(2000)
+        )
+        assert 150 < same < 350  # ~ 1/8 of 2000 under independence

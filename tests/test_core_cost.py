@@ -1,0 +1,89 @@
+"""Unit tests for the cost ledger."""
+
+import numpy as np
+
+from repro.core import RoundStats, RunReport, load_balance_gini, merge_reports
+
+
+def stats(index=0, tag="t", kind="adaptive", rounds=1, reads=0, writes=0,
+          max_reads=0, server=0):
+    return RoundStats(
+        index=index, tag=tag, kind=kind, rounds=rounds,
+        total_reads=reads, total_writes=writes,
+        max_machine_reads=max_reads, max_server_load=server,
+        read_budget=100, write_budget=100,
+    )
+
+
+class TestRoundStats:
+    def test_communication_sums_reads_and_writes(self):
+        assert stats(reads=30, writes=12).communication == 42
+
+    def test_budget_utilization(self):
+        s = stats(max_reads=50)
+        assert s.read_budget_utilization == 0.5
+
+    def test_zero_budget_utilization_is_zero(self):
+        s = stats()
+        s.read_budget = 0
+        assert s.read_budget_utilization == 0.0
+
+
+class TestRunReport:
+    def test_round_counting_sums_charged_rounds(self):
+        report = RunReport()
+        report.add(stats(rounds=1))
+        report.add(stats(rounds=3, kind="primitive"))
+        assert report.n_rounds == 4
+        assert report.n_adaptive_rounds == 1
+
+    def test_aggregates(self):
+        report = RunReport()
+        report.add(stats(reads=10, writes=5, max_reads=9, server=4))
+        report.add(stats(reads=20, writes=5, max_reads=3, server=7))
+        assert report.total_reads == 30
+        assert report.total_writes == 10
+        assert report.total_communication == 40
+        assert report.max_machine_reads == 9
+        assert report.max_server_load == 7
+
+    def test_empty_report_is_all_zero(self):
+        report = RunReport()
+        assert report.n_rounds == 0
+        assert report.max_machine_reads == 0
+        assert report.summary()["communication"] == 0
+
+    def test_by_tag_prefix_filter(self):
+        report = RunReport()
+        report.add(stats(tag="shrink:1"))
+        report.add(stats(tag="shrink:2"))
+        report.add(stats(tag="solve"))
+        assert len(report.by_tag("shrink")) == 2
+
+    def test_format_table_contains_tags_and_totals(self):
+        report = RunReport()
+        report.add(stats(tag="mywork", reads=7))
+        text = report.format_table()
+        assert "mywork" in text and "total rounds=1" in text
+
+    def test_merge_reindexes(self):
+        a, b = RunReport(), RunReport()
+        a.add(stats(index=0))
+        b.add(stats(index=0, rounds=2))
+        merged = merge_reports([a, b])
+        assert merged.n_rounds == 3
+        assert [r.index for r in merged.rounds] == [0, 1]
+
+
+class TestGini:
+    def test_uniform_loads_have_zero_gini(self):
+        assert abs(load_balance_gini(np.full(10, 7.0))) < 1e-9
+
+    def test_concentrated_load_has_high_gini(self):
+        loads = np.zeros(10)
+        loads[0] = 100
+        assert load_balance_gini(loads) > 0.85
+
+    def test_empty_and_zero_loads(self):
+        assert load_balance_gini(np.zeros(0)) == 0.0
+        assert load_balance_gini(np.zeros(5)) == 0.0

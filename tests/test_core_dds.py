@@ -1,0 +1,159 @@
+"""Unit tests for the distributed data store (paper §2 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DistributedDataStore,
+    StoreNotSealedError,
+    StoreSealedError,
+    ValueSizeError,
+    value_words,
+)
+
+
+def make_store(**kw) -> DistributedDataStore:
+    defaults = dict(round_index=0, n_servers=4, seed=1)
+    defaults.update(kw)
+    return DistributedDataStore(**defaults)
+
+
+class TestWriteReadCycle:
+    def test_write_then_read_roundtrips(self):
+        store = make_store()
+        store.write(("k", 1), 42)
+        store.seal()
+        assert store.get(("k", 1)) == 42
+
+    def test_missing_key_returns_none(self):
+        store = make_store()
+        store.seal()
+        assert store.get("absent") is None
+
+    def test_read_before_seal_raises(self):
+        store = make_store()
+        store.write("a", 1)
+        with pytest.raises(StoreNotSealedError):
+            store.get("a")
+
+    def test_write_after_seal_raises(self):
+        store = make_store()
+        store.seal()
+        with pytest.raises(StoreSealedError):
+            store.write("a", 1)
+
+    def test_write_many_returns_count(self):
+        store = make_store()
+        assert store.write_many([("a", 1), ("b", 2), ("c", 3)]) == 3
+
+    def test_contains_and_len_count_distinct_keys(self):
+        store = make_store()
+        store.write("a", 1)
+        store.write("a", 2)
+        store.write("b", 3)
+        assert "a" in store and "b" in store and "c" not in store
+        assert len(store) == 2
+        assert store.n_pairs == 3
+
+
+class TestDuplicateKeys:
+    """The model's (x, 1) ... (x, k) addressing for duplicate keys."""
+
+    def test_plain_get_returns_first_written(self):
+        store = make_store()
+        store.write("x", "first")
+        store.write("x", "second")
+        store.seal()
+        assert store.get("x") == "first"
+
+    def test_indexed_access_is_one_based_write_order(self):
+        store = make_store()
+        for i in range(5):
+            store.write("x", i * 10)
+        store.seal()
+        assert [store.get_indexed("x", i) for i in range(1, 6)] == [
+            0, 10, 20, 30, 40,
+        ]
+
+    def test_index_past_end_returns_none(self):
+        store = make_store()
+        store.write("x", 1)
+        store.seal()
+        assert store.get_indexed("x", 2) is None
+
+    def test_indexed_access_on_missing_key_returns_none(self):
+        store = make_store()
+        store.seal()
+        assert store.get_indexed("nope", 1) is None
+
+    def test_zero_index_rejected(self):
+        store = make_store()
+        store.seal()
+        with pytest.raises(ValueError):
+            store.get_indexed("x", 0)
+
+    def test_multiplicity(self):
+        store = make_store()
+        store.write("x", 1)
+        store.write("x", 2)
+        assert store.multiplicity("x") == 2
+        assert store.multiplicity("y") == 0
+
+    def test_items_expands_buckets(self):
+        store = make_store()
+        store.write("x", 1)
+        store.write("x", 2)
+        store.write("y", 3)
+        assert sorted(store.items()) == [("x", 1), ("x", 2), ("y", 3)]
+
+
+class TestConstantSizeBound:
+    def test_oversized_value_rejected(self):
+        store = make_store(max_words=2)
+        with pytest.raises(ValueSizeError):
+            store.write("k", (1, 2, 3))
+
+    def test_oversized_key_rejected(self):
+        store = make_store(max_words=2)
+        with pytest.raises(ValueSizeError):
+            store.write(("a", "b", "c"), 1)
+
+    def test_value_words_counts_tuple_components(self):
+        assert value_words(5) == 1
+        assert value_words((1, 2.0, "x")) == 3
+        assert value_words(((1, 2), 3)) == 3
+
+
+class TestContentionAccounting:
+    def test_reads_attributed_to_servers(self):
+        store = make_store(n_servers=3)
+        for i in range(30):
+            store.write(("k", i), i)
+        store.seal()
+        for i in range(30):
+            store.get(("k", i))
+        loads = store.server_read_loads
+        assert loads.sum() == 30
+        assert loads.shape == (3,)
+        assert store.max_server_load() == loads.max()
+
+    def test_item_placement_tracked(self):
+        store = make_store(n_servers=4)
+        for i in range(40):
+            store.write(("k", i), i)
+        assert store.server_item_loads.sum() == 40
+
+    def test_tracking_disabled_skips_histograms(self):
+        store = make_store(track_contention=False)
+        store.write("a", 1)
+        store.seal()
+        store.get("a")
+        assert store.server_read_loads.sum() == 0
+
+    def test_repeated_key_reads_hit_same_server(self):
+        store = make_store(n_servers=8)
+        store.write("hot", 1)
+        store.seal()
+        for _ in range(50):
+            store.get("hot")
+        assert store.max_server_load() == 50

@@ -1,0 +1,90 @@
+"""Cross-ε correctness matrix: every algorithm must be correct at every
+space exponent (the O(1/ε) machinery must not be tuned to ε = 0.5)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.graph import generators, validation
+
+EPSILONS = [0.3, 0.5, 0.8]
+
+
+@pytest.mark.parametrize("epsilon", EPSILONS)
+class TestEpsilonMatrix:
+    def test_two_cycle(self, epsilon):
+        g, truth = generators.two_cycle_instance(256, True, rng=1)
+        res = repro.two_cycle(g, epsilon=epsilon, seed=2)
+        assert res.is_two_cycles == truth
+
+    def test_list_ranking(self, epsilon):
+        from repro.algorithms.list_ranking import sequential_list_ranks
+
+        succ = generators.linked_list(300, rng=2)
+        res = repro.list_ranking(succ, epsilon=epsilon, seed=3)
+        assert np.array_equal(res.ranks, sequential_list_ranks(succ))
+
+    def test_mis(self, epsilon):
+        from repro.algorithms.mis import sequential_lfmis
+
+        g = generators.erdos_renyi_gnm(150, 450, rng=3)
+        res = repro.maximal_independent_set(g, epsilon=epsilon, seed=4)
+        assert np.array_equal(res.in_mis, sequential_lfmis(g, res.pi))
+
+    def test_connectivity(self, epsilon):
+        g = generators.erdos_renyi_gnm(200, 420, rng=4)
+        res = repro.connectivity(g, epsilon=epsilon, seed=5)
+        assert validation.same_partition(
+            res.labels, validation.components_reference(g)
+        )
+
+    def test_msf(self, epsilon):
+        from repro.algorithms.msf import sequential_msf_ids
+
+        g = generators.erdos_renyi_gnm(120, 320, rng=5)
+        wg = generators.with_random_weights(g, rng=5)
+        res = repro.minimum_spanning_forest(wg, epsilon=epsilon, seed=6)
+        assert np.array_equal(res.edge_ids, sequential_msf_ids(wg))
+
+    def test_forest_connectivity(self, epsilon):
+        g = generators.random_forest(180, 6, rng=6)
+        res = repro.forest_connectivity(g, epsilon=epsilon, seed=7)
+        assert validation.same_partition(
+            res.labels, validation.components_reference(g)
+        )
+
+    def test_matching(self, epsilon):
+        from repro.algorithms.matching import sequential_lfmm
+
+        g = generators.erdos_renyi_gnm(120, 300, rng=7)
+        res = repro.maximal_matching(g, epsilon=epsilon, seed=8)
+        assert np.array_equal(res.edge_ids, sequential_lfmm(g, res.pi))
+
+    def test_coloring(self, epsilon):
+        from repro.algorithms.coloring import sequential_greedy_coloring
+
+        g = generators.erdos_renyi_gnm(100, 260, rng=8)
+        res = repro.greedy_coloring(g, epsilon=epsilon, seed=9)
+        assert np.array_equal(
+            res.colors, sequential_greedy_coloring(g, res.pi)
+        )
+
+    def test_bc_labeling(self, epsilon):
+        import networkx as nx
+
+        g, planted = generators.bridged_clusters(3, 6, 2, rng=9)
+        res = repro.bc_labeling(g, epsilon=epsilon, seed=10)
+        G = nx.Graph()
+        G.add_nodes_from(range(g.n))
+        G.add_edges_from(map(tuple, g.edges().tolist()))
+        assert {tuple(e) for e in res.bridges.tolist()} == {
+            tuple(sorted(e)) for e in nx.bridges(G)
+        }
+
+    def test_rounds_grow_as_epsilon_shrinks(self, epsilon):
+        # Recorded per-ε for the cross-parameter sanity: the smallest ε
+        # must not beat the largest (O(1/ε) scaling direction).
+        g, _ = generators.two_cycle_instance(1024, False, rng=10)
+        rounds = repro.two_cycle(g, epsilon=epsilon, seed=11).shrink_rounds
+        baseline = repro.two_cycle(g, epsilon=0.8, seed=11).shrink_rounds
+        assert rounds >= baseline

@@ -1,0 +1,173 @@
+"""Unit tests for workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators, validation
+
+
+class TestCyclesAndPaths:
+    def test_cycle_structure(self):
+        g = generators.cycle(10)
+        assert g.n == 10 and g.m == 10
+        assert np.all(g.degrees == 2)
+
+    def test_cycle_minimum_size(self):
+        with pytest.raises(ValueError):
+            generators.cycle(2)
+
+    def test_path_structure(self):
+        g = generators.path(8)
+        assert g.m == 7
+        degs = np.sort(g.degrees)
+        assert degs[0] == 1 and degs[-1] == 2
+
+    def test_union_of_cycles(self):
+        g = generators.union_of_cycles([3, 5, 7])
+        assert g.n == 15 and g.m == 15
+        assert validation.count_components(g) == 3
+
+    def test_two_cycle_instance_shapes(self):
+        one, t1 = generators.two_cycle_instance(20, False, rng=1)
+        two, t2 = generators.two_cycle_instance(20, True, rng=1)
+        assert not t1 and t2
+        assert validation.count_components(one) == 1
+        assert validation.count_components(two) == 2
+        assert one.n == two.n == 20
+
+    def test_two_cycle_instance_odd_n_rejected(self):
+        with pytest.raises(ValueError):
+            generators.two_cycle_instance(21, True)
+
+    def test_relabel_preserves_structure(self):
+        g = generators.cycle(12)
+        g2, perm = generators.relabel(g, rng=3)
+        assert g2.m == g.m
+        assert np.all(np.sort(perm) == np.arange(12))
+        assert validation.is_union_of_cycles(g2)
+
+
+class TestLists:
+    def test_linked_list_is_single_chain(self):
+        succ = generators.linked_list(50, rng=1)
+        head = generators.list_head(succ)
+        seen = set()
+        cur = head
+        while cur != -1:
+            assert cur not in seen
+            seen.add(cur)
+            cur = int(succ[cur])
+        assert len(seen) == 50
+
+    def test_list_head_rejects_multiple_heads(self):
+        succ = np.array([-1, -1], dtype=np.int64)
+        with pytest.raises(ValueError):
+            generators.list_head(succ)
+
+
+class TestRandomGraphs:
+    def test_gnm_edge_count_exact(self):
+        g = generators.erdos_renyi_gnm(100, 250, rng=1)
+        assert g.n == 100 and g.m == 250
+
+    def test_gnm_zero_edges(self):
+        g = generators.erdos_renyi_gnm(10, 0, rng=1)
+        assert g.m == 0
+
+    def test_gnm_impossible_m_rejected(self):
+        with pytest.raises(ValueError):
+            generators.erdos_renyi_gnm(5, 11)
+
+    def test_gnp_bounds(self):
+        g = generators.erdos_renyi_gnp(50, 0.1, rng=2)
+        assert 0 <= g.m <= 50 * 49 // 2
+        with pytest.raises(ValueError):
+            generators.erdos_renyi_gnp(10, 1.5)
+
+    def test_barabasi_albert_degrees(self):
+        g = generators.barabasi_albert(100, 3, rng=3)
+        assert g.n == 100
+        # Every late vertex attached to k=3 distinct targets.
+        assert g.m == pytest.approx(3 * 97, abs=3 * 3)
+        assert g.degrees.max() > 6  # preferential attachment creates hubs
+
+    def test_barabasi_albert_validation(self):
+        with pytest.raises(ValueError):
+            generators.barabasi_albert(3, 3)
+
+    def test_grid_shape(self):
+        g = generators.grid(4, 5)
+        assert g.n == 20
+        assert g.m == 4 * 4 + 3 * 5  # horizontal + vertical
+
+    def test_complete(self):
+        g = generators.complete(6)
+        assert g.m == 15 and np.all(g.degrees == 5)
+
+    def test_star(self):
+        g = generators.star(7)
+        assert g.degree(0) == 6 and g.m == 6
+
+
+class TestForests:
+    def test_random_tree_is_tree(self):
+        g = generators.random_tree(40, rng=1)
+        assert g.m == 39 and validation.is_forest(g)
+        assert validation.count_components(g) == 1
+
+    def test_random_forest_component_count(self):
+        g = generators.random_forest(60, 7, rng=2)
+        assert validation.is_forest(g)
+        assert validation.count_components(g) == 7
+
+    def test_random_forest_all_isolated(self):
+        g = generators.random_forest(10, 10, rng=3)
+        assert g.m == 0
+
+    def test_random_forest_bad_args(self):
+        with pytest.raises(ValueError):
+            generators.random_forest(5, 6)
+
+    def test_caterpillar(self):
+        g = generators.caterpillar(5, 2)
+        assert g.n == 15 and validation.is_forest(g)
+        assert validation.count_components(g) == 1
+
+
+class TestStructured:
+    def test_components_with_diameter(self):
+        g = generators.components_with_diameter(4, 10, 0, rng=1)
+        assert validation.count_components(g) == 4
+        assert g.n == 4 * 11
+
+    def test_bridged_clusters_bridges_are_real(self):
+        from repro.baselines.seq import bridges_and_articulation
+
+        g, planted = generators.bridged_clusters(3, 8, 4, rng=5)
+        found, _ = bridges_and_articulation(g)
+        found_set = {tuple(e) for e in found.tolist()}
+        for u, v in planted.tolist():
+            assert (min(u, v), max(u, v)) in found_set
+
+    def test_disjoint_union(self):
+        g = generators.disjoint_union([generators.cycle(3), generators.path(4)])
+        assert g.n == 7 and g.m == 3 + 3
+        assert validation.count_components(g) == 2
+
+
+class TestWeights:
+    def test_random_weights_distinct(self):
+        g = generators.erdos_renyi_gnm(50, 120, rng=1)
+        wg = generators.with_random_weights(g, rng=2)
+        assert wg.weights_distinct()
+        assert wg.m == g.m
+
+    def test_integer_weights_are_permutation(self):
+        g = generators.erdos_renyi_gnm(30, 60, rng=1)
+        wg = generators.with_distinct_integer_weights(g, rng=2)
+        assert sorted(wg.edge_weights().tolist()) == list(map(float, range(60)))
+
+    def test_generators_deterministic_in_seed(self):
+        a = generators.erdos_renyi_gnm(40, 80, rng=9)
+        b = generators.erdos_renyi_gnm(40, 80, rng=9)
+        assert a == b

@@ -1,0 +1,105 @@
+"""Unit tests for DDS encodings and structural validators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators, io, validation
+from repro.graph.graph import Graph
+
+
+class TestEncodeGraph:
+    def test_degree_and_adjacency_pairs(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        pairs = dict()
+        for k, v in io.encode_graph(g):
+            pairs.setdefault(k, v)
+        assert pairs[("deg", 1)] == 2
+        assert pairs[("adj", 1, 0)] == 0
+        assert pairs[("adj", 1, 1)] == 2
+
+    def test_pair_count_formula(self):
+        g = generators.erdos_renyi_gnm(30, 50, rng=1)
+        assert sum(1 for _ in io.encode_graph(g)) == io.graph_pair_count(g)
+
+    def test_weighted_encoding_carries_weight_and_eid(self):
+        from repro.graph.graph import WeightedGraph
+
+        wg = WeightedGraph.from_weighted_edges(3, [(0, 1), (1, 2)], [2.5, 7.0])
+        pairs = dict(io.encode_weighted_graph(wg))
+        nbr, w, eid = pairs[("adjw", 0, 0)]
+        assert nbr == 1 and w == 2.5
+        assert wg.edge_list()[eid].tolist() == [0, 1]
+
+
+class TestCyclePointers:
+    def test_orientation_is_consistent_permutation(self):
+        g = generators.union_of_cycles([4, 6])
+        succ, pred = io.orient_cycles(g)
+        assert np.all(np.sort(succ) == np.arange(10))
+        for v in range(10):
+            assert pred[succ[v]] == v
+            assert g.has_edge(v, int(succ[v]))
+
+    def test_non_cycle_input_rejected(self):
+        g = generators.path(5)
+        with pytest.raises(ValueError):
+            io.orient_cycles(g)
+
+    def test_encode_cycle_pointers_pairs(self):
+        g = generators.cycle(5)
+        pairs = dict(io.encode_cycle_pointers(g))
+        assert len(pairs) == 10
+        assert all(("succ", v) in pairs and ("pred", v) in pairs for v in range(5))
+
+
+class TestTablesAndFlags:
+    def test_encode_table_dict_and_array(self):
+        assert dict(io.encode_table("t", {3: "x"})) == {("t", 3): "x"}
+        arr = np.array([10, 20])
+        assert dict(io.encode_table("t", arr)) == {("t", 0): 10, ("t", 1): 20}
+
+    def test_encode_flags(self):
+        assert dict(io.encode_flags("f", [2, 5])) == {("f", 2): 1, ("f", 5): 1}
+
+    def test_chain_concatenates(self):
+        out = list(io.chain(io.encode_flags("a", [1]), io.encode_flags("b", [2])))
+        assert out == [(("a", 1), 1), (("b", 2), 1)]
+
+
+class TestValidators:
+    def test_count_components(self):
+        g = generators.disjoint_union(
+            [generators.cycle(3), generators.path(4), generators.star(3)]
+        )
+        assert validation.count_components(g) == 3
+
+    def test_components_reference_labels_are_min_ids(self):
+        g = Graph.from_edges(5, [(3, 4), (1, 2)])
+        labels = validation.components_reference(g)
+        assert labels.tolist() == [0, 1, 1, 3, 3]
+
+    def test_is_forest(self):
+        assert validation.is_forest(generators.random_tree(20, rng=1))
+        assert not validation.is_forest(generators.cycle(5))
+
+    def test_is_union_of_cycles(self):
+        assert validation.is_union_of_cycles(generators.union_of_cycles([3, 4]))
+        assert not validation.is_union_of_cycles(generators.path(4))
+
+    def test_same_partition_accepts_relabelings(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([9, 9, 4, 4])
+        c = np.array([0, 1, 1, 1])
+        assert validation.same_partition(a, b)
+        assert not validation.same_partition(a, c)
+
+    def test_same_partition_rejects_coarsening_both_ways(self):
+        fine = np.array([0, 1, 2])
+        coarse = np.array([0, 0, 2])
+        assert not validation.same_partition(fine, coarse)
+        assert not validation.same_partition(coarse, fine)
+
+    def test_check_csr_passes_on_generated_graphs(self):
+        for _, g in [("er", generators.erdos_renyi_gnm(30, 60, rng=2)),
+                     ("ba", generators.barabasi_albert(30, 2, rng=3))]:
+            validation.check_csr(g)

@@ -1,0 +1,90 @@
+"""Model-fidelity integration tests: the simulator must enforce the AMPC
+contract end-to-end while real algorithms run."""
+
+import numpy as np
+import pytest
+
+from repro.core import AMPCConfig, AMPCRuntime
+from repro.graph import generators
+from repro.graph.io import orient_cycles
+from repro.algorithms.connectivity import connectivity
+from repro.algorithms.mis import maximal_independent_set
+from repro.algorithms.shrink import shrink
+from repro.algorithms.two_cycle import two_cycle
+
+
+class TestBudgetsHoldOnRealRuns:
+    """Theorems bound per-machine communication by O(S); check the ledger."""
+
+    def test_two_cycle_stays_within_budget(self):
+        g, _ = generators.two_cycle_instance(2048, True, rng=1)
+        res = two_cycle(g, seed=1)
+        assert res.report.budget_violations == 0
+        assert res.report.max_machine_reads <= res.config.read_budget
+
+    def test_mis_stays_within_budget(self):
+        g = generators.erdos_renyi_gnm(1000, 4000, rng=2)
+        res = maximal_independent_set(g, seed=1)
+        assert res.report.budget_violations == 0
+
+    def test_connectivity_stays_within_budget(self):
+        g = generators.erdos_renyi_gnm(1500, 4500, rng=3)
+        res = connectivity(g, seed=1)
+        assert res.report.max_machine_reads <= res.config.read_budget
+
+    def test_strict_mode_passes_on_well_sized_instance(self):
+        g, _ = generators.two_cycle_instance(1024, False, rng=4)
+        config = AMPCConfig.for_input(1024, seed=2, strict=True)
+        res = two_cycle(g, config=config)
+        assert res.n_cycles == 1
+
+
+class TestContentionOnRealRuns:
+    def test_max_server_load_near_mean(self):
+        """Lemma 2.1 on actual algorithm traffic: the loaded DDS server
+        answers only a constant factor more than the average."""
+        g, _ = generators.two_cycle_instance(4096, True, rng=5)
+        res = two_cycle(g, seed=3)
+        for stats in res.report.rounds:
+            if stats.kind != "adaptive" or stats.total_reads < 1000:
+                continue
+            mean = stats.total_reads / res.config.n_machines
+            assert stats.max_server_load < 6 * mean
+
+
+class TestRoundDiscipline:
+    def test_total_rounds_equals_sum_of_charges(self):
+        g = generators.erdos_renyi_gnm(300, 900, rng=6)
+        res = connectivity(g, seed=1)
+        assert res.report.n_rounds == sum(r.rounds for r in res.report.rounds)
+
+    def test_adaptive_rounds_present(self):
+        g, _ = generators.two_cycle_instance(512, True, rng=7)
+        res = two_cycle(g, seed=1)
+        assert res.report.n_adaptive_rounds >= res.shrink_rounds
+
+    def test_shrink_round_adaptivity_is_exercised(self):
+        """The shrink walk must issue chained reads: the per-round read
+        count exceeds what one non-adaptive batch could know to ask for
+        (samples only know their own id up front)."""
+        g = generators.cycle(500)
+        succ, _ = orient_cycles(g)
+        rt = AMPCRuntime(AMPCConfig.for_input(500, seed=1))
+        out = shrink(succ, rt, delta=0.5, target_size=50)
+        first = next(r for r in rt.report.rounds if r.kind == "adaptive")
+        # Walks traversed ~n vertices total with ~n^{3/4} samples.
+        assert first.total_reads > 3 * 500 ** 0.75
+
+
+class TestSpaceShapes:
+    def test_config_scales_sublinearly(self):
+        small = AMPCConfig.for_input(10**3)
+        big = AMPCConfig.for_input(10**6)
+        assert big.space < 10**6  # S = O(n^eps), strictly sublinear
+        assert big.space > small.space
+        assert big.total_space >= 10**6
+
+    def test_machine_count_grows_with_input(self):
+        small = AMPCConfig.for_input(10**3, max_machines=10**6)
+        big = AMPCConfig.for_input(10**6, max_machines=10**6)
+        assert big.n_machines > small.n_machines

@@ -1,0 +1,103 @@
+"""Direct reproductions of §5's quantitative claims: Lemma 5.2 (settle
+iterations vs query costs) and Proposition 5.1 (expected total cost)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators
+from repro.algorithms.mis import (
+    maximal_independent_set,
+    query_costs,
+    sequential_lfmis,
+)
+
+
+class TestQueryCostReference:
+    def test_minimum_priority_vertex_costs_one(self):
+        g = generators.erdos_renyi_gnm(40, 100, rng=1)
+        rng = np.random.default_rng(1)
+        pi = rng.permutation(40)
+        costs = query_costs(g, pi)
+        v_min = int(np.argmin(pi))
+        assert costs[v_min] == 1
+
+    def test_isolated_vertices_cost_one(self):
+        g = generators.random_forest(10, 10, rng=2)  # all isolated
+        pi = np.random.default_rng(2).permutation(10)
+        assert np.all(query_costs(g, pi) == 1)
+
+    def test_costs_at_least_one(self):
+        g = generators.barabasi_albert(50, 2, rng=3)
+        pi = np.random.default_rng(3).permutation(50)
+        assert np.all(query_costs(g, pi) >= 1)
+
+    def test_path_costs_grow_along_decreasing_priorities(self):
+        # Path with priorities sorted along it: v's query recurses all
+        # the way to the head, so costs grow linearly.
+        g = generators.path(12)
+        pi = np.arange(12)
+        costs = query_costs(g, pi)
+        assert costs[0] == 1
+        assert np.all(np.diff(costs) >= 0)
+        assert costs[11] == 12
+
+
+class TestLemma52:
+    """Vertices whose untruncated query cost fits the cap settle in the
+    first iteration (the induction's base case, checked exactly)."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_cheap_vertices_settle_in_iteration_one(self, seed):
+        g = generators.erdos_renyi_gnm(300, 900, rng=seed)
+        res = maximal_independent_set(g, seed=seed)
+        cap = max(8, int(np.ceil(float(g.n) ** res.config.epsilon)))
+        costs = query_costs(g, res.pi)
+        cheap = costs <= cap
+        assert np.all(res.settled_at[cheap] == 1), (
+            int((res.settled_at[cheap] != 1).sum()), "cheap vertices late"
+        )
+
+    def test_settled_at_is_complete_and_bounded(self):
+        g = generators.erdos_renyi_gnm(200, 700, rng=4)
+        res = maximal_independent_set(g, seed=4)
+        assert np.all(res.settled_at >= 1)
+        assert res.settled_at.max() == res.iterations
+
+    def test_small_cap_defers_expensive_vertices(self):
+        g = generators.erdos_renyi_gnm(150, 450, rng=5)
+        res = maximal_independent_set(g, seed=5, query_cap=3,
+                                      max_iterations=500)
+        costs = query_costs(g, res.pi)
+        # Correctness is unchanged...
+        assert np.array_equal(res.in_mis, sequential_lfmis(g, res.pi))
+        # ...and under a tiny cap, late settlers exist and they are (on
+        # average) the expensive vertices.
+        if res.iterations > 1:
+            late = res.settled_at > 1
+            assert costs[late].mean() > costs[~late].mean()
+
+
+class TestProposition51:
+    """E_pi[sum_v q_pi(v)] <= m + n, checked over sampled permutations."""
+
+    @pytest.mark.parametrize("n,m,seed", [(120, 360, 1), (200, 400, 2)])
+    def test_mean_total_cost_within_bound(self, n, m, seed):
+        g = generators.erdos_renyi_gnm(n, m, rng=seed)
+        rng = np.random.default_rng(seed)
+        totals = [
+            int(query_costs(g, rng.permutation(n)).sum()) for _ in range(5)
+        ]
+        mean_total = float(np.mean(totals))
+        # The bound is on the expectation; 5 samples with a 25% slack
+        # margin keeps the test stable while meaningful.
+        assert mean_total <= 1.25 * (g.m + g.n), (mean_total, g.m + g.n)
+
+    def test_adversarial_permutation_can_exceed_mean(self):
+        # The proposition is about the *average* permutation; a sorted
+        # path order shows individual permutations can cost far more.
+        g = generators.path(60)
+        sorted_pi = np.arange(60)
+        rng = np.random.default_rng(9)
+        random_total = query_costs(g, rng.permutation(60)).sum()
+        adversarial_total = query_costs(g, sorted_pi).sum()
+        assert adversarial_total > random_total

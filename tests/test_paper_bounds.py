@@ -1,0 +1,109 @@
+"""Per-machine and total-work bounds stated by the paper's lemmas,
+checked against real ledgers (Lemmas 4.3, 6.1, 8.4; total-space notes)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AMPCConfig, AMPCRuntime
+from repro.graph import generators
+from repro.graph.io import orient_cycles
+
+
+class TestLemma43ShrinkCommunication:
+    """Each machine's shrink-round communication is O(n^ε) w.h.p."""
+
+    @pytest.mark.parametrize("n", [1024, 8192])
+    def test_max_machine_reads_scale_with_n_eps(self, n):
+        from repro.algorithms.shrink import shrink
+
+        g = generators.cycle(n)
+        succ, _ = orient_cycles(g)
+        config = AMPCConfig.for_input(n, seed=1)
+        rt = AMPCRuntime(config)
+        shrink(succ, rt, delta=config.epsilon,
+               target_size=int(2 * n**config.epsilon))
+        # The bound: a constant times n^eps (budget = 32 * 2 * n^eps).
+        for stats in rt.report.rounds:
+            if stats.kind == "adaptive":
+                assert stats.max_machine_reads <= config.read_budget
+
+    def test_ratio_does_not_grow_with_n(self):
+        from repro.algorithms.shrink import shrink
+
+        ratios = []
+        for n in (1024, 16384):
+            g = generators.cycle(n)
+            succ, _ = orient_cycles(g)
+            config = AMPCConfig.for_input(n, seed=2)
+            rt = AMPCRuntime(config)
+            shrink(succ, rt, delta=config.epsilon,
+                   target_size=int(2 * n**config.epsilon))
+            ratios.append(rt.report.max_machine_reads / float(n**0.5))
+        assert ratios[1] < 4 * ratios[0]
+
+
+class TestLemma61IncreaseDegreesQueries:
+    """IncreaseDegrees issues O(d²) queries per vertex, O(n d²) total."""
+
+    def test_total_queries_bounded_by_nd2(self):
+        from repro.algorithms.connectivity import _increase_degrees
+
+        g = generators.erdos_renyi_gnm(600, 1800, rng=3)
+        config = AMPCConfig.for_input(g.n + g.m, seed=3)
+        rt = AMPCRuntime(config)
+        d = 8
+        _increase_degrees(g, d, rt, tag="test")
+        round_stats = rt.report.rounds[-1]
+        assert round_stats.total_reads <= 4 * g.n * d * d
+
+    def test_degrees_reach_budget_or_component(self):
+        from repro.algorithms.connectivity import _increase_degrees
+
+        g = generators.components_with_diameter(6, 20, 0, rng=4)
+        config = AMPCConfig.for_input(g.n + g.m, seed=4)
+        rt = AMPCRuntime(config)
+        d = 10
+        augmented = _increase_degrees(g, d, rt, tag="test")
+        from repro.graph.validation import components_reference
+
+        labels = components_reference(g)
+        for v in range(g.n):
+            comp_size = int((labels == labels[v]).sum())
+            assert augmented.degree(v) >= min(d, comp_size) - 1
+
+
+class TestLemma84CycleWalkLoad:
+    """Total per-machine queries in cycle connectivity stay O(n^ε·polylog)."""
+
+    def test_walk_round_load_within_budget(self):
+        from repro.algorithms.forest import cycle_connectivity
+
+        g = generators.union_of_cycles([4096])
+        res = cycle_connectivity(g, seed=5)
+        walk_rounds = [r for r in res.report.rounds if "walk" in r.tag]
+        assert walk_rounds
+        for stats in walk_rounds:
+            assert stats.max_machine_reads <= res.config.read_budget
+
+
+class TestTotalSpaceNotes:
+    """§3: total space Θ(N) or Θ(N log N) depending on the algorithm."""
+
+    def test_two_cycle_total_communication_near_linear(self):
+        from repro.algorithms.two_cycle import two_cycle
+
+        comms = []
+        for n in (2048, 16384):
+            g, _ = generators.two_cycle_instance(n, True, rng=n)
+            comms.append(two_cycle(g, seed=1).report.total_communication / n)
+        # Communication per element roughly constant across 8x n.
+        assert comms[1] < 2.5 * comms[0]
+
+    def test_list_ranking_total_communication_near_linear(self):
+        from repro.algorithms.list_ranking import list_ranking
+
+        comms = []
+        for n in (2048, 16384):
+            succ = generators.linked_list(n, rng=n)
+            comms.append(list_ranking(succ, seed=1).report.total_communication / n)
+        assert comms[1] < 2.5 * comms[0]

@@ -1,0 +1,187 @@
+"""Unit and property tests for charged primitives (sort, scan, dedup,
+sampling, contraction)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AMPCConfig, AMPCRuntime
+from repro.primitives import (
+    SCAN_ROUNDS,
+    SORT_ROUNDS,
+    bernoulli_sample,
+    bernoulli_sample_nonempty,
+    charged_argsort,
+    charged_max_scan,
+    charged_prefix_sum,
+    charged_sort,
+    charged_unique,
+    charged_unique_rows,
+    compact_labels,
+    contract_graph,
+    contract_weighted,
+    group_min,
+    leader_probability,
+    random_priorities,
+    resolve_pointers,
+    shrink_probability,
+)
+from repro.graph.graph import Graph, WeightedGraph
+
+
+def fresh_runtime() -> AMPCRuntime:
+    return AMPCRuntime(AMPCConfig(space=64, n_machines=4, seed=1))
+
+
+class TestSortScanDedup:
+    def test_charged_sort_sorts_and_charges(self):
+        rt = fresh_runtime()
+        out = charged_sort(np.array([3, 1, 2]), rt)
+        assert out.tolist() == [1, 2, 3]
+        assert rt.report.n_rounds == SORT_ROUNDS
+        assert rt.report.total_reads == 3
+
+    def test_charged_argsort_stable(self):
+        keys = np.array([2, 1, 2, 1])
+        order = charged_argsort(keys)
+        assert order.tolist() == [1, 3, 0, 2]
+
+    def test_prefix_sum_inclusive_and_exclusive(self):
+        rt = fresh_runtime()
+        vals = np.array([1, 2, 3, 4])
+        assert charged_prefix_sum(vals, rt).tolist() == [1, 3, 6, 10]
+        assert charged_prefix_sum(vals, rt, inclusive=False).tolist() == [0, 1, 3, 6]
+        assert rt.report.n_rounds == 2 * SCAN_ROUNDS
+
+    def test_max_scan(self):
+        assert charged_max_scan(np.array([2, 1, 5, 3])).tolist() == [2, 2, 5, 5]
+
+    def test_unique(self):
+        assert charged_unique(np.array([3, 1, 3, 2])).tolist() == [1, 2, 3]
+
+    def test_unique_rows(self):
+        rows = np.array([[1, 2], [1, 2], [0, 3]])
+        assert charged_unique_rows(rows).tolist() == [[0, 3], [1, 2]]
+
+    def test_group_min_keeps_payload_of_winner(self):
+        keys = np.array([1, 1, 2, 2, 2])
+        vals = np.array([5.0, 3.0, 9.0, 1.0, 4.0])
+        pay = np.array([10, 11, 12, 13, 14])
+        k, v, p = group_min(keys, vals, pay)
+        assert k.tolist() == [1, 2]
+        assert v.tolist() == [3.0, 1.0]
+        assert p.tolist() == [11, 13]
+
+    def test_group_min_empty(self):
+        k, v, p = group_min(np.zeros(0, np.int64), np.zeros(0), np.zeros(0, np.int64))
+        assert k.size == 0
+
+
+class TestSampling:
+    def test_bernoulli_sample_rate(self):
+        rng = np.random.default_rng(0)
+        sampled = bernoulli_sample(100_000, 0.1, rng)
+        assert 9_000 < sampled.size < 11_000
+
+    def test_bernoulli_bounds(self):
+        rng = np.random.default_rng(0)
+        assert bernoulli_sample(10, 0.0, rng).size == 0
+        assert bernoulli_sample(10, 1.0, rng).size == 10
+        with pytest.raises(ValueError):
+            bernoulli_sample(10, 1.5, rng)
+
+    def test_nonempty_sampling_never_empty(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            out = bernoulli_sample_nonempty(np.arange(5), 0.0001, rng)
+            assert out.size >= 1
+
+    def test_shrink_probability_formula(self):
+        assert shrink_probability(10_000, 0.5) == pytest.approx(10_000**-0.25)
+        assert shrink_probability(1, 0.5) == 1.0
+
+    def test_leader_probability_capped_at_half(self):
+        assert leader_probability(100, 1.0) == 0.5
+        assert leader_probability(100, 1e9) < 1e-6
+
+    def test_random_priorities_is_permutation(self):
+        pri = random_priorities(100, np.random.default_rng(0))
+        assert np.all(np.sort(pri) == np.arange(100))
+
+
+class TestPointerResolution:
+    def test_resolves_chains(self):
+        leader = np.array([0, 0, 1, 2, 3])
+        assert resolve_pointers(leader).tolist() == [0, 0, 0, 0, 0]
+
+    def test_fixed_points_untouched(self):
+        leader = np.array([0, 1, 2])
+        assert resolve_pointers(leader).tolist() == [0, 1, 2]
+
+    def test_cycle_detected(self):
+        leader = np.array([1, 0])
+        with pytest.raises(ValueError):
+            resolve_pointers(leader)
+
+    def test_charges_chain_length_reads(self):
+        rt = fresh_runtime()
+        # Chain 4 -> 3 -> 2 -> 1 -> 0: total steps 1+2+3+4 = 10.
+        leader = np.array([0, 0, 1, 2, 3])
+        resolve_pointers(leader, rt)
+        assert rt.report.total_reads == 10
+        assert rt.report.rounds[-1].max_machine_reads == 4
+        assert rt.report.n_rounds == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 19), min_size=1, max_size=20))
+    def test_matches_sequential_walk(self, raw):
+        n = len(raw)
+        leader = np.array([min(x, v) for v, x in enumerate(raw)], dtype=np.int64)
+        root = resolve_pointers(leader)
+        for v in range(n):
+            cur = v
+            while leader[cur] != cur:
+                cur = int(leader[cur])
+            assert root[v] == cur
+
+
+class TestContraction:
+    def test_compact_labels(self):
+        new_of, rep = compact_labels(np.array([5, 5, 2, 2, 9]))
+        assert rep.tolist() == [2, 5, 9]
+        assert new_of.tolist() == [1, 1, 0, 0, 2]
+
+    def test_contract_graph_drops_self_loops_and_dedups(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 2)])
+        root = np.array([0, 0, 2, 2])
+        contracted, new_of, rep = contract_graph(g, root)
+        assert contracted.n == 2
+        assert contracted.m == 1  # (0-2 block) single edge after dedup
+
+    def test_contract_weighted_keeps_lightest_parallel_edge(self):
+        wg = WeightedGraph.from_weighted_edges(
+            4, [(0, 2), (1, 3), (0, 3), (1, 2)], [9.0, 1.0, 5.0, 7.0]
+        )
+        root = np.array([0, 0, 2, 2])
+        contracted, _, _, kept = contract_weighted(wg, root)
+        assert contracted.m == 1
+        assert contracted.edge_weights().tolist() == [1.0]
+        # kept maps to the original edge id of (1, 3) with weight 1.
+        assert wg.edge_weights()[kept[0]] == 1.0
+
+    def test_contract_weighted_empty(self):
+        wg = WeightedGraph.from_weighted_edges(3, [], [])
+        contracted, new_of, rep, kept = contract_weighted(
+            wg, np.array([0, 1, 2])
+        )
+        assert contracted.n == 3 and contracted.m == 0
+
+    def test_contract_graph_component_preserving(self):
+        g = Graph.from_edges(6, [(0, 1), (1, 2), (3, 4)])
+        root = np.array([0, 0, 2, 3, 3, 5])
+        contracted, new_of, rep = contract_graph(g, root)
+        # {0,1} merged, still connected to 2; {3,4} merged; 5 isolated.
+        from repro.graph.validation import count_components
+
+        assert count_components(contracted) == 3

@@ -1,0 +1,92 @@
+"""Hypothesis stateful test: the DDS against a Python-dict model.
+
+Random interleavings of writes, seals, plain reads, indexed reads and
+multiplicity probes must always agree with a reference model that
+implements the §2 semantics directly.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core import (
+    DistributedDataStore,
+    StoreNotSealedError,
+    StoreSealedError,
+)
+
+KEYS = st.sampled_from([("k", i) for i in range(6)] + ["a", "b"])
+VALUES = st.integers(-100, 100)
+
+
+class DDSMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.store = DistributedDataStore(0, n_servers=4, seed=7)
+        self.model: dict = {}
+        self.sealed = False
+        self.n_writes = 0
+
+    @rule(key=KEYS, value=VALUES)
+    def write(self, key, value):
+        if self.sealed:
+            with pytest.raises(StoreSealedError):
+                self.store.write(key, value)
+        else:
+            self.store.write(key, value)
+            self.model.setdefault(key, []).append(value)
+            self.n_writes += 1
+
+    @rule()
+    def seal(self):
+        self.store.seal()
+        self.sealed = True
+
+    @rule(key=KEYS)
+    def read(self, key):
+        if not self.sealed:
+            with pytest.raises(StoreNotSealedError):
+                self.store.get(key)
+            return
+        expected = self.model.get(key, [None])[0] if key in self.model else None
+        assert self.store.get(key) == expected
+
+    @rule(key=KEYS, index=st.integers(1, 8))
+    def read_indexed(self, key, index):
+        if not self.sealed:
+            return
+        values = self.model.get(key, [])
+        expected = values[index - 1] if index <= len(values) else None
+        assert self.store.get_indexed(key, index) == expected
+
+    @rule(key=KEYS)
+    def multiplicity(self, key):
+        assert self.store.multiplicity(key) == len(self.model.get(key, []))
+
+    @invariant()
+    def pair_count_matches(self):
+        assert self.store.n_pairs == self.n_writes
+
+    @invariant()
+    def distinct_key_count_matches(self):
+        assert len(self.store) == len(self.model)
+
+    @invariant()
+    def items_match_model(self):
+        got = sorted(self.store.items(), key=repr)
+        want = sorted(
+            ((k, v) for k, vs in self.model.items() for v in vs), key=repr
+        )
+        assert got == want
+
+
+TestDDSStateful = DDSMachine.TestCase
+TestDDSStateful.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,126 @@
+"""Tests for graph statistics and the ledger timeline renderer."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis import render_timeline
+from repro.graph import generators
+from repro.graph.stats import (
+    average_clustering,
+    degree_assortativity,
+    graph_stats,
+    triangle_count,
+)
+
+
+def to_nx(g):
+    G = nx.Graph()
+    G.add_nodes_from(range(g.n))
+    G.add_edges_from(map(tuple, g.edges().tolist()))
+    return G
+
+
+class TestGraphStats:
+    @pytest.mark.parametrize("maker", [
+        lambda: generators.erdos_renyi_gnm(80, 200, rng=1),
+        lambda: generators.complete(8),
+        lambda: generators.grid(6, 6),
+        lambda: generators.star(10),
+        lambda: generators.barabasi_albert(60, 2, rng=2),
+    ])
+    def test_clustering_matches_networkx(self, maker):
+        g = maker()
+        assert average_clustering(g) == pytest.approx(
+            nx.average_clustering(to_nx(g))
+        )
+
+    @pytest.mark.parametrize("maker", [
+        lambda: generators.erdos_renyi_gnm(60, 180, rng=3),
+        lambda: generators.complete(7),
+        lambda: generators.cycle(9),
+    ])
+    def test_triangles_match_networkx(self, maker):
+        g = maker()
+        assert triangle_count(g) == sum(nx.triangles(to_nx(g)).values()) // 3
+
+    def test_summary_fields(self):
+        g = generators.disjoint_union(
+            [generators.complete(5), generators.path(4),
+             generators.random_forest(3, 3, rng=1)]
+        )
+        st = graph_stats(g)
+        assert st.n == 12
+        assert st.n_components == 5  # K5, P4, 3 isolated
+        assert st.largest_component == 5
+        assert st.n_isolated == 3
+        assert st.max_degree == 4
+        assert sum(st.degree_histogram) == st.n
+
+    def test_format_is_readable(self):
+        g = generators.cycle(6)
+        text = graph_stats(g).format()
+        assert "n = 6" in text and "components: 1" in text
+
+    def test_assortativity_bounds(self):
+        g = generators.barabasi_albert(100, 2, rng=4)
+        r = degree_assortativity(g)
+        assert -1.0 <= r <= 1.0
+
+    def test_assortativity_empty(self):
+        g = generators.erdos_renyi_gnm(5, 0, rng=1)
+        assert degree_assortativity(g) == 0.0
+
+    def test_regular_graph_assortativity_defined_zero(self):
+        g = generators.cycle(10)  # 2-regular: zero variance
+        assert degree_assortativity(g) == 0.0
+
+
+class TestTimeline:
+    def make_report(self):
+        g, _ = generators.two_cycle_instance(128, True, rng=1)
+        return repro.two_cycle(g, seed=1).report
+
+    def test_one_line_per_round_plus_header_and_legend(self):
+        report = self.make_report()
+        lines = render_timeline(report).splitlines()
+        assert len(lines) == len(report.rounds) + 2
+
+    def test_marks_reflect_round_kinds(self):
+        report = self.make_report()
+        text = render_timeline(report)
+        assert "  A  " in text  # adaptive rounds present
+        assert "  p  " in text  # charged primitives present
+
+    def test_metric_selection(self):
+        report = self.make_report()
+        a = render_timeline(report, metric="reads")
+        b = render_timeline(report, metric="max_machine_reads")
+        assert a != b
+        with pytest.raises(ValueError):
+            render_timeline(report, metric="nonsense")
+
+    def test_empty_report(self):
+        from repro.core import RunReport
+
+        assert "(empty report)" in render_timeline(RunReport())
+
+    def test_bars_scale_to_peak(self):
+        report = self.make_report()
+        text = render_timeline(report, width=20)
+        longest = max(line.count("#") for line in text.splitlines())
+        assert longest == 20
+
+
+class TestStatsCLI:
+    def test_stats_command(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.graph import files
+
+        g = generators.erdos_renyi_gnm(40, 100, rng=5)
+        path = tmp_path / "g.txt"
+        files.write_edge_list(g, path)
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "n = 40" in out and "clustering" in out
