@@ -1,0 +1,149 @@
+"""Experiment R1 — recovery overhead vs fault rate (chaos layer).
+
+Sweeps a composed fault plan (machine crashes + DDS server outages +
+transient read timeouts, replication factor 2) over increasing fault
+rates and runs connectivity, list ranking, and MIS under each plan.
+Every run must produce results *bit-identical* to the fault-free
+baseline — the paper's §2.1 fault-tolerance claim — while the ledger
+records what recovery cost. The sweep is emitted as JSON at session end
+(stdout, and to the file named by ``RESILIENCE_JSON`` if set).
+
+At ``rate`` the plan is: crash probability = rate, server outage
+probability = rate / 2, read timeout probability = rate / 10 — so the
+ISSUE's reference point (20% crash, 10% outage) is the rate = 0.2 row.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.algorithms.connectivity import connectivity
+from repro.algorithms.list_ranking import list_ranking, sequential_list_ranks
+from repro.algorithms.mis import maximal_independent_set
+from repro.core.chaos import ChaosRuntime, FaultPlan
+from repro.core.config import AMPCConfig
+from repro.graph import generators
+
+RATES = [0.0, 0.05, 0.1, 0.2, 0.3]
+REPLICATION = 2
+_N, _M = 600, 1500
+_LIST_N = 2048
+
+_sweep: list[dict] = []
+
+_graph = generators.erdos_renyi_gnm(_N, _M, rng=7)
+_succ = generators.linked_list(_LIST_N, rng=7)
+
+
+def _plan(rate: float) -> FaultPlan:
+    if rate == 0.0:
+        return FaultPlan(seed=23)
+    return (
+        FaultPlan.machine_crashes(rate)
+        | FaultPlan.server_outages(rate / 2)
+        | FaultPlan.read_timeouts(rate / 10)
+    ).with_seed(23)
+
+
+def _config(n_input: int, replication: int = REPLICATION) -> AMPCConfig:
+    return AMPCConfig.for_input(
+        max(n_input, 1), seed=5, replication_factor=replication
+    )
+
+
+def _record_sweep(algorithm, rate, report, baseline_report, record, benchmark):
+    summary = report.recovery_summary()
+    entry = {
+        "algorithm": algorithm,
+        "fault_rate": rate,
+        "rounds": report.n_rounds,
+        "total_reads": report.total_reads,
+        "baseline_reads": baseline_report.total_reads,
+        "identical": True,
+        **summary,
+    }
+    _sweep.append(entry)
+    record(
+        "R1: recovery overhead vs fault rate",
+        ["algorithm", "rate", "crashes", "outages", "restores",
+         "recovery reads", "overhead %"],
+        [algorithm, rate, summary["crashes"], summary["server_outages"],
+         summary["checkpoint_restores"], summary["recovery_reads"],
+         summary["overhead_reads_pct"]],
+        fault_rate=rate,
+        recovery_reads=summary["recovery_reads"],
+    )
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("rate", RATES)
+def test_connectivity_under_faults(benchmark, record, rate):
+    config = _config(_graph.n + _graph.m)
+    baseline = connectivity(_graph, config=config)
+
+    def run():
+        return connectivity(_graph, runtime=ChaosRuntime(config, plan=_plan(rate)))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert np.array_equal(result.labels, baseline.labels)
+    _record_sweep("connectivity", rate, result.report, baseline.report,
+                  record, benchmark)
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("rate", RATES)
+def test_list_ranking_under_faults(benchmark, record, rate):
+    config = _config(_LIST_N)
+    baseline = list_ranking(_succ, config=config)
+
+    def run():
+        return list_ranking(
+            _succ, runtime=ChaosRuntime(config, plan=_plan(rate))
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert np.array_equal(result.ranks, baseline.ranks)
+    assert np.array_equal(result.ranks, sequential_list_ranks(_succ))
+    _record_sweep("list_ranking", rate, result.report, baseline.report,
+                  record, benchmark)
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("rate", RATES)
+def test_mis_under_faults(benchmark, record, rate):
+    config = _config(_graph.n + _graph.m)
+    baseline = maximal_independent_set(_graph, config=config)
+
+    def run():
+        return maximal_independent_set(
+            _graph, runtime=ChaosRuntime(config, plan=_plan(rate))
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert np.array_equal(result.in_mis, baseline.in_mis)
+    _record_sweep("mis", rate, result.report, baseline.report,
+                  record, benchmark)
+
+
+@pytest.mark.chaos
+def test_emit_sweep_json(benchmark):
+    """Runs last: dump the whole sweep as JSON (stdout and optional file)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(_sweep) == 3 * len(RATES)
+    # Overhead must be monotone-ish: the highest fault rate costs more
+    # recovery reads than the zero rate for every algorithm.
+    for algorithm in ("connectivity", "list_ranking", "mis"):
+        rows = [e for e in _sweep if e["algorithm"] == algorithm]
+        by_rate = {e["fault_rate"]: e for e in rows}
+        assert by_rate[0.0]["recovery_reads"] == 0
+        assert by_rate[RATES[-1]]["recovery_reads"] > 0
+    payload = json.dumps({"experiment": "R1-resilience-sweep",
+                          "replication": REPLICATION,
+                          "rows": _sweep}, indent=2)
+    print("\n" + payload)
+    out_path = os.environ.get("RESILIENCE_JSON")
+    if out_path:
+        with open(out_path, "w") as fh:
+            fh.write(payload + "\n")

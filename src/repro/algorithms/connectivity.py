@@ -64,6 +64,7 @@ def connectivity(
     config: AMPCConfig | None = None,
     max_phases: int | None = None,
     use_sparse_reduction: bool = False,
+    runtime: AMPCRuntime | None = None,
 ) -> ConnectivityResult:
     """Connected components (paper Algorithm 7).
 
@@ -79,11 +80,20 @@ def connectivity(
             would subsume the algorithm; instead the initial budget d is
             floored at log n (same phase structure, with the extra query
             cost recorded honestly in the ledger rather than avoided).
+        runtime: run on an existing runtime (shares its ledger) — e.g. a
+            :class:`repro.core.chaos.ChaosRuntime` armed with a fault
+            plan; the result must be identical to a fault-free run.
     """
     n = graph.n
     if config is None:
-        config = AMPCConfig.for_input(max(n + graph.m, 1), epsilon=epsilon, seed=seed)
-    runtime = AMPCRuntime(config)
+        config = (
+            runtime.config
+            if runtime is not None
+            else AMPCConfig.for_input(max(n + graph.m, 1), epsilon=epsilon,
+                                      seed=seed)
+        )
+    if runtime is None:
+        runtime = AMPCRuntime(config)
     if n == 0:
         return ConnectivityResult(
             labels=np.zeros(0, np.int64), n_components=0, phases=0,

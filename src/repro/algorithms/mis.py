@@ -71,6 +71,7 @@ def maximal_independent_set(
     config: AMPCConfig | None = None,
     query_cap: int | None = None,
     max_iterations: int | None = None,
+    runtime: AMPCRuntime | None = None,
 ) -> MISResult:
     """LFMIS over a random permutation in O(1/ε) rounds (Algorithm 4).
 
@@ -82,11 +83,20 @@ def maximal_independent_set(
         query_cap: per-vertex recursive-call capacity per iteration
             (default n^ε, the paper's choice).
         max_iterations: safety cap (default well above the O(1/ε) bound).
+        runtime: run on an existing runtime (shares its ledger) — e.g. a
+            :class:`repro.core.chaos.ChaosRuntime` armed with a fault
+            plan; the result must be identical to a fault-free run.
     """
     n = graph.n
     if config is None:
-        config = AMPCConfig.for_input(max(n + graph.m, 1), epsilon=epsilon, seed=seed)
-    runtime = AMPCRuntime(config)
+        config = (
+            runtime.config
+            if runtime is not None
+            else AMPCConfig.for_input(max(n + graph.m, 1), epsilon=epsilon,
+                                      seed=seed)
+        )
+    if runtime is None:
+        runtime = AMPCRuntime(config)
     if n == 0:
         return MISResult(
             in_mis=np.zeros(0, bool), pi=np.zeros(0, np.int64), iterations=0,

@@ -3,6 +3,7 @@
 from .complexity import FitResult, best_family, fit_family, growth_ratio
 from .contention import ContentionStats, balls_in_bins_trial, contention_profile
 from .report import ComparisonRow, Figure1Report, render_table
+from .resilience import recovery_overhead, render_recovery_table
 from .timeline import render_timeline
 
 __all__ = [
@@ -17,4 +18,6 @@ __all__ = [
     "Figure1Report",
     "render_table",
     "render_timeline",
+    "render_recovery_table",
+    "recovery_overhead",
 ]

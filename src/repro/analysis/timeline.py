@@ -28,8 +28,9 @@ def render_timeline(
     Args:
         report: the run ledger.
         width: maximum bar width in characters.
-        metric: "communication" (reads+writes), "reads", or
-            "max_machine_reads".
+        metric: "communication" (reads+writes), "reads",
+            "max_machine_reads", or "recovery" (retry + failover +
+            wasted reads charged to fault recovery).
 
     Each line: ``tag  kind-mark  bar  value``; the legend explains marks.
     """
@@ -43,6 +44,8 @@ def render_timeline(
             return stats.total_reads
         if metric == "max_machine_reads":
             return stats.max_machine_reads
+        if metric == "recovery":
+            return stats.recovery_reads
         raise ValueError(f"unknown metric {metric!r}")
 
     values = [value_of(r) for r in report.rounds]

@@ -9,6 +9,7 @@ Usage::
     python -m repro msf weighted.txt          # needs a weight column
     python -m repro two-cycle cycles.txt
     python -m repro bc graph.txt              # bridges / articulation / 2ecc
+    python -m repro chaos connectivity graph.txt --crash 0.2 --outage 0.1
     python -m repro generate er 1000 3000 out.txt [--seed 0]
 
 Every run prints the result summary followed by the per-round cost
@@ -49,6 +50,36 @@ def build_parser() -> argparse.ArgumentParser:
     add_run("two-cycle", "one cycle or two? (paper §4; 2-regular input)")
     add_run("bc", "bridges / articulation points / 2ECC (paper §9)")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="run an algorithm under a fault plan and print the recovery "
+             "ledger",
+    )
+    chaos.add_argument("algorithm", choices=["connectivity", "mis"],
+                       help="algorithm to run under faults")
+    chaos.add_argument("graph", help="edge-list file (u v per line)")
+    chaos.add_argument("--epsilon", type=float, default=0.5)
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="algorithm seed (placement, permutations)")
+    chaos.add_argument("--fault-seed", type=int, default=1,
+                       help="seed of the fault streams (independent of "
+                            "--seed)")
+    chaos.add_argument("--crash", type=float, default=0.2,
+                       help="machine crash probability per attempt")
+    chaos.add_argument("--outage", type=float, default=0.1,
+                       help="DDS server outage probability per round")
+    chaos.add_argument("--timeout", type=float, default=0.0,
+                       help="transient read-timeout probability")
+    chaos.add_argument("--straggler", type=float, default=0.0,
+                       help="straggler probability per machine per round")
+    chaos.add_argument("--replication", type=int, default=2,
+                       help="replicas per key-value pair (failover depth)")
+    chaos.add_argument("--no-verify", action="store_true",
+                       help="skip the fault-free reference run and the "
+                            "bit-identity check")
+    chaos.add_argument("--no-ledger", action="store_true",
+                       help="suppress the per-round cost table")
+
     stats_p = sub.add_parser("stats", help="describe a graph file")
     stats_p.add_argument("graph", help="edge-list file")
 
@@ -69,6 +100,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "generate":
         return _generate(args)
+    if args.command == "chaos":
+        return _chaos(args)
     if args.command == "stats":
         from repro.graph import files, stats
 
@@ -98,6 +131,66 @@ def _generate(args) -> int:
         g = generators.with_random_weights(g, rng=args.seed)
     files.write_edge_list(g, args.out)
     print(f"wrote {args.family} graph: n={g.n} m={g.m} -> {args.out}")
+    return 0
+
+
+def _chaos(args) -> int:
+    import numpy as np
+
+    from repro.algorithms.connectivity import connectivity
+    from repro.algorithms.mis import maximal_independent_set
+    from repro.analysis import render_recovery_table
+    from repro.core.chaos import ChaosRuntime, FaultPlan
+    from repro.core.config import AMPCConfig
+    from repro.graph import files
+
+    graph = files.read_edge_list(args.graph)
+    print(f"loaded {graph!r} from {args.graph}")
+
+    config = AMPCConfig.for_input(
+        max(graph.n + graph.m, 1),
+        epsilon=args.epsilon,
+        seed=args.seed,
+        replication_factor=args.replication,
+    )
+    plan = FaultPlan(
+        seed=args.fault_seed,
+        machine_crash_probability=args.crash,
+        server_outage_probability=args.outage,
+        read_timeout_probability=args.timeout,
+        straggler_probability=args.straggler,
+    )
+    print(f"fault plan: crash={args.crash} outage={args.outage} "
+          f"timeout={args.timeout} straggler={args.straggler} "
+          f"replication={config.replication_factor} seed={args.fault_seed}")
+
+    runtime = ChaosRuntime(config, plan=plan)
+    if args.algorithm == "connectivity":
+        res = connectivity(graph, runtime=runtime)
+        print(f"components: {res.n_components} "
+              f"(phases: {res.phases}, rounds: {res.report.n_rounds})")
+        answer = res.labels
+    else:
+        res = maximal_independent_set(graph, runtime=runtime)
+        print(f"|MIS| = {res.vertices.size} "
+              f"(iterations: {res.iterations}, rounds: {res.report.n_rounds})")
+        answer = res.in_mis
+
+    if not args.no_verify:
+        if args.algorithm == "connectivity":
+            clean = connectivity(graph, config=config).labels
+        else:
+            clean = maximal_independent_set(graph, config=config).in_mis
+        identical = bool(np.array_equal(answer, clean))
+        print(f"bit-identical to fault-free run: {identical}")
+        if not identical:
+            return 1
+
+    print()
+    print(render_recovery_table(res.report))
+    if not args.no_ledger:
+        print()
+        print(res.report.format_table())
     return 0
 
 

@@ -8,25 +8,38 @@ Public surface:
 * :class:`DistributedDataStore` — one round's key-value store D_i.
 * :class:`MachineContext` / :class:`MPCMachineContext` — per-machine APIs.
 * :class:`RoundStats` / :class:`RunReport` — the cost ledger.
+* :class:`FaultPlan` / :class:`ChaosRuntime` / :func:`arm` — the chaos
+  layer: server outages, replicated stores with failover, checkpointed
+  round replay (see :mod:`repro.core.chaos`).
 """
 
+from .chaos import ChaosMixin, ChaosRuntime, ChaosSession, FaultPlan, RetryPolicy, arm
 from .config import AMPCConfig
 from .cost import RoundStats, RunReport, Timer, load_balance_gini, merge_reports
-from .dds import DistributedDataStore, value_words
+from .dds import DistributedDataStore, ReplicatedDataStore, value_words
 from .errors import (
     AdaptivityError,
     AMPCError,
     BudgetExceededError,
+    RoundAbortedError,
     RoundProtocolError,
+    ServerUnavailableError,
     StoreNotSealedError,
     StoreSealedError,
     ValueSizeError,
 )
-from .faults import FaultInjectingRuntime, MachineCrash
-from .machine import MachineContext, MPCMachineContext
-from .partition import key_hash, machine_of, partition_items, server_of, splitmix64
+from .faults import CrashingContext, FaultInjectingRuntime, MachineCrash
+from .machine import MachineContext, MPCMachineContext, TransactionalContextMixin
+from .partition import (
+    key_hash,
+    machine_of,
+    partition_items,
+    replica_servers,
+    server_of,
+    splitmix64,
+)
 from .pram import PRAMSimulator
-from .runtime import AMPCRuntime, MPCRuntime, RoundResult
+from .runtime import AMPCRuntime, MPCRuntime, RoundCheckpoint, RoundResult
 from .slackness import SlacknessEstimate, SlacknessModel, estimate_run
 
 __all__ = [
@@ -58,6 +71,19 @@ __all__ = [
     "PRAMSimulator",
     "FaultInjectingRuntime",
     "MachineCrash",
+    "CrashingContext",
+    "TransactionalContextMixin",
+    "ReplicatedDataStore",
+    "replica_servers",
+    "ServerUnavailableError",
+    "RoundAbortedError",
+    "RoundCheckpoint",
+    "FaultPlan",
+    "RetryPolicy",
+    "ChaosSession",
+    "ChaosMixin",
+    "ChaosRuntime",
+    "arm",
     "SlacknessModel",
     "SlacknessEstimate",
     "estimate_run",

@@ -1,0 +1,660 @@
+"""Chaos engineering for AMPC deployments (paper §2.1, made adversarial).
+
+The paper's practicality argument says AMPC inherits MapReduce-style
+fault tolerance because round stores are immutable. The follow-up
+implementation work ("Theory meets Practice", PAPERS.md) runs AMPC on
+real clusters where the dominant failures are *not* worker crashes but
+DDS serving machines going away and stragglers stretching the tail. This
+module makes every one of those failure modes executable and measurable:
+
+* :class:`FaultPlan` — a composable, seed-deterministic description of
+  what fails when: machine crashes, DDS server outages, transient read
+  timeouts, and straggler delays, plus the :class:`RetryPolicy` the
+  client side answers them with.
+* :class:`ChaosSession` — the live fault channel connecting a runtime to
+  the :class:`~repro.core.dds.ReplicatedDataStore` instances it builds:
+  which servers are down right now, the timeout dice, and the recovery
+  counters that land in the cost ledger.
+* :class:`ChaosMixin` / :class:`ChaosRuntime` / :func:`arm` — the
+  runtime layer. Reads fail over to backup replicas while the outage is
+  survivable; when it is not (more servers down than the replication
+  factor covers, or the retry deadline expires), the *whole round* is
+  aborted, rolled back to the :meth:`~repro.core.runtime.AMPCRuntime.checkpoint`
+  taken at round entry, and replayed — recovery the immutable-store
+  design makes an O(1) pointer swap.
+
+Everything is deterministic in ``FaultPlan.seed`` and independent of the
+algorithm's own randomness, so a faulty run must produce *bit-identical*
+results to a fault-free run — the property the chaos tests and
+``benchmarks/bench_resilience.py`` assert while measuring what the
+recovery cost.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .config import AMPCConfig
+from .dds import DistributedDataStore, ReplicatedDataStore
+from .errors import MachineCrash, RoundAbortedError, ServerUnavailableError
+from .machine import TRANSACTIONAL_SLOTS, TransactionalContextMixin
+from .partition import splitmix64
+from .runtime import AMPCRuntime, RoundResult
+
+__all__ = [
+    "FaultPlan",
+    "RetryPolicy",
+    "ChaosSession",
+    "ChaosMixin",
+    "ChaosRuntime",
+    "arm",
+]
+
+# Independent fault streams are derived from (plan.seed, salt, ...); the
+# salts keep outage draws, crash points, timeout dice and straggler hits
+# statistically independent of each other *and* of every algorithm RNG
+# (which derives from AMPCConfig.seed instead).
+_SALT_OUTAGE = 0x0D1E
+_SALT_CRASH = 0xC4A5
+_SALT_TIMEOUT = 0x7136
+_SALT_STRAGGLER = 0x57A6
+
+
+def _combine(p: float, q: float) -> float:
+    """Probability that at least one of two independent faults fires."""
+    return 1.0 - (1.0 - p) * (1.0 - q)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side answer to transient DDS faults.
+
+    Attributes:
+        max_read_attempts: attempts per read before the round is declared
+            failed (first attempt included).
+        base_backoff_s: simulated wait before the first retry.
+        backoff_multiplier: exponential growth factor per further retry.
+        max_backoff_s: cap on a single backoff wait.
+        round_deadline_s: total simulated retry time a single round
+            execution may accumulate before it is aborted and replayed
+            from checkpoint.
+        max_round_attempts: whole-round executions (initial + replays)
+            before the runtime gives up and raises
+            :class:`~repro.core.errors.RoundAbortedError` to the driver.
+    """
+
+    max_read_attempts: int = 6
+    base_backoff_s: float = 100e-6
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 0.05
+    round_deadline_s: float = 5.0
+    max_round_attempts: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_read_attempts < 1:
+            raise ValueError("max_read_attempts must be >= 1")
+        if self.max_round_attempts < 1:
+            raise ValueError("max_round_attempts must be >= 1")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff times must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+
+    def backoff(self, attempt: int) -> float:
+        """Simulated wait before retry number ``attempt`` (1-based)."""
+        wait = self.base_backoff_s * self.backoff_multiplier ** max(
+            attempt - 1, 0
+        )
+        return min(wait, self.max_backoff_s)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What fails, how often, and how recovery is paced — deterministically.
+
+    A plan is inert data: arm a runtime with it (``ChaosRuntime(config,
+    plan=plan)`` or ``arm(RuntimeCls)(config, plan=plan)``) to make it
+    bite. All randomness derives from ``seed`` via independent streams,
+    so the same plan replays the same faults against the same workload.
+
+    Plans compose: ``FaultPlan.machine_crashes(0.2) |
+    FaultPlan.server_outages(0.1)`` combines failure modes, OR-ing the
+    probabilities of each fault type as independent events.
+
+    Attributes:
+        seed: master seed of every fault stream.
+        machine_crash_probability: chance a machine's execution of one
+            work item crashes mid-read (replacement re-runs it from
+            scratch; replacements can crash again, bounded by
+            ``max_machine_retries``).
+        server_outage_probability: chance, per DDS serving machine and
+            per round execution, that the server is down for that whole
+            execution. Reads fail over to backup replicas; a key with
+            every replica down aborts the round.
+        read_timeout_probability: chance a served read times out
+            transiently; each retry waits ``retry.backoff`` and re-rolls.
+        straggler_probability: chance a machine finishes the round late
+            by ``straggler_delay_s`` (simulated time; results unchanged).
+        straggler_delay_s: delay a straggler adds.
+        max_machine_retries: replacement machines per work item.
+        retry: the client-side :class:`RetryPolicy`.
+    """
+
+    seed: int = 0
+    machine_crash_probability: float = 0.0
+    server_outage_probability: float = 0.0
+    read_timeout_probability: float = 0.0
+    straggler_probability: float = 0.0
+    straggler_delay_s: float = 0.005
+    max_machine_retries: int = 16
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "machine_crash_probability",
+            "server_outage_probability",
+            "read_timeout_probability",
+            "straggler_probability",
+        ):
+            p = getattr(self, name)
+            if not (0.0 <= p < 1.0):
+                raise ValueError(f"{name} must be in [0, 1), got {p}")
+        if self.straggler_delay_s < 0:
+            raise ValueError("straggler_delay_s must be non-negative")
+        if self.max_machine_retries < 0:
+            raise ValueError("max_machine_retries must be >= 0")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def machine_crashes(
+        cls, probability: float, *, seed: int = 0, max_retries: int = 16
+    ) -> "FaultPlan":
+        """Plan with only worker-machine crashes (the §2.1 story)."""
+        return cls(
+            seed=seed,
+            machine_crash_probability=probability,
+            max_machine_retries=max_retries,
+        )
+
+    @classmethod
+    def server_outages(cls, probability: float, *, seed: int = 0) -> "FaultPlan":
+        """Plan with only DDS serving-machine outages."""
+        return cls(seed=seed, server_outage_probability=probability)
+
+    @classmethod
+    def read_timeouts(cls, probability: float, *, seed: int = 0) -> "FaultPlan":
+        """Plan with only transient read timeouts."""
+        return cls(seed=seed, read_timeout_probability=probability)
+
+    @classmethod
+    def stragglers(
+        cls, probability: float, delay_s: float = 0.005, *, seed: int = 0
+    ) -> "FaultPlan":
+        """Plan with only straggler delays (latency, not correctness)."""
+        return cls(
+            seed=seed,
+            straggler_probability=probability,
+            straggler_delay_s=delay_s,
+        )
+
+    # -- composition -------------------------------------------------------
+
+    def compose(self, other: "FaultPlan") -> "FaultPlan":
+        """Combine two plans: each fault type fires if either plan fires.
+
+        Probabilities OR as independent events; delays and retry caps
+        take the larger value; the retry policy of the *left* plan wins
+        unless it is the default. Seeds mix deterministically, so
+        composing the same plans always replays the same faults.
+        """
+        seed = (
+            self.seed
+            if other.seed == self.seed
+            else splitmix64(self.seed ^ splitmix64(other.seed)) & 0x7FFFFFFF
+        )
+        retry = self.retry if self.retry != RetryPolicy() else other.retry
+        return replace(
+            self,
+            seed=seed,
+            machine_crash_probability=_combine(
+                self.machine_crash_probability, other.machine_crash_probability
+            ),
+            server_outage_probability=_combine(
+                self.server_outage_probability, other.server_outage_probability
+            ),
+            read_timeout_probability=_combine(
+                self.read_timeout_probability, other.read_timeout_probability
+            ),
+            straggler_probability=_combine(
+                self.straggler_probability, other.straggler_probability
+            ),
+            straggler_delay_s=max(self.straggler_delay_s, other.straggler_delay_s),
+            max_machine_retries=max(
+                self.max_machine_retries, other.max_machine_retries
+            ),
+            retry=retry,
+        )
+
+    def __or__(self, other: "FaultPlan") -> "FaultPlan":
+        return self.compose(other)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """Copy of this plan with a different fault seed."""
+        return replace(self, seed=seed)
+
+    @property
+    def is_null(self) -> bool:
+        """True if the plan injects nothing (armed runtime == plain run)."""
+        return (
+            self.machine_crash_probability == 0.0
+            and self.server_outage_probability == 0.0
+            and self.read_timeout_probability == 0.0
+            and self.straggler_probability == 0.0
+        )
+
+    # -- fault streams -----------------------------------------------------
+
+    def rng(self, *salts: int) -> np.random.Generator:
+        """Independent generator for one fault stream."""
+        return np.random.default_rng(np.random.SeedSequence((self.seed, *salts)))
+
+    def draw_server_outages(
+        self, round_index: int, attempt: int, n_servers: int
+    ) -> frozenset[int]:
+        """The serving machines down for one round execution.
+
+        Deterministic in (seed, round, attempt). The chaos runtime draws
+        this for a round's *first* execution only — an abort replaces
+        the failed servers, so replays run on the repaired cluster —
+        which is what lets a driver survive losing more servers than the
+        replication factor covers.
+        """
+        p = self.server_outage_probability
+        if p <= 0.0 or n_servers <= 0:
+            return frozenset()
+        rng = self.rng(_SALT_OUTAGE, round_index, attempt)
+        mask = rng.random(n_servers) < p
+        return frozenset(int(s) for s in np.flatnonzero(mask))
+
+
+class ChaosSession:
+    """Live fault channel between a chaos runtime and its stores.
+
+    The runtime updates it at each round execution (outage set, timeout
+    dice, deadline clock); every :class:`ReplicatedDataStore` built by
+    the runtime consults it on every read. Recovery counters accumulate
+    here until the round succeeds, then flush into that round's
+    :class:`~repro.core.cost.RoundStats`.
+    """
+
+    __slots__ = (
+        "plan",
+        "down",
+        "active",
+        "rng",
+        "simulated_s",
+        "attempt_reads",
+        "crashes",
+        "server_outages",
+        "stragglers",
+        "retry_reads",
+        "failover_reads",
+        "wasted_reads",
+        "checkpoint_restores",
+        "recovery_wall_s",
+    )
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.down: frozenset[int] = frozenset()
+        self.active = False
+        self.rng = plan.rng(_SALT_TIMEOUT)
+        self.simulated_s = 0.0
+        self.attempt_reads = 0
+        self.crashes = 0
+        self.server_outages = 0
+        self.stragglers = 0
+        self.retry_reads = 0
+        self.failover_reads = 0
+        self.wasted_reads = 0
+        self.checkpoint_restores = 0
+        self.recovery_wall_s = 0.0
+
+    # -- runtime-side lifecycle -------------------------------------------
+
+    def begin_attempt(
+        self, downed: frozenset[int], rng: np.random.Generator
+    ) -> None:
+        """Start one round execution: arm the outage set and reset the
+        per-execution clocks."""
+        self.down = downed
+        self.rng = rng
+        self.active = True
+        self.simulated_s = 0.0
+        self.attempt_reads = 0
+        self.server_outages += len(downed)
+
+    def end_round(self) -> None:
+        """The round sealed: servers come back up, faults disarm."""
+        self.down = frozenset()
+        self.active = False
+        self.attempt_reads = 0
+
+    def note_round_abort(self, wall_wasted_s: float) -> None:
+        """Record a whole-round abort: everything read so far is waste."""
+        self.checkpoint_restores += 1
+        self.wasted_reads += self.attempt_reads
+        self.attempt_reads = 0
+        self.recovery_wall_s += wall_wasted_s
+        self.down = frozenset()
+        self.active = False
+
+    def on_machine_crash(self, wasted_reads: int) -> None:
+        """Record one machine crash and the reads its attempt burned."""
+        self.crashes += 1
+        self.wasted_reads += wasted_reads
+        # Those reads are already counted as waste; don't count them again
+        # if the whole round aborts later.
+        self.attempt_reads -= min(wasted_reads, self.attempt_reads)
+
+    def flush_into(self, stats) -> None:
+        """Move accumulated recovery counters into a round's statistics."""
+        stats.crashes += self.crashes
+        stats.server_outages += self.server_outages
+        stats.stragglers += self.stragglers
+        stats.retry_reads += self.retry_reads
+        stats.failover_reads += self.failover_reads
+        stats.wasted_reads += self.wasted_reads
+        stats.checkpoint_restores += self.checkpoint_restores
+        stats.recovery_wall_s += self.recovery_wall_s
+        self.crashes = 0
+        self.server_outages = 0
+        self.stragglers = 0
+        self.retry_reads = 0
+        self.failover_reads = 0
+        self.wasted_reads = 0
+        self.checkpoint_restores = 0
+        self.recovery_wall_s = 0.0
+        self.end_round()
+
+    # -- store-side hooks (ReplicatedDataStore injector protocol) ---------
+
+    def on_read(self, server: int) -> None:
+        """One read served by ``server``; may suffer transient timeouts.
+
+        Each timeout is retried after an exponential backoff (simulated
+        time). Exhausting :attr:`RetryPolicy.max_read_attempts` or the
+        per-round deadline aborts the round for checkpoint replay.
+        """
+        if not self.active:
+            return
+        self.attempt_reads += 1
+        p = self.plan.read_timeout_probability
+        if p <= 0.0:
+            return
+        policy = self.plan.retry
+        attempt = 1
+        while self.rng.random() < p:
+            if attempt >= policy.max_read_attempts:
+                raise RoundAbortedError(
+                    f"read against DDS server {server} timed out "
+                    f"{attempt} times (max_read_attempts="
+                    f"{policy.max_read_attempts})"
+                )
+            wait = policy.backoff(attempt)
+            self.simulated_s += wait
+            self.recovery_wall_s += wait
+            self.retry_reads += 1
+            self.attempt_reads += 1
+            if self.simulated_s > policy.round_deadline_s:
+                raise RoundAbortedError(
+                    f"round retry deadline exceeded "
+                    f"({self.simulated_s:.4f}s simulated > "
+                    f"{policy.round_deadline_s}s)"
+                )
+            attempt += 1
+
+    def on_failover(self, probes: int) -> None:
+        """``probes`` replicas had to be skipped before a live one."""
+        if self.active:
+            self.failover_reads += probes
+
+
+class ChaosMixin:
+    """Chaos layer over any :class:`AMPCRuntime` subclass.
+
+    Combine with a runtime class (see :func:`arm`) or use the premixed
+    :class:`ChaosRuntime`. The mixin
+
+    * builds :class:`ReplicatedDataStore` round stores (k =
+      ``config.replication_factor``) wired to one :class:`ChaosSession`;
+    * wraps machine programs in the crash/replacement loop (fresh budget
+      per replacement, waste to the ledger);
+    * checkpoints before every round and replays the round from the
+      checkpoint when it aborts (server losses beyond the replication
+      factor, retry deadline exhaustion) — replays run on the repaired
+      cluster, so the driver survives arbitrarily deep server losses;
+    * draws straggler delays and accounts all recovery work into
+      :class:`~repro.core.cost.RoundStats` / ``RunReport.recovery_summary()``.
+    """
+
+    def __init__(
+        self, config: AMPCConfig, *args, plan: FaultPlan | None = None, **kwargs
+    ) -> None:
+        super().__init__(config, *args, **kwargs)
+        self.plan = FaultPlan() if plan is None else plan
+        self.session = ChaosSession(self.plan)
+
+    # -- store construction ------------------------------------------------
+
+    def _build_store(self, round_index: int) -> DistributedDataStore:
+        return ReplicatedDataStore(
+            round_index=round_index,
+            n_servers=self.config.n_machines,
+            seed=self.config.seed,
+            max_words=self.config.max_words,
+            track_contention=self.config.track_contention,
+            replication=self.config.replication_factor,
+            injector=self.session,
+        )
+
+    # -- convenience mirrors (same names as FaultInjectingRuntime) --------
+
+    @property
+    def crashes_injected(self) -> int:
+        return self.report.crashes + self.session.crashes
+
+    @property
+    def checkpoint_restores(self) -> int:
+        return self.report.checkpoint_restores + self.session.checkpoint_restores
+
+    # -- the round loop ----------------------------------------------------
+
+    def round(
+        self,
+        work: Sequence[Any] | None = None,
+        worker: Callable[..., Any] | None = None,
+        **kwargs,
+    ) -> RoundResult:
+        """One AMPC round under the fault plan, recovered transparently.
+
+        The first execution runs under the round's drawn outage set;
+        reads whose primary is down fail over to backups. If the outage
+        exceeds what the replication factor covers (some key's every
+        replica down), the execution aborts, the failed servers are
+        replaced — their partitions rebuilt from the checkpoint, an O(1)
+        pointer swap since the readable store is immutable — and the
+        round replays on the repaired cluster. Crash points and timeout
+        dice are re-drawn per execution (deterministic in the plan seed,
+        the logical round number, and the attempt number), so a
+        surviving execution returns results bit-identical to a
+        fault-free run.
+        """
+        plan = self.plan
+        session = self.session
+        logical_round = self._round_counter
+        # Replaying a round must see the same setup pairs; a generator
+        # would be exhausted by the first (aborted) execution.
+        if kwargs.get("setup") is not None:
+            kwargs["setup"] = list(kwargs["setup"])
+        cp = self.checkpoint()
+        max_attempts = max(1, plan.retry.max_round_attempts)
+        last_error: Exception | None = None
+
+        for attempt in range(max_attempts):
+            # Outages strike the round's first execution. A replay runs
+            # on the repaired cluster (failed servers replaced, their
+            # partitions restored from the surviving replicas and the
+            # checkpointed previous store) — the MapReduce recovery
+            # story §2.1 appeals to. Crash and timeout faults re-roll.
+            downed = (
+                plan.draw_server_outages(
+                    logical_round, attempt, self.config.n_machines
+                )
+                if attempt == 0
+                else frozenset()
+            )
+            session.begin_attempt(
+                downed=downed,
+                rng=plan.rng(_SALT_TIMEOUT, logical_round, attempt),
+            )
+            crash_rng = plan.rng(_SALT_CRASH, logical_round, attempt)
+            kw = dict(kwargs)
+            wrapped_worker = (
+                self._with_crash_recovery(worker, crash_rng, per_item=True)
+                if worker is not None
+                else None
+            )
+            per_machine = kw.get("per_machine")
+            if per_machine is not None:
+                kw["per_machine"] = self._with_crash_recovery(
+                    per_machine, crash_rng, per_item=False
+                )
+            started = time.perf_counter()
+            try:
+                result = super().round(work, wrapped_worker, **kw)
+            except (ServerUnavailableError, RoundAbortedError) as exc:
+                last_error = exc
+                self.restore(cp)
+                session.note_round_abort(time.perf_counter() - started)
+                continue
+            self._draw_stragglers(result.stats, logical_round)
+            session.flush_into(result.stats)
+            return result
+
+        raise RoundAbortedError(
+            f"round {logical_round} ({kwargs.get('tag', 'round')!r}) failed "
+            f"all {max_attempts} executions under the fault plan"
+        ) from last_error
+
+    # -- internals ---------------------------------------------------------
+
+    def _with_crash_recovery(
+        self,
+        fn: Callable[..., Any],
+        crash_rng: np.random.Generator,
+        *,
+        per_item: bool,
+    ) -> Callable[..., Any]:
+        """Wrap a machine program in the crash/replacement loop."""
+        plan = self.plan
+        session = self.session
+        p_crash = plan.machine_crash_probability
+        max_retries = plan.max_machine_retries
+
+        def attempt_loop(ctx, call: Callable[[], Any]) -> Any:
+            for attempt in range(max_retries + 1):
+                if attempt < max_retries and crash_rng.random() < p_crash:
+                    ctx.crash_at = ctx.reads_used + int(
+                        crash_rng.integers(0, 8)
+                    )
+                else:
+                    ctx.crash_at = None
+                reads_mark = ctx.reads_used
+                writes_mark = len(ctx.buffered_writes)
+                try:
+                    out = call()
+                    ctx.crash_at = None
+                    ctx.commit()
+                    return out
+                except MachineCrash:
+                    wasted_reads, _ = ctx.rollback(writes_mark, reads_mark)
+                    session.on_machine_crash(wasted_reads)
+            raise RoundAbortedError(
+                f"machine {ctx.machine_id} lost {max_retries} replacements "
+                f"in a row"
+            )
+
+        if per_item:
+            return lambda ctx, item: attempt_loop(ctx, lambda: fn(ctx, item))
+        return lambda ctx: attempt_loop(ctx, lambda: fn(ctx))
+
+    def _draw_stragglers(self, stats, logical_round: int) -> None:
+        p = self.plan.straggler_probability
+        if p <= 0.0 or stats.n_machines_active == 0:
+            return
+        rng = self.plan.rng(_SALT_STRAGGLER, logical_round)
+        hit = int((rng.random(stats.n_machines_active) < p).sum())
+        if hit:
+            self.session.stragglers += hit
+            self.session.recovery_wall_s += hit * self.plan.straggler_delay_s
+
+
+# Premixed chaos runtime over the standard AMPC runtime. Its context
+# class is the same transactional context the worker-crash runtime uses.
+from .faults import CrashingContext  # noqa: E402  (avoids a module cycle)
+
+
+class ChaosRuntime(ChaosMixin, AMPCRuntime):
+    """AMPCRuntime armed with a :class:`FaultPlan`.
+
+    Usage::
+
+        plan = (FaultPlan.machine_crashes(0.2)
+                | FaultPlan.server_outages(0.1)).with_seed(7)
+        rt = ChaosRuntime(config.with_replication(2), plan=plan)
+        rt.bootstrap(pairs)
+        rt.round(work, worker)           # recovered transparently
+        print(rt.report.recovery_summary())
+    """
+
+    machine_context_cls = CrashingContext
+
+
+_ARMED: dict[type, type] = {AMPCRuntime: ChaosRuntime}
+
+
+def arm(runtime_cls: type) -> type:
+    """Chaos-armed subclass of any runtime class.
+
+    ``arm(MPCRuntime)`` returns a class whose constructor accepts the
+    usual arguments plus ``plan=FaultPlan(...)``; its machine contexts
+    gain buffered writes and crash points (synthesized from the base
+    context class), its stores are replicated, and its rounds recover as
+    described on :class:`ChaosMixin`. Classes are cached, so repeated
+    calls return the same type.
+    """
+    armed = _ARMED.get(runtime_cls)
+    if armed is not None:
+        return armed
+    base_ctx = runtime_cls.machine_context_cls
+    if issubclass(base_ctx, TransactionalContextMixin):
+        ctx_cls = base_ctx
+    else:
+        ctx_cls = type(
+            "Chaos" + base_ctx.__name__,
+            (TransactionalContextMixin, base_ctx),
+            {"__slots__": TRANSACTIONAL_SLOTS},
+        )
+    armed = type(
+        "Chaos" + runtime_cls.__name__,
+        (ChaosMixin, runtime_cls),
+        {"machine_context_cls": ctx_cls},
+    )
+    _ARMED[runtime_cls] = armed
+    return armed

@@ -45,6 +45,10 @@ class AMPCConfig:
             placement) derives from it, making runs reproducible.
         track_contention: record per-DDS-server load histograms (Lemma 2.1
             experiments). Costs one array increment per read.
+        replication_factor: number of DDS servers holding each key-value
+            pair. 1 (the default) is the paper's base model; k > 1 enables
+            failover reads when serving machines fail (§2.1's practicality
+            argument, exercised by :mod:`repro.core.chaos`).
     """
 
     epsilon: float = DEFAULT_EPSILON
@@ -55,6 +59,7 @@ class AMPCConfig:
     max_words: int = 8
     seed: int = 0
     track_contention: bool = True
+    replication_factor: int = 1
 
     def __post_init__(self) -> None:
         if not (0.0 < self.epsilon < 1.0):
@@ -67,6 +72,11 @@ class AMPCConfig:
             raise ValueError("budget_multiplier must be positive")
         if self.max_words < 1:
             raise ValueError("max_words must be >= 1")
+        if self.replication_factor < 1:
+            raise ValueError(
+                f"replication_factor must be >= 1, "
+                f"got {self.replication_factor}"
+            )
 
     @property
     def total_space(self) -> int:
@@ -96,6 +106,7 @@ class AMPCConfig:
         track_contention: bool = True,
         min_space: int = 16,
         max_machines: int = 4096,
+        replication_factor: int = 1,
     ) -> "AMPCConfig":
         """Derive a deployment for an input of ``n_items`` key-value pairs.
 
@@ -113,6 +124,7 @@ class AMPCConfig:
             track_contention: record DDS server loads.
             min_space: floor on S so tiny test inputs stay runnable.
             max_machines: cap on P to bound simulator bookkeeping overhead.
+            replication_factor: DDS replicas per key-value pair.
         """
         if n_items < 1:
             raise ValueError(f"n_items must be >= 1, got {n_items}")
@@ -127,11 +139,16 @@ class AMPCConfig:
             strict=strict,
             seed=seed,
             track_contention=track_contention,
+            replication_factor=replication_factor,
         )
 
     def with_seed(self, seed: int) -> "AMPCConfig":
         """Copy of this config with a different master seed."""
         return replace(self, seed=seed)
+
+    def with_replication(self, replication_factor: int) -> "AMPCConfig":
+        """Copy of this config with a different DDS replication factor."""
+        return replace(self, replication_factor=replication_factor)
 
     def rng(self, salt: int = 0) -> np.random.Generator:
         """A numpy Generator derived from the master seed and a salt.

@@ -37,6 +37,20 @@ class RoundStats:
         max_server_load: largest number of reads answered by one DDS server
             (Lemma 2.1's quantity).
         wall_time_s: host-side wall time (diagnostic only; not a model cost).
+        crashes: machine crashes injected and recovered during the round.
+        server_outages: DDS serving machines down during the round
+            (summed over re-execution attempts).
+        stragglers: machines hit by an injected straggler delay.
+        retry_reads: reads re-issued after transient read timeouts.
+        failover_reads: reads redirected to a backup replica because the
+            primary server was down.
+        wasted_reads: reads whose results were discarded — issued by a
+            crashed machine attempt or by an aborted round execution.
+        checkpoint_restores: whole-round aborts recovered by restoring the
+            last checkpoint and replaying the round.
+        recovery_wall_s: simulated recovery time (retry backoff, straggler
+            delays, round-replay penalties); like ``wall_time_s`` it is a
+            diagnostic, not a model cost.
     """
 
     index: int
@@ -53,6 +67,14 @@ class RoundStats:
     budget_violations: int = 0
     max_server_load: int = 0
     wall_time_s: float = 0.0
+    crashes: int = 0
+    server_outages: int = 0
+    stragglers: int = 0
+    retry_reads: int = 0
+    failover_reads: int = 0
+    wasted_reads: int = 0
+    checkpoint_restores: int = 0
+    recovery_wall_s: float = 0.0
 
     @property
     def communication(self) -> int:
@@ -63,6 +85,11 @@ class RoundStats:
     def read_budget_utilization(self) -> float:
         """max per-machine reads / budget; ≤ 1 means the O(S) bound held."""
         return self.max_machine_reads / self.read_budget if self.read_budget else 0.0
+
+    @property
+    def recovery_reads(self) -> int:
+        """All reads attributable to fault recovery in this round."""
+        return self.retry_reads + self.failover_reads + self.wasted_reads
 
 
 @dataclass
@@ -112,6 +139,62 @@ class RunReport:
     def wall_time_s(self) -> float:
         return sum(r.wall_time_s for r in self.rounds)
 
+    # -- recovery accounting (chaos / fault-injection runs) ---------------
+
+    @property
+    def crashes(self) -> int:
+        return sum(r.crashes for r in self.rounds)
+
+    @property
+    def server_outages(self) -> int:
+        return sum(r.server_outages for r in self.rounds)
+
+    @property
+    def stragglers(self) -> int:
+        return sum(r.stragglers for r in self.rounds)
+
+    @property
+    def retry_reads(self) -> int:
+        return sum(r.retry_reads for r in self.rounds)
+
+    @property
+    def failover_reads(self) -> int:
+        return sum(r.failover_reads for r in self.rounds)
+
+    @property
+    def wasted_reads(self) -> int:
+        return sum(r.wasted_reads for r in self.rounds)
+
+    @property
+    def checkpoint_restores(self) -> int:
+        return sum(r.checkpoint_restores for r in self.rounds)
+
+    @property
+    def recovery_wall_s(self) -> float:
+        return sum(r.recovery_wall_s for r in self.rounds)
+
+    def recovery_summary(self) -> dict[str, float]:
+        """Flat dict itemizing the fault-recovery overhead of the run.
+
+        ``overhead_reads_pct`` is recovery reads relative to the useful
+        (charged) communication — the headline number of the resilience
+        benchmark: what fraction of work the faults cost.
+        """
+        recovery_reads = self.retry_reads + self.failover_reads + self.wasted_reads
+        useful = self.total_reads or 1
+        return {
+            "crashes": self.crashes,
+            "server_outages": self.server_outages,
+            "stragglers": self.stragglers,
+            "retry_reads": self.retry_reads,
+            "failover_reads": self.failover_reads,
+            "wasted_reads": self.wasted_reads,
+            "checkpoint_restores": self.checkpoint_restores,
+            "recovery_reads": recovery_reads,
+            "overhead_reads_pct": round(100.0 * recovery_reads / useful, 3),
+            "recovery_wall_s": round(self.recovery_wall_s, 6),
+        }
+
     def by_tag(self, tag: str) -> list[RoundStats]:
         """All round records whose tag starts with ``tag``."""
         return [r for r in self.rounds if r.tag.startswith(tag)]
@@ -136,24 +219,38 @@ class RunReport:
         Intended for archiving benchmark runs and diffing ledgers across
         code versions (see :func:`compare_reports`).
         """
+        rounds = []
+        for r in self.rounds:
+            record = {
+                "index": r.index,
+                "tag": r.tag,
+                "kind": r.kind,
+                "rounds": r.rounds,
+                "reads": r.total_reads,
+                "writes": r.total_writes,
+                "max_machine_reads": r.max_machine_reads,
+                "max_machine_writes": r.max_machine_writes,
+                "machines": r.n_machines_active,
+                "budget_violations": r.budget_violations,
+                "max_server_load": r.max_server_load,
+            }
+            if r.recovery_reads or r.crashes or r.checkpoint_restores \
+                    or r.server_outages or r.stragglers:
+                record["recovery"] = {
+                    "crashes": r.crashes,
+                    "server_outages": r.server_outages,
+                    "stragglers": r.stragglers,
+                    "retry_reads": r.retry_reads,
+                    "failover_reads": r.failover_reads,
+                    "wasted_reads": r.wasted_reads,
+                    "checkpoint_restores": r.checkpoint_restores,
+                    "recovery_wall_s": round(r.recovery_wall_s, 6),
+                }
+            rounds.append(record)
         return {
             "summary": self.summary(),
-            "rounds": [
-                {
-                    "index": r.index,
-                    "tag": r.tag,
-                    "kind": r.kind,
-                    "rounds": r.rounds,
-                    "reads": r.total_reads,
-                    "writes": r.total_writes,
-                    "max_machine_reads": r.max_machine_reads,
-                    "max_machine_writes": r.max_machine_writes,
-                    "machines": r.n_machines_active,
-                    "budget_violations": r.budget_violations,
-                    "max_server_load": r.max_server_load,
-                }
-                for r in self.rounds
-            ],
+            "recovery": self.recovery_summary(),
+            "rounds": rounds,
         }
 
     def to_json(self, **kwargs) -> str:
@@ -183,6 +280,18 @@ class RunReport:
             f"max_machine_reads={s['max_machine_reads']} "
             f"violations={s['budget_violations']}"
         )
+        rec = self.recovery_summary()
+        if rec["recovery_reads"] or rec["crashes"] or rec["stragglers"] \
+                or rec["checkpoint_restores"]:
+            lines.append(
+                f"recovery: crashes={rec['crashes']} "
+                f"outages={rec['server_outages']} "
+                f"retry={rec['retry_reads']} "
+                f"failover={rec['failover_reads']} "
+                f"wasted={rec['wasted_reads']} "
+                f"restores={rec['checkpoint_restores']} "
+                f"overhead={rec['overhead_reads_pct']:.1f}%"
+            )
         return "\n".join(lines)
 
 

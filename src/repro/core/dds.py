@@ -24,8 +24,13 @@ from typing import Any, Hashable, Iterable, Iterator
 
 import numpy as np
 
-from .errors import StoreNotSealedError, StoreSealedError, ValueSizeError
-from .partition import server_of
+from .errors import (
+    ServerUnavailableError,
+    StoreNotSealedError,
+    StoreSealedError,
+    ValueSizeError,
+)
+from .partition import replica_servers, server_of
 
 
 def value_words(value: Any) -> int:
@@ -66,6 +71,7 @@ class DistributedDataStore:
         "_server_reads",
         "_server_items",
         "_server_map",
+        "_route_reads",
         "n_writes",
         "n_reads",
     )
@@ -90,8 +96,29 @@ class DistributedDataStore:
         self._sealed = False
         self._server_reads = np.zeros(n_servers, dtype=np.int64)
         self._server_items = np.zeros(n_servers, dtype=np.int64)
+        # Whether reads must be routed through _serve_read. The base store
+        # only routes for contention accounting; ReplicatedDataStore always
+        # routes, because failover semantics apply regardless.
+        self._route_reads = track_contention
         self.n_writes = 0
         self.n_reads = 0
+
+    # -- server routing (overridden by ReplicatedDataStore) ----------------
+
+    def _owner_of(self, key: Hashable) -> int:
+        server = self._server_map.get(key)
+        if server is None:
+            server = server_of(key, self.n_servers, self.seed)
+            self._server_map[key] = server
+        return server
+
+    def _place_write(self, key: Hashable) -> None:
+        """Attribute one stored pair to the server(s) owning ``key``."""
+        self._server_items[self._owner_of(key)] += 1
+
+    def _serve_read(self, key: Hashable) -> None:
+        """Attribute one read to the server answering it."""
+        self._server_reads[self._owner_of(key)] += 1
 
     # -- write side (open during round i) ---------------------------------
 
@@ -126,11 +153,7 @@ class DistributedDataStore:
             self._data[key] = _Bucket([existing, value])
         self.n_writes += 1
         if self.track_contention:
-            server = self._server_map.get(key)
-            if server is None:
-                server = server_of(key, self.n_servers, self.seed)
-                self._server_map[key] = server
-            self._server_items[server] += 1
+            self._place_write(key)
 
     def write_many(self, pairs: Iterable[tuple[Hashable, Any]]) -> int:
         """Bulk :meth:`write`; returns the number of pairs written."""
@@ -158,12 +181,8 @@ class DistributedDataStore:
                 f"be sealed before reads"
             )
         self.n_reads += 1
-        if self.track_contention:
-            server = self._server_map.get(key)
-            if server is None:
-                server = server_of(key, self.n_servers, self.seed)
-                self._server_map[key] = server
-            self._server_reads[server] += 1
+        if self._route_reads:
+            self._serve_read(key)
         found = self._data.get(key)
         if isinstance(found, _Bucket):
             return found.values[0]
@@ -181,12 +200,8 @@ class DistributedDataStore:
                 f"store D_{self.round_index} is still being written"
             )
         self.n_reads += 1
-        if self.track_contention:
-            server = self._server_map.get(key)
-            if server is None:
-                server = server_of(key, self.n_servers, self.seed)
-                self._server_map[key] = server
-            self._server_reads[server] += 1
+        if self._route_reads:
+            self._serve_read(key)
         found = self._data.get(key)
         if found is None:
             return None
@@ -249,6 +264,117 @@ class DistributedDataStore:
     def max_server_load(self) -> int:
         """Maximum reads any single server answered for this store."""
         return int(self._server_reads.max()) if self.n_servers else 0
+
+
+class ReplicatedDataStore(DistributedDataStore):
+    """A round store whose pairs live on k DDS servers (§2.1, executable).
+
+    A real RDMA deployment loses *serving* machines, not only workers.
+    This store makes that failure mode survivable: every key-value pair is
+    placed on ``replication`` distinct servers
+    (:func:`repro.core.partition.replica_servers`; the primary matches the
+    unreplicated placement), a set of servers can be marked down via
+    :meth:`set_down`, and a read whose primary is down fails over to the
+    first live backup — counted in :attr:`failover_reads`, the price of
+    the outage. Only when *every* replica of a key is down does the read
+    raise :class:`~repro.core.errors.ServerUnavailableError`, which a
+    chaos-aware runtime converts into a whole-round checkpoint restore.
+
+    Args:
+        replication: replicas per pair (k; clamped to ``n_servers``).
+        injector: optional fault channel (see
+            :class:`repro.core.chaos.ChaosSession`) consulted on every
+            read for the current outage set and transient-timeout faults.
+            Duck-typed: needs ``down`` (a set of server ids), and
+            ``on_read(server)`` / ``on_failover(n)`` hooks.
+    """
+
+    __slots__ = ("replication", "_replica_map", "_down", "_injector",
+                 "failover_reads")
+
+    def __init__(
+        self,
+        round_index: int,
+        n_servers: int,
+        seed: int = 0,
+        max_words: int = 8,
+        track_contention: bool = True,
+        *,
+        replication: int = 2,
+        injector: Any = None,
+    ) -> None:
+        super().__init__(
+            round_index, n_servers, seed, max_words, track_contention
+        )
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        self.replication = min(replication, n_servers)
+        self._replica_map: dict[Hashable, tuple[int, ...]] = {}
+        self._down: set[int] = set()
+        self._injector = injector
+        self.failover_reads = 0
+        # Failover must run on every read, even with contention tracking off.
+        self._route_reads = True
+
+    # -- outage control ----------------------------------------------------
+
+    def set_down(self, servers: Iterable[int]) -> None:
+        """Mark serving machines as failed (until :meth:`restore_all`)."""
+        self._down = set(int(s) for s in servers)
+
+    def restore_all(self) -> None:
+        """Bring every directly-marked server back up."""
+        self._down.clear()
+
+    @property
+    def down_servers(self) -> frozenset[int]:
+        """Servers currently unable to answer reads."""
+        down = self._down
+        if self._injector is not None:
+            down = down | set(self._injector.down)
+        return frozenset(down)
+
+    # -- routing overrides -------------------------------------------------
+
+    def replicas_of(self, key: Hashable) -> tuple[int, ...]:
+        """The servers holding ``key`` (primary first)."""
+        replicas = self._replica_map.get(key)
+        if replicas is None:
+            replicas = replica_servers(
+                key, self.n_servers, self.seed, self.replication
+            )
+            self._replica_map[key] = replicas
+        return replicas
+
+    def _place_write(self, key: Hashable) -> None:
+        for server in self.replicas_of(key):
+            self._server_items[server] += 1
+
+    def _serve_read(self, key: Hashable) -> None:
+        replicas = self.replicas_of(key)
+        injector = self._injector
+        down = self._down if injector is None else None
+        serving = None
+        probes = 0
+        for server in replicas:
+            if injector is not None:
+                unavailable = server in injector.down or server in self._down
+            else:
+                unavailable = server in down
+            if not unavailable:
+                serving = server
+                break
+            probes += 1
+        if serving is None:
+            raise ServerUnavailableError(key, replicas)
+        if probes:
+            self.failover_reads += probes
+            if injector is not None:
+                injector.on_failover(probes)
+        if self.track_contention:
+            self._server_reads[serving] += 1
+        if injector is not None:
+            injector.on_read(serving)
 
 
 class _Bucket:

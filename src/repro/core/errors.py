@@ -72,3 +72,48 @@ class AdaptivityError(AMPCError):
     arbitrary-key random reads are the capability that distinguishes AMPC
     from MPC. The MPC runtime raises this error to keep baselines honest.
     """
+
+
+class MachineCrash(AMPCError):
+    """Injected machine failure (not a model violation — a simulated
+    hardware fault).
+
+    Raised from inside a machine program by the fault-injecting runtimes;
+    the framework discards the attempt's buffered writes and reruns the
+    work from scratch against the immutable round store (§2.1).
+    """
+
+    def __init__(self, machine_id: int, after_reads: int):
+        self.machine_id = machine_id
+        self.after_reads = after_reads
+        super().__init__(
+            f"machine {machine_id} crashed after {after_reads} reads"
+        )
+
+
+class ServerUnavailableError(AMPCError):
+    """Every replica of a key's DDS servers is down.
+
+    Raised by :class:`repro.core.dds.ReplicatedDataStore` when a read
+    cannot be served by the primary or any backup replica. A chaos-aware
+    runtime treats this as a whole-round failure and recovers via
+    checkpoint/restore; reaching a plain runtime it is fatal.
+    """
+
+    def __init__(self, key, servers):
+        self.key = key
+        self.servers = tuple(servers)
+        super().__init__(
+            f"all {len(self.servers)} replica server(s) {self.servers} "
+            f"for key {key!r} are down"
+        )
+
+
+class RoundAbortedError(AMPCError):
+    """A round could not complete and must be re-executed from checkpoint.
+
+    Causes: a read exhausted its retry budget or per-round deadline, or
+    more DDS servers failed than the replication factor covers. The
+    driver-level recovery path (``AMPCRuntime.checkpoint``/``restore``)
+    rolls the run back to the last sealed store and replays the round.
+    """

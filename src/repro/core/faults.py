@@ -14,60 +14,41 @@ from scratch against the same sealed store. Tests assert the recovered
 run produces *bit-identical* results and stores to a fault-free run —
 the paper's claim, verified.
 
-Retries re-incur their reads/writes (recovery is not free in the real
-world); the ledger tracks both the logical costs and the retry overhead.
+A replacement machine starts with a *fresh* O(S) budget (it performs the
+computation from scratch on new hardware); the reads the crashed attempt
+burned are charged to the recovery ledger (:attr:`retry_reads` and the
+``wasted_reads`` column of the round statistics), not to the replacement
+machine's budget. Crashes remain possible on retries — a replacement
+machine can itself fail — bounded by ``max_retries``.
+
+For the full chaos-engineering layer (DDS server outages, replicated
+stores with failover, stragglers, round checkpoint/resume) see
+:mod:`repro.core.chaos`; this module is the minimal worker-crash story.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Hashable, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from .config import AMPCConfig
-from .errors import AMPCError
-from .machine import MachineContext
+from .errors import MachineCrash
+from .machine import TRANSACTIONAL_SLOTS, MachineContext, TransactionalContextMixin
 from .runtime import AMPCRuntime, RoundResult
 
-
-class MachineCrash(AMPCError):
-    """Injected machine failure (not a model violation — a simulated
-    hardware fault)."""
-
-    def __init__(self, machine_id: int, after_reads: int):
-        self.machine_id = machine_id
-        self.after_reads = after_reads
-        super().__init__(
-            f"machine {machine_id} crashed after {after_reads} reads"
-        )
+__all__ = ["FaultInjectingRuntime", "MachineCrash", "CrashingContext"]
 
 
-class _CrashingContext(MachineContext):
-    """MachineContext that raises MachineCrash at a preselected read."""
+class CrashingContext(TransactionalContextMixin, MachineContext):
+    """MachineContext that raises MachineCrash at a preselected read and
+    buffers writes until the machine finishes cleanly."""
 
-    __slots__ = ("crash_at", "buffered_writes")
+    __slots__ = TRANSACTIONAL_SLOTS
 
-    def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
-        self.crash_at: int | None = None
-        # Writes are buffered until the machine finishes cleanly — a
-        # crashed attempt must leave no trace in D_i (the framework
-        # discards a failed task's output, as in MapReduce).
-        self.buffered_writes: list[tuple[Hashable, Any]] = []
 
-    def read(self, key: Hashable) -> Any:
-        if self.crash_at is not None and self.reads_used >= self.crash_at:
-            raise MachineCrash(self.machine_id, self.reads_used)
-        return super().read(key)
-
-    def write(self, key: Hashable, value: Any) -> None:
-        self._charge_write(1)
-        self.buffered_writes.append((key, value))
-
-    def commit(self) -> None:
-        for key, value in self.buffered_writes:
-            self._next.write(key, value)
-        self.buffered_writes.clear()
+# Backwards-compatible private alias (pre-chaos name).
+_CrashingContext = CrashingContext
 
 
 class FaultInjectingRuntime(AMPCRuntime):
@@ -76,9 +57,11 @@ class FaultInjectingRuntime(AMPCRuntime):
     Args:
         config: deployment parameters.
         crash_probability: chance that a given machine's execution of its
-            round work crashes (at a uniformly random read).
-        max_retries: attempts per machine before giving up (a real
-            framework reschedules indefinitely; tests keep it finite).
+            round work crashes (at a uniformly random read). Applies
+            independently to every attempt except the last allowed one,
+            which runs clean so the bounded simulation terminates (a real
+            framework reschedules indefinitely).
+        max_retries: replacement attempts per machine before giving up.
     """
 
     def __init__(
@@ -99,7 +82,7 @@ class FaultInjectingRuntime(AMPCRuntime):
             np.random.SeedSequence((config.seed, 0xFA117))
         )
 
-    machine_context_cls = _CrashingContext
+    machine_context_cls = CrashingContext
 
     def round(
         self,
@@ -121,11 +104,16 @@ class FaultInjectingRuntime(AMPCRuntime):
         original_worker = worker
         runtime = self
 
-        def wrapped(ctx: _CrashingContext, item: Any) -> Any:
+        def wrapped(ctx: CrashingContext, item: Any) -> Any:
             # Group boundaries: the runtime calls items machine-grouped;
-            # decide one crash point per (machine, attempt).
+            # decide one crash point per (machine, attempt). Any attempt
+            # but the final one may crash, so recovery is exercised past
+            # depth 1.
             for attempt in range(runtime.max_retries + 1):
-                if attempt == 0 and runtime._fault_rng.random() < runtime.crash_probability:
+                if (
+                    attempt < runtime.max_retries
+                    and runtime._fault_rng.random() < runtime.crash_probability
+                ):
                     # Crash somewhere within this item's processing.
                     ctx.crash_at = ctx.reads_used + int(
                         runtime._fault_rng.integers(0, 8)
@@ -136,21 +124,23 @@ class FaultInjectingRuntime(AMPCRuntime):
                 writes_mark = len(ctx.buffered_writes)
                 try:
                     out = original_worker(ctx, item)
+                    ctx.crash_at = None
                     ctx.commit()
                     return out
                 except MachineCrash:
                     attempts_log["crashes"] += 1
-                    # Discard partial output; charge the wasted reads as
-                    # retry overhead; clear the cache like a fresh machine.
-                    del ctx.buffered_writes[writes_mark:]
-                    attempts_log["retry_reads"] += ctx.reads_used - reads_before
-                    ctx._cache.clear()
-                    ctx.scratch.clear()
+                    # Discard partial output and hand the work to a
+                    # replacement machine with a fresh budget; the wasted
+                    # reads are recovery overhead, not machine load.
+                    wasted_reads, _ = ctx.rollback(writes_mark, reads_before)
+                    attempts_log["retry_reads"] += wasted_reads
             raise RuntimeError(
                 f"machine gave up after {runtime.max_retries} retries"
             )
 
         result = super().round(work, wrapped, **kwargs)
+        result.stats.crashes += attempts_log["crashes"]
+        result.stats.wasted_reads += attempts_log["retry_reads"]
         self.crashes_injected += attempts_log["crashes"]
         self.retry_reads += attempts_log["retry_reads"]
         return result

@@ -16,7 +16,7 @@ from typing import Any, Hashable, Iterable
 
 from .config import AMPCConfig
 from .dds import DistributedDataStore
-from .errors import AdaptivityError, BudgetExceededError
+from .errors import AdaptivityError, BudgetExceededError, MachineCrash
 
 
 class MachineContext:
@@ -126,6 +126,15 @@ class MachineContext:
         for key, value in pairs:
             self.write(key, value)
 
+    def commit(self) -> None:
+        """Flush any buffered output into the next store.
+
+        A no-op for the base context, which writes through immediately;
+        transactional contexts (fault injection) override it. The runtime
+        calls it for every context before sealing the round's store, so
+        buffered writes are never silently dropped.
+        """
+
     # -- budget accounting --------------------------------------------------
 
     def _charge_read(self, count: int) -> None:
@@ -147,6 +156,71 @@ class MachineContext:
                     self.machine_id, "write", self.writes_used,
                     self.config.write_budget,
                 )
+
+
+class TransactionalContextMixin:
+    """Buffered-write, crash-capable behavior layered over any context.
+
+    Fault-injecting runtimes combine this mixin with a concrete context
+    class (``class C(TransactionalContextMixin, MachineContext)``) and
+    declare ``__slots__ = TRANSACTIONAL_SLOTS`` on the combined class.
+    Writes are buffered until :meth:`commit` — a crashed attempt must
+    leave no trace in D_i (the framework discards a failed task's output,
+    as in MapReduce) — and reads raise :class:`MachineCrash` once the
+    preselected crash point is reached.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.crash_at: int | None = None
+        self.buffered_writes: list[tuple[Hashable, Any]] = []
+
+    def read(self, key: Hashable) -> Any:
+        if self.crash_at is not None and self.reads_used >= self.crash_at:
+            raise MachineCrash(self.machine_id, self.reads_used)
+        return super().read(key)
+
+    def read_indexed(self, key: Hashable, index: int) -> Any:
+        if self.crash_at is not None and self.reads_used >= self.crash_at:
+            raise MachineCrash(self.machine_id, self.reads_used)
+        return super().read_indexed(key, index)
+
+    def write(self, key: Hashable, value: Any) -> None:
+        self._charge_write(1)
+        self.buffered_writes.append((key, value))
+
+    def commit(self) -> None:
+        for key, value in self.buffered_writes:
+            self._next.write(key, value)
+        self.buffered_writes.clear()
+
+    def rollback(self, writes_mark: int, reads_mark: int) -> tuple[int, int]:
+        """Discard the crashed attempt's effects; return the waste.
+
+        Drops buffered writes past ``writes_mark``, resets the read/write
+        budgets to the attempt's start (a replacement machine begins with
+        a fresh budget — the paper's "perform the computation from
+        scratch"), and clears the read cache and scratch space like a
+        fresh machine. Returns ``(wasted_reads, wasted_writes)`` so the
+        runtime can charge the waste to the recovery ledger.
+        """
+        wasted_writes = len(self.buffered_writes) - writes_mark
+        del self.buffered_writes[writes_mark:]
+        wasted_reads = self.reads_used - reads_mark
+        self.reads_used = reads_mark
+        self.writes_used -= wasted_writes
+        self.crash_at = None
+        self._cache.clear()
+        self.scratch.clear()
+        return wasted_reads, wasted_writes
+
+
+# Slots a concrete transactional context class must declare (the mixin
+# itself keeps empty __slots__ so it can combine with any context class
+# without an instance lay-out conflict).
+TRANSACTIONAL_SLOTS = ("crash_at", "buffered_writes")
 
 
 class MPCMachineContext(MachineContext):

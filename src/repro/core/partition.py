@@ -73,6 +73,34 @@ def server_of(key: Hashable, n_servers: int, seed: int = 0) -> int:
     return key_hash(key, seed) % n_servers
 
 
+def replica_servers(
+    key: Hashable, n_servers: int, seed: int = 0, replication: int = 1
+) -> tuple[int, ...]:
+    """The ``replication`` distinct DDS servers holding copies of ``key``.
+
+    The first entry is the primary and equals :func:`server_of`, so a
+    replication factor of 1 reproduces the unreplicated placement exactly.
+    Backups are drawn by re-mixing the key hash until ``replication``
+    distinct servers are found (capped at ``n_servers``), keeping the
+    placement deterministic in (key, seed) — every deployment agrees on
+    where to fail over without coordination.
+    """
+    k = min(max(replication, 1), n_servers)
+    primary = server_of(key, n_servers, seed)
+    if k == 1:
+        return (primary,)
+    servers = [primary]
+    h = key_hash(key, seed)
+    salt = 1
+    while len(servers) < k:
+        h = splitmix64(h ^ salt)
+        salt += 1
+        candidate = h % n_servers
+        if candidate not in servers:
+            servers.append(candidate)
+    return tuple(servers)
+
+
 def machine_of(item: Hashable, n_machines: int, seed: int = 0) -> int:
     """The worker machine an item (vertex, sample, list element) lands on.
 

@@ -79,15 +79,55 @@ class AMPCRuntime:
         return self._store
 
     def _new_store(self) -> DistributedDataStore:
-        store = DistributedDataStore(
-            round_index=self._store_counter,
+        store = self._build_store(self._store_counter)
+        self._store_counter += 1
+        return store
+
+    def _build_store(self, round_index: int) -> DistributedDataStore:
+        """Construct one round store; chaos runtimes override this to
+        produce replicated, fault-channel-aware stores."""
+        return DistributedDataStore(
+            round_index=round_index,
             n_servers=self.config.n_machines,
             seed=self.config.seed,
             max_words=self.config.max_words,
             track_contention=self.config.track_contention,
         )
-        self._store_counter += 1
-        return store
+
+    def checkpoint(self) -> "RoundCheckpoint":
+        """Snapshot the driver-visible round state.
+
+        Because the readable store is sealed (immutable for the rest of
+        the run), the snapshot is O(1): it captures references, not
+        copies — exactly the property §2.1 credits for MapReduce-style
+        fault tolerance. Pair with :meth:`restore` to replay a round
+        after a whole-round abort (e.g. more DDS servers lost than the
+        replication factor covers).
+        """
+        return RoundCheckpoint(
+            store=self._store,
+            round_counter=self._round_counter,
+            store_counter=self._store_counter,
+            report_length=len(self.report.rounds),
+        )
+
+    def restore(self, checkpoint: "RoundCheckpoint") -> None:
+        """Roll the runtime back to a :meth:`checkpoint` snapshot.
+
+        Restores the readable store and the round/store counters (so
+        machine assignment and ledger indices replay identically) and
+        truncates ledger entries recorded after the snapshot. Stores
+        created since the checkpoint are simply dropped; nothing written
+        to them is visible to any machine.
+        """
+        if checkpoint.store is not None and not checkpoint.store.sealed:
+            raise RoundProtocolError(
+                "cannot restore to a checkpoint of an unsealed store"
+            )
+        self._store = checkpoint.store
+        self._round_counter = checkpoint.round_counter
+        self._store_counter = checkpoint.store_counter
+        del self.report.rounds[checkpoint.report_length:]
 
     def bootstrap(self, pairs: Pairs, tag: str = "bootstrap") -> None:
         """Load the input into D_0 (paper §2: "The input data is stored in
@@ -205,6 +245,11 @@ class AMPCRuntime:
                     ctx._charge_write(1)
                     results.append(out)
 
+        # Flush transactional contexts (fault-injecting runtimes buffer
+        # writes until a clean finish); a no-op for the base context.
+        for ctx in contexts.values():
+            ctx.commit()
+
         next_store.seal()
         self._store = next_store
         self._round_counter += 1
@@ -312,6 +357,25 @@ class AMPCRuntime:
         )
         self.report.add(stats)
         return stats
+
+
+class RoundCheckpoint:
+    """O(1) snapshot of a runtime's round state (see
+    :meth:`AMPCRuntime.checkpoint`)."""
+
+    __slots__ = ("store", "round_counter", "store_counter", "report_length")
+
+    def __init__(
+        self,
+        store: DistributedDataStore | None,
+        round_counter: int,
+        store_counter: int,
+        report_length: int,
+    ) -> None:
+        self.store = store
+        self.round_counter = round_counter
+        self.store_counter = store_counter
+        self.report_length = report_length
 
 
 class RoundResult:

@@ -80,6 +80,48 @@ class TestFaultInjection:
         assert all(c == 1 for c in counts.values())
         assert len(counts) == 50
 
+    def test_replacement_machine_gets_fresh_budget(self):
+        """A replacement machine re-runs the work from scratch on new
+        hardware: the crashed attempt's reads must NOT count against its
+        O(S) budget (they land in the recovery ledger instead). With
+        strict budgets, a leak would raise BudgetExceededError."""
+        cfg = AMPCConfig.for_input(600, seed=13, strict=True)
+        clean_rt = AMPCRuntime(cfg)
+        faulty_rt = FaultInjectingRuntime(cfg, crash_probability=0.6)
+
+        def run(rt):
+            rt.bootstrap([(("v", i), i) for i in range(100)])
+
+            def worker(ctx, v):
+                return sum(ctx.read(("v", (v + i) % 100)) for i in range(4))
+
+            return rt.round(list(range(100)), worker)
+
+        clean = run(clean_rt)
+        faulty = run(faulty_rt)
+        assert faulty_rt.crashes_injected > 0
+        assert faulty.results == clean.results
+        # Replacement machines may legitimately re-read keys their lost
+        # cache held, but no machine exceeds its per-attempt budget (the
+        # strict config raises on a leak), and the waste is ledgered.
+        assert faulty.stats.total_reads >= clean.stats.total_reads
+        assert faulty.stats.max_machine_reads <= cfg.read_budget
+        assert faulty.stats.wasted_reads > 0
+        assert faulty.stats.budget_violations == 0
+
+    def test_replacement_machines_can_crash_again(self):
+        """Crashes are not limited to a machine's first attempt: with
+        high crash probability there are more crashes than work items,
+        which requires recovery depth > 1."""
+        rt = FaultInjectingRuntime(config(seed=21), crash_probability=0.85)
+        rt.bootstrap([(("v", i), i) for i in range(40)])
+
+        def worker(ctx, v):
+            return sum(ctx.read(("v", (v + i) % 40)) for i in range(6))
+
+        rt.round(list(range(40)), worker)
+        assert rt.crashes_injected > 40
+
     def test_zero_probability_injects_nothing(self):
         rt = FaultInjectingRuntime(config(), crash_probability=0.0)
         rt.bootstrap([("k", 1)])

@@ -110,6 +110,45 @@ class TestAlgorithmEdgeInputs:
         assert res.edge_ids.size == 1
 
 
+class TestChaosEndToEnd:
+    """Acceptance workloads under the reference fault plan: 20% machine
+    crashes + 10% server outages, replication factor 2 — results must be
+    bit-identical to the fault-free run, with recovery itemized."""
+
+    def _plan(self, seed):
+        from repro.core.chaos import FaultPlan
+
+        return (FaultPlan.machine_crashes(0.2)
+                | FaultPlan.server_outages(0.1)).with_seed(seed)
+
+    @pytest.mark.chaos
+    def test_connectivity_bit_identical_under_faults(self):
+        from repro.algorithms.connectivity import connectivity
+        from repro.core.chaos import ChaosRuntime
+
+        g = generators.erdos_renyi_gnm(200, 500, rng=4)
+        cfg = AMPCConfig.for_input(g.n + g.m, seed=3, replication_factor=2)
+        clean = connectivity(g, config=cfg)
+        rt = ChaosRuntime(cfg, plan=self._plan(5))
+        chaotic = connectivity(g, runtime=rt)
+        assert np.array_equal(chaotic.labels, clean.labels)
+        assert chaotic.n_components == clean.n_components
+        assert rt.report.recovery_summary()["recovery_reads"] > 0
+
+    @pytest.mark.chaos
+    def test_mis_bit_identical_under_faults(self):
+        from repro.algorithms.mis import maximal_independent_set
+        from repro.core.chaos import ChaosRuntime
+
+        g = generators.erdos_renyi_gnm(200, 500, rng=4)
+        cfg = AMPCConfig.for_input(g.n + g.m, seed=3, replication_factor=2)
+        clean = maximal_independent_set(g, config=cfg)
+        rt = ChaosRuntime(cfg, plan=self._plan(6))
+        chaotic = maximal_independent_set(g, runtime=rt)
+        assert np.array_equal(chaotic.in_mis, clean.in_mis)
+        assert rt.report.crashes > 0
+
+
 class TestSeedIsolation:
     """Different algorithm stages must not share randomness streams."""
 
