@@ -10,6 +10,7 @@ Usage::
     python -m repro two-cycle cycles.txt
     python -m repro bc graph.txt              # bridges / articulation / 2ecc
     python -m repro chaos connectivity graph.txt --crash 0.2 --outage 0.1
+    python -m repro verify --smoke [--chaos] [--json report.json]
     python -m repro generate er 1000 3000 out.txt [--seed 0]
 
 Every run prints the result summary followed by the per-round cost
@@ -80,6 +81,40 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--no-ledger", action="store_true",
                        help="suppress the per-round cost table")
 
+    verify = sub.add_parser(
+        "verify",
+        help="conformance sweep: algorithms x generators x seeds, with "
+             "runtime invariant observers and differential oracles",
+    )
+    verify.add_argument("--algorithm", "-a", action="append", default=None,
+                        metavar="NAME",
+                        help="restrict to this algorithm (repeatable; "
+                             "default: all registered)")
+    verify.add_argument("--family", "-f", action="append", default=None,
+                        metavar="NAME",
+                        help="restrict to this generator family (repeatable)")
+    verify.add_argument("--seeds", type=int, nargs="+", default=None,
+                        help="seed matrix (default: 0 1 for --smoke, "
+                             "0 1 2 otherwise)")
+    verify.add_argument("--size", type=int, default=None,
+                        help="target instance size n (default by mode)")
+    verify.add_argument("--smoke", action="store_true",
+                        help="CI mode: small instances, two seeds")
+    verify.add_argument("--chaos", action="store_true",
+                        help="also replay chaos-capable algorithms under "
+                             "the default fault plan")
+    verify.add_argument("--balance-slack", type=float, default=4.0,
+                        help="constant factor over the Lemma 2.1 balance "
+                             "bound (default 4.0)")
+    verify.add_argument("--json", metavar="PATH", default=None,
+                        help="write the JSON conformance report here "
+                             "('-' for stdout)")
+    verify.add_argument("--list", action="store_true",
+                        help="list registered algorithms and families, "
+                             "then exit")
+    verify.add_argument("--quiet", action="store_true",
+                        help="suppress the per-cell progress lines")
+
     stats_p = sub.add_parser("stats", help="describe a graph file")
     stats_p.add_argument("graph", help="edge-list file")
 
@@ -102,6 +137,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _generate(args)
     if args.command == "chaos":
         return _chaos(args)
+    if args.command == "verify":
+        return _verify(args)
     if args.command == "stats":
         from repro.graph import files, stats
 
@@ -132,6 +169,53 @@ def _generate(args) -> int:
     files.write_edge_list(g, args.out)
     print(f"wrote {args.family} graph: n={g.n} m={g.m} -> {args.out}")
     return 0
+
+
+def _verify(args) -> int:
+    from repro.verify import case_names, verify_sweep
+    from repro.verify.runner import family_names
+
+    if args.list:
+        print("algorithms:", " ".join(case_names()))
+        print("families:  ", " ".join(family_names()))
+        return 0
+
+    # With `--json -` the report owns stdout; human lines go to stderr.
+    human = sys.stderr if args.json == "-" else sys.stdout
+
+    def progress(record) -> None:
+        marker = "ok " if record.ok else "FAIL"
+        print(f"  [{marker}] {record.algorithm:20s} "
+              f"{record.family:18s} seed={record.seed} "
+              f"n={record.n} rounds={record.rounds}", file=human)
+
+    report = verify_sweep(
+        algorithms=args.algorithm,
+        families=args.family,
+        seeds=args.seeds,
+        size=args.size,
+        smoke=args.smoke,
+        chaos=args.chaos,
+        balance_slack=args.balance_slack,
+        progress=None if args.quiet else progress,
+    )
+
+    summary = report.summary()
+    print(f"verify: {summary['cells']} cells, "
+          f"{summary['failed']} failed, "
+          f"{summary['invariant_violations']} invariant violations, "
+          f"{summary['oracle_disagreements']} oracle disagreements, "
+          f"{summary['nondeterministic']} nondeterministic", file=human)
+    if not report.ok:
+        print(report.format_failures(), file=human)
+
+    if args.json == "-":
+        print(report.to_json())
+    elif args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+        print(f"wrote JSON report -> {args.json}")
+    return 0 if report.ok else 1
 
 
 def _chaos(args) -> int:

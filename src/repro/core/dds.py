@@ -66,6 +66,7 @@ class DistributedDataStore:
         "seed",
         "max_words",
         "track_contention",
+        "observer",
         "_data",
         "_sealed",
         "_server_reads",
@@ -100,6 +101,10 @@ class DistributedDataStore:
         # only routes for contention accounting; ReplicatedDataStore always
         # routes, because failover semantics apply regardless.
         self._route_reads = track_contention
+        # Verification hook (see repro.verify.invariants): when set, the
+        # observer is notified of every write, read, and the seal event.
+        # None (the default) costs one predicate per operation.
+        self.observer: Any = None
         self.n_writes = 0
         self.n_reads = 0
 
@@ -154,6 +159,8 @@ class DistributedDataStore:
         self.n_writes += 1
         if self.track_contention:
             self._place_write(key)
+        if self.observer is not None:
+            self.observer.on_store_write(self, key)
 
     def write_many(self, pairs: Iterable[tuple[Hashable, Any]]) -> int:
         """Bulk :meth:`write`; returns the number of pairs written."""
@@ -166,6 +173,8 @@ class DistributedDataStore:
     def seal(self) -> None:
         """Freeze the store; from now on it is read-only (round boundary)."""
         self._sealed = True
+        if self.observer is not None:
+            self.observer.on_store_seal(self)
 
     # -- read side (open during round i+1) --------------------------------
 
@@ -183,6 +192,8 @@ class DistributedDataStore:
         self.n_reads += 1
         if self._route_reads:
             self._serve_read(key)
+        if self.observer is not None:
+            self.observer.on_store_read(self, key)
         found = self._data.get(key)
         if isinstance(found, _Bucket):
             return found.values[0]
@@ -202,6 +213,8 @@ class DistributedDataStore:
         self.n_reads += 1
         if self._route_reads:
             self._serve_read(key)
+        if self.observer is not None:
+            self.observer.on_store_read(self, key)
         found = self._data.get(key)
         if found is None:
             return None

@@ -37,6 +37,7 @@ class MachineContext:
         "_next",
         "_cache",
         "scratch",
+        "observer",
         "reads_used",
         "writes_used",
         "read_violation",
@@ -61,6 +62,10 @@ class MachineContext:
         # machine processes within one round). Lives in the machine's own
         # space S; cleared at the round boundary like everything else.
         self.scratch: dict[Hashable, Any] = {}
+        # Verification hook (repro.verify.invariants): set by the runtime
+        # when invariant observers are installed; None costs one predicate
+        # per charged read/write.
+        self.observer: Any = None
         self.reads_used = 0
         self.writes_used = 0
         self.read_violation = False
@@ -80,6 +85,8 @@ class MachineContext:
         if key in self._cache:
             return self._cache[key]
         self._charge_read(1)
+        if self.observer is not None:
+            self.observer.on_machine_read(self, key)
         value = self._prev.get(key)
         self._cache[key] = value
         return value
@@ -90,6 +97,8 @@ class MachineContext:
         if cache_key in self._cache:
             return self._cache[cache_key]
         self._charge_read(1)
+        if self.observer is not None:
+            self.observer.on_machine_read(self, key)
         value = self._prev.get_indexed(key, index)
         self._cache[cache_key] = value
         return value
@@ -120,6 +129,8 @@ class MachineContext:
     def write(self, key: Hashable, value: Any) -> None:
         """Write one key-value pair into the next round's store."""
         self._charge_write(1)
+        if self.observer is not None:
+            self.observer.on_machine_write(self, key)
         self._next.write(key, value)
 
     def write_many(self, pairs: Iterable[tuple[Hashable, Any]]) -> None:
@@ -189,6 +200,8 @@ class TransactionalContextMixin:
 
     def write(self, key: Hashable, value: Any) -> None:
         self._charge_write(1)
+        if self.observer is not None:
+            self.observer.on_machine_write(self, key)
         self.buffered_writes.append((key, value))
 
     def commit(self) -> None:

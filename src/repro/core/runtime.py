@@ -47,6 +47,67 @@ from .partition import machine_of, partition_items
 
 Pairs = Iterable[tuple[Hashable, Any]]
 
+# ---------------------------------------------------------------------------
+# observer plumbing (repro.verify)
+# ---------------------------------------------------------------------------
+
+# Observers registered here are attached to every runtime constructed while
+# they are installed — the hook repro.verify.invariants uses to watch
+# runtimes that algorithms build internally. Kept as a module-level list so
+# installation needs no knowledge of which runtime subclass an algorithm
+# instantiates.
+_GLOBAL_OBSERVERS: list[Any] = []
+
+
+def install_observer(observer: Any) -> None:
+    """Attach ``observer`` to every runtime constructed from now on.
+
+    See :class:`repro.verify.invariants.InvariantSuite` for the expected
+    interface; prefer its context-manager form over calling this directly.
+    """
+    _GLOBAL_OBSERVERS.append(observer)
+
+
+def uninstall_observer(observer: Any) -> None:
+    """Remove a previously installed observer (no-op if absent)."""
+    try:
+        _GLOBAL_OBSERVERS.remove(observer)
+    except ValueError:
+        pass
+
+
+class _ObserverFan:
+    """Dispatches store/machine-level events to a runtime's observers.
+
+    One fan per observed runtime is shared by all its stores and machine
+    contexts, so the per-event cost is one attribute test plus this loop.
+    """
+
+    __slots__ = ("observers",)
+
+    def __init__(self, observers: list[Any]) -> None:
+        self.observers = observers
+
+    def on_store_write(self, store: DistributedDataStore, key: Hashable) -> None:
+        for obs in self.observers:
+            obs.on_store_write(store, key)
+
+    def on_store_read(self, store: DistributedDataStore, key: Hashable) -> None:
+        for obs in self.observers:
+            obs.on_store_read(store, key)
+
+    def on_store_seal(self, store: DistributedDataStore) -> None:
+        for obs in self.observers:
+            obs.on_store_seal(store)
+
+    def on_machine_read(self, ctx: MachineContext, key: Hashable) -> None:
+        for obs in self.observers:
+            obs.on_machine_read(ctx, key)
+
+    def on_machine_write(self, ctx: MachineContext, key: Hashable) -> None:
+        for obs in self.observers:
+            obs.on_machine_write(ctx, key)
+
 
 class AMPCRuntime:
     """Simulated AMPC deployment executing one algorithm run.
@@ -68,6 +129,21 @@ class AMPCRuntime:
         self._store: DistributedDataStore | None = None
         self._round_counter = 0
         self._store_counter = 0
+        # Invariant observers (repro.verify): globally-installed observers
+        # are picked up at construction; more can be attached per instance.
+        self.observers: list[Any] = list(_GLOBAL_OBSERVERS)
+        self._fan: _ObserverFan | None = (
+            _ObserverFan(self.observers) if self.observers else None
+        )
+        for obs in self.observers:
+            obs.on_runtime_created(self)
+
+    def attach_observer(self, observer: Any) -> None:
+        """Attach an invariant observer to this runtime instance."""
+        self.observers.append(observer)
+        if self._fan is None:
+            self._fan = _ObserverFan(self.observers)
+        observer.on_runtime_created(self)
 
     # ------------------------------------------------------------------
     # store lifecycle
@@ -81,6 +157,8 @@ class AMPCRuntime:
     def _new_store(self) -> DistributedDataStore:
         store = self._build_store(self._store_counter)
         self._store_counter += 1
+        if self._fan is not None:
+            store.observer = self._fan
         return store
 
     def _build_store(self, round_index: int) -> DistributedDataStore:
@@ -150,6 +228,8 @@ class AMPCRuntime:
                 write_budget=self.config.write_budget,
             )
         )
+        for obs in self.observers:
+            obs.on_bootstrap(self, store, count)
 
     # ------------------------------------------------------------------
     # rounds
@@ -207,6 +287,8 @@ class AMPCRuntime:
                 read_store = self._new_store()
                 read_store.seal()
         next_store = self._new_store()
+        for obs in self.observers:
+            obs.on_round_start(self, read_store, next_store)
 
         contexts: dict[int, MachineContext] = {}
 
@@ -216,6 +298,7 @@ class AMPCRuntime:
                 ctx = self.machine_context_cls(
                     mid, self.config, read_store, next_store
                 )
+                ctx.observer = self._fan
                 contexts[mid] = ctx
             return ctx
 
@@ -263,6 +346,10 @@ class AMPCRuntime:
             next_store=next_store,
             wall=time.perf_counter() - start,
         )
+        for obs in self.observers:
+            obs.on_round_end(
+                self, stats, list(contexts.values()), read_store, next_store
+            )
         return RoundResult(results=results, store=next_store, stats=stats)
 
     def charge(
@@ -300,6 +387,8 @@ class AMPCRuntime:
         )
         self._round_counter += rounds
         self.report.add(stats)
+        for obs in self.observers:
+            obs.on_charge(self, stats)
         return stats
 
     # ------------------------------------------------------------------
@@ -315,11 +404,17 @@ class AMPCRuntime:
         if item_key is None and len(work) > 0 and isinstance(
             work[0], (int, np.integer)
         ):
-            return partition_items(np.asarray(work, dtype=np.int64), p, seed)
-        keys = [item_key(w) if item_key else w for w in work]
-        return np.fromiter(
-            (machine_of(k, p, seed) for k in keys), dtype=np.int64, count=len(keys)
-        )
+            assignment = partition_items(np.asarray(work, dtype=np.int64), p, seed)
+        else:
+            keys = [item_key(w) if item_key else w for w in work]
+            assignment = np.fromiter(
+                (machine_of(k, p, seed) for k in keys),
+                dtype=np.int64,
+                count=len(keys),
+            )
+        for obs in self.observers:
+            obs.on_assignment(self, assignment, len(work))
+        return assignment
 
     def _record(
         self,

@@ -1,0 +1,53 @@
+"""Conformance harness for the AMPC reproduction.
+
+Four cooperating pieces:
+
+* :mod:`repro.verify.invariants` — runtime observers that watch every
+  :class:`~repro.core.runtime.AMPCRuntime` round live and flag violations
+  of the paper's §2 model contract (budgets, store sealing/adaptivity
+  discipline, Lemma 2.1 balance, MPC message-passing restrictions).
+* :mod:`repro.verify.oracles` — a registry of differential oracles pairing
+  every algorithm with a sequential ground truth and (where one exists) an
+  MPC baseline for cross-model equivalence.
+* :mod:`repro.verify.strategies` — shared Hypothesis strategies over
+  :mod:`repro.graph.generators` (imported lazily: requires ``hypothesis``).
+* :mod:`repro.verify.runner` — the ``repro verify`` sweep driving
+  algorithms × generator families × seeds under the observers, emitting a
+  JSON conformance report.
+"""
+
+from .invariants import (
+    BudgetObserver,
+    InvariantSuite,
+    InvariantViolation,
+    InvariantViolationError,
+    MPCDisciplineObserver,
+    Observer,
+    PartitionBalanceObserver,
+    StoreDisciplineObserver,
+    TraceObserver,
+)
+from .oracles import CASES, AlgorithmCase, Workload, case_names
+from .runner import ConformanceReport, verify_sweep
+
+# NOTE: repro.verify.strategies is deliberately not imported here — it
+# requires the optional ``hypothesis`` package, which the library proper
+# must not depend on. Import it directly from test code.
+
+__all__ = [
+    "AlgorithmCase",
+    "BudgetObserver",
+    "CASES",
+    "ConformanceReport",
+    "InvariantSuite",
+    "InvariantViolation",
+    "InvariantViolationError",
+    "MPCDisciplineObserver",
+    "Observer",
+    "PartitionBalanceObserver",
+    "StoreDisciplineObserver",
+    "TraceObserver",
+    "Workload",
+    "case_names",
+    "verify_sweep",
+]

@@ -1,0 +1,478 @@
+"""The ``repro verify`` conformance sweep.
+
+Sweeps every registered algorithm (:mod:`repro.verify.oracles`) over its
+compatible generator families and a seed matrix. Each cell
+
+1. generates the workload deterministically from (family, seed, size);
+2. runs the algorithm inside an armed :class:`InvariantSuite`, so every
+   model-contract violation (budgets, sealing, balance, adaptivity) is
+   caught live;
+3. checks the differential oracle against the sequential ground truth,
+   and — where registered — the MPC baseline (cross-model equivalence);
+4. re-runs the cell and compares output digests plus cost-ledger
+   summaries (wall time excluded) for seed-determinism;
+5. optionally replays the cell on a fault-plan-armed chaos runtime and
+   demands the bit-identical answer.
+
+The result is a :class:`ConformanceReport` that serializes to JSON for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.core.chaos import FaultPlan
+from repro.graph import generators
+from repro.graph.graph import Graph
+
+from .invariants import InvariantSuite
+from .oracles import CASES, AlgorithmCase, Workload
+
+
+# ---------------------------------------------------------------------------
+# generator families
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """A named workload family.
+
+    Attributes:
+        name: registry key, referenced by :attr:`AlgorithmCase.families`.
+        kind: payload kind produced ("graph", "succ", or "two_cycle").
+        make: ``make(n, seed)`` → ``(payload, meta)``; must be a pure
+            function of its arguments (the determinism matrix re-invokes
+            it and expects the identical instance).
+    """
+
+    name: str
+    kind: str
+    make: Callable[[int, int], tuple[Any, dict]]
+
+
+FAMILIES: dict[str, FamilySpec] = {}
+
+
+def _family(name: str, kind: str = "graph"):
+    def deco(fn: Callable[[int, int], tuple[Any, dict]]) -> FamilySpec:
+        spec = FamilySpec(name, kind, fn)
+        FAMILIES[name] = spec
+        return spec
+    return deco
+
+
+def _shuffled(graph: Graph, seed: int) -> Graph:
+    # Deterministic families (grid, path, star, ...) are varied across
+    # seeds by relabeling; the structure stays, the key placement doesn't.
+    g, _ = generators.relabel(graph, seed)
+    return g
+
+
+@_family("er")
+def _er(n: int, seed: int):
+    return generators.erdos_renyi_gnm(n, (3 * n) // 2, seed), {}
+
+
+@_family("power-law")
+def _power_law(n: int, seed: int):
+    return generators.barabasi_albert(n, 3, seed), {}
+
+
+@_family("grid")
+def _grid(n: int, seed: int):
+    side = max(2, int(np.sqrt(n)))
+    return _shuffled(generators.grid(side, side), seed), {}
+
+
+@_family("tree")
+def _tree(n: int, seed: int):
+    return generators.random_tree(n, seed), {}
+
+
+@_family("forest")
+def _forest(n: int, seed: int):
+    return generators.random_forest(n, max(2, n // 12), seed), {}
+
+
+@_family("path")
+def _path(n: int, seed: int):
+    return _shuffled(generators.path(n), seed), {}
+
+
+@_family("star")
+def _star(n: int, seed: int):
+    return _shuffled(generators.star(n), seed), {}
+
+
+@_family("cycles")
+def _cycles(n: int, seed: int):
+    rng = np.random.default_rng(seed)
+    lengths: list[int] = []
+    left = n
+    while left >= 3:
+        k = int(rng.integers(3, max(4, left // 2 + 1)))
+        k = min(k, left)
+        if left - k in (1, 2):  # leftover too small for its own cycle
+            k = left
+        lengths.append(k)
+        left -= k
+    return _shuffled(generators.union_of_cycles(lengths), seed), {}
+
+
+@_family("one-cycle")
+def _one_cycle(n: int, seed: int):
+    return _shuffled(generators.cycle(n), seed), {}
+
+
+@_family("many-cycles")
+def _many_cycles(n: int, seed: int):
+    count = max(2, n // 6)
+    base = [3 + (i % 4) for i in range(count)]
+    return _shuffled(generators.union_of_cycles(base), seed), {}
+
+
+def _even(n: int) -> int:
+    return max(6, n - (n % 2))
+
+
+@_family("one-cycle-inst", kind="two_cycle")
+def _one_cycle_inst(n: int, seed: int):
+    return generators.two_cycle_instance(_even(n), False, seed), {"two": False}
+
+
+@_family("two-cycle-inst", kind="two_cycle")
+def _two_cycle_inst(n: int, seed: int):
+    return generators.two_cycle_instance(_even(n), True, seed), {"two": True}
+
+
+@_family("random-cycle-inst", kind="two_cycle")
+def _random_cycle_inst(n: int, seed: int):
+    two = bool(np.random.default_rng(seed).integers(0, 2))
+    return generators.two_cycle_instance(_even(n), two, seed), {"two": two}
+
+
+@_family("list-uniform", kind="succ")
+def _list_uniform(n: int, seed: int):
+    return generators.linked_list(n, seed), {}
+
+
+@_family("list-identity", kind="succ")
+def _list_identity(n: int, seed: int):
+    succ = np.full(n, -1, dtype=np.int64)
+    succ[:-1] = np.arange(1, n, dtype=np.int64)
+    return succ, {}
+
+
+@_family("list-reversed", kind="succ")
+def _list_reversed(n: int, seed: int):
+    succ = np.full(n, -1, dtype=np.int64)
+    succ[1:] = np.arange(0, n - 1, dtype=np.int64)
+    return succ, {}
+
+
+def family_names() -> list[str]:
+    return list(FAMILIES)
+
+
+def make_workload(case: AlgorithmCase, family: str, n: int, seed: int) -> Workload:
+    """Build one input instance for (algorithm, family, seed).
+
+    Weighted-graph cases reuse the plain graph families and attach
+    distinct random weights (deterministic in the seed).
+    """
+    spec = FAMILIES[family]
+    payload, meta = spec.make(n, seed)
+    kind = spec.kind
+    if case.kind == "weighted":
+        if kind != "graph":
+            raise ValueError(
+                f"family {family!r} ({kind}) cannot feed weighted case "
+                f"{case.name!r}"
+            )
+        payload = generators.with_random_weights(payload, seed + 7919)
+        kind = "weighted"
+    if kind != case.kind:
+        raise ValueError(
+            f"family {family!r} produces {kind!r} but case {case.name!r} "
+            f"wants {case.kind!r}"
+        )
+    return Workload(family=family, kind=kind, payload=payload, seed=seed,
+                    meta=meta)
+
+
+# ---------------------------------------------------------------------------
+# sweep records
+# ---------------------------------------------------------------------------
+
+
+def _summary_without_walltime(report) -> dict | None:
+    if report is None:
+        return None
+    summary = dict(report.summary())
+    summary.pop("wall_time_s", None)
+    return summary
+
+
+@dataclass
+class CellRecord:
+    """Outcome of one (algorithm, family, seed) conformance cell."""
+
+    algorithm: str
+    family: str
+    seed: int
+    n: int
+    m: int
+    status: str = "ok"  # ok | fail | error
+    oracle_discrepancies: list[str] = field(default_factory=list)
+    cross_model_discrepancies: list[str] = field(default_factory=list)
+    invariant_violations: list[dict] = field(default_factory=list)
+    deterministic: bool | None = None
+    chaos_identical: bool | None = None
+    rounds: int | None = None
+    error: str | None = None
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def failures(self) -> list[str]:
+        """Human-readable reasons this cell is not conformant."""
+        reasons = list(self.oracle_discrepancies)
+        reasons += [f"[cross-model] {d}" for d in self.cross_model_discrepancies]
+        reasons += [f"[invariant:{v['invariant']}] {v['message']}"
+                    for v in self.invariant_violations]
+        if self.deterministic is False:
+            reasons.append("outputs differ between identical runs")
+        if self.chaos_identical is False:
+            reasons.append("chaos run is not bit-identical to fault-free run")
+        if self.error:
+            reasons.append(f"exception: {self.error.splitlines()[-1]}")
+        return reasons
+
+    def to_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "family": self.family,
+            "seed": self.seed,
+            "n": self.n,
+            "m": self.m,
+            "status": self.status,
+            "oracle_discrepancies": self.oracle_discrepancies,
+            "cross_model_discrepancies": self.cross_model_discrepancies,
+            "invariant_violations": self.invariant_violations,
+            "deterministic": self.deterministic,
+            "chaos_identical": self.chaos_identical,
+            "rounds": self.rounds,
+            "error": self.error,
+            "duration_s": round(self.duration_s, 4),
+        }
+
+
+@dataclass
+class ConformanceReport:
+    """Aggregated result of a conformance sweep (JSON-serializable)."""
+
+    records: list[CellRecord]
+    settings: dict
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.records)
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.records)
+
+    def summary(self) -> dict:
+        by_algorithm: dict[str, dict[str, int]] = {}
+        for r in self.records:
+            slot = by_algorithm.setdefault(
+                r.algorithm, {"cells": 0, "failed": 0}
+            )
+            slot["cells"] += 1
+            if not r.ok:
+                slot["failed"] += 1
+        return {
+            "cells": self.n_cells,
+            "failed": sum(1 for r in self.records if not r.ok),
+            "invariant_violations": sum(
+                len(r.invariant_violations) for r in self.records
+            ),
+            "oracle_disagreements": sum(
+                len(r.oracle_discrepancies)
+                + len(r.cross_model_discrepancies)
+                for r in self.records
+            ),
+            "nondeterministic": sum(
+                1 for r in self.records if r.deterministic is False
+            ),
+            "by_algorithm": by_algorithm,
+            "ok": self.ok,
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "settings": self.settings,
+            "summary": self.summary(),
+            "records": [r.to_dict() for r in self.records],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def format_failures(self) -> str:
+        lines = []
+        for r in self.records:
+            if r.ok:
+                continue
+            head = f"{r.algorithm} / {r.family} / seed {r.seed}"
+            for reason in r.failures():
+                lines.append(f"  {head}: {reason}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# the sweep
+# ---------------------------------------------------------------------------
+
+SMOKE_SIZE = 48
+FULL_SIZE = 140
+DEFAULT_CHAOS_PLAN = dict(crash=0.15, outage=0.08, fault_seed=1)
+
+
+def default_fault_plan(seed: int = 1) -> FaultPlan:
+    """The sweep's standard fault plan (crashes + outages, mild rates)."""
+    return FaultPlan.machine_crashes(
+        DEFAULT_CHAOS_PLAN["crash"], seed=seed
+    ).compose(FaultPlan.server_outages(DEFAULT_CHAOS_PLAN["outage"], seed=seed))
+
+
+def _run_cell(
+    case: AlgorithmCase,
+    family: str,
+    n: int,
+    seed: int,
+    *,
+    balance_slack: float,
+    chaos: bool,
+) -> CellRecord:
+    workload = make_workload(case, family, n, seed)
+    wn, wm = workload.size
+    record = CellRecord(algorithm=case.name, family=family, seed=seed,
+                        n=wn, m=wm)
+    start = time.perf_counter()
+    try:
+        with InvariantSuite(balance_slack=balance_slack) as suite:
+            result = case.run(workload, seed)
+        record.invariant_violations = [
+            {"invariant": v.invariant, "message": v.message, "tag": v.tag}
+            for v in suite.violations
+        ]
+        report = case.report_of(result)
+        record.rounds = report.n_rounds if report is not None else None
+        record.oracle_discrepancies = case.oracle(workload, result, seed)
+        if case.cross_model is not None:
+            record.cross_model_discrepancies = case.cross_model(
+                workload, result, seed
+            )
+
+        # Seed-determinism: the same cell twice must agree bit for bit,
+        # including the cost ledger (wall time excluded).
+        rerun_workload = make_workload(case, family, n, seed)
+        rerun = case.run(rerun_workload, seed)
+        record.deterministic = (
+            case.digest(result) == case.digest(rerun)
+            and _summary_without_walltime(report)
+            == _summary_without_walltime(case.report_of(rerun))
+        )
+
+        if chaos and case.chaos_run is not None:
+            plan = default_fault_plan(DEFAULT_CHAOS_PLAN["fault_seed"] + seed)
+            chaos_result = case.chaos_run(workload, seed, plan)
+            record.chaos_identical = (
+                case.digest(chaos_result) == case.digest(result)
+            )
+    except Exception:
+        record.error = traceback.format_exc()
+        record.status = "error"
+        record.duration_s = time.perf_counter() - start
+        return record
+    record.duration_s = time.perf_counter() - start
+    if record.failures():
+        record.status = "fail"
+    return record
+
+
+def verify_sweep(
+    *,
+    algorithms: Iterable[str] | None = None,
+    families: Iterable[str] | None = None,
+    seeds: Iterable[int] | None = None,
+    size: int | None = None,
+    smoke: bool = False,
+    chaos: bool = False,
+    balance_slack: float = 4.0,
+    progress: Callable[[CellRecord], None] | None = None,
+) -> ConformanceReport:
+    """Run the conformance sweep; see the module docstring.
+
+    Args:
+        algorithms: case names to run (default: every registered case).
+        families: restrict to these generator families (cases keep only
+            the intersection with their own compatibility list).
+        seeds: seed matrix (default ``(0, 1)`` smoke / ``(0, 1, 2)`` full).
+        size: target instance size n (defaults by mode).
+        smoke: CI mode — small instances, two seeds.
+        chaos: additionally replay chaos-capable cases under the default
+            fault plan and require bit-identical answers.
+        balance_slack: constant factor granted over the Lemma 2.1 bound.
+        progress: optional callback invoked with each finished cell.
+    """
+    wanted = list(algorithms) if algorithms else list(CASES)
+    unknown = [name for name in wanted if name not in CASES]
+    if unknown:
+        raise ValueError(f"unknown algorithm(s): {unknown}; "
+                         f"known: {sorted(CASES)}")
+    family_filter = set(families) if families else None
+    if family_filter:
+        bad = family_filter - set(FAMILIES)
+        if bad:
+            raise ValueError(f"unknown families: {sorted(bad)}")
+    n = size if size is not None else (SMOKE_SIZE if smoke else FULL_SIZE)
+    seed_matrix = tuple(seeds) if seeds is not None else (
+        (0, 1) if smoke else (0, 1, 2)
+    )
+
+    records: list[CellRecord] = []
+    for name in wanted:
+        case = CASES[name]
+        case_families = [f for f in case.families
+                         if family_filter is None or f in family_filter]
+        for family in case_families:
+            for seed in seed_matrix:
+                record = _run_cell(
+                    case, family, n, seed,
+                    balance_slack=balance_slack, chaos=chaos,
+                )
+                records.append(record)
+                if progress is not None:
+                    progress(record)
+
+    settings = {
+        "algorithms": wanted,
+        "families": sorted(family_filter) if family_filter else "all",
+        "seeds": list(seed_matrix),
+        "size": n,
+        "smoke": smoke,
+        "chaos": chaos,
+        "balance_slack": balance_slack,
+    }
+    return ConformanceReport(records=records, settings=settings)

@@ -1,0 +1,214 @@
+"""Shared Hypothesis strategies over :mod:`repro.graph.generators`.
+
+Every property test in the suite draws its inputs from here instead of
+hand-rolling ``st.integers`` + generator calls, so coverage is uniform:
+each strategy draws a *family*, a *size*, and a *seed* and builds the
+instance deterministically through the repo's own generators. Shrinking
+therefore walks toward small sizes and low seeds while staying inside the
+generator's guarantees (connectivity class, degree bounds, distinct
+weights, ...).
+
+This module requires the optional ``hypothesis`` package and is
+intentionally NOT imported by :mod:`repro.verify` itself — import it from
+test code only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.graph import generators
+from repro.graph.graph import Graph, WeightedGraph
+
+__all__ = [
+    "dds_keys",
+    "dds_values",
+    "float_arrays",
+    "forests",
+    "graphs",
+    "linked_lists",
+    "permutations",
+    "seeds",
+    "trees",
+    "two_cycle_instances",
+    "weighted_graphs",
+]
+
+
+def seeds(max_seed: int = 10_000) -> st.SearchStrategy[int]:
+    """Deployment / generator seeds (shrink toward 0)."""
+    return st.integers(0, max_seed)
+
+
+# -- graph families ---------------------------------------------------------
+
+
+def _er(draw, n: int, seed: int) -> Graph:
+    max_m = n * (n - 1) // 2
+    m = draw(st.integers(0, min(3 * n, max_m)))
+    return generators.erdos_renyi_gnm(n, m, seed)
+
+
+def _power_law(draw, n: int, seed: int) -> Graph:
+    n = max(n, 2)  # preferential attachment needs n > k >= 1
+    k = draw(st.integers(1, min(4, n - 1)))
+    return generators.barabasi_albert(n, k, seed)
+
+
+def _grid(draw, n: int, seed: int) -> Graph:
+    rows = draw(st.integers(1, max(1, int(np.sqrt(n)))))
+    cols = max(1, n // rows)
+    g, _ = generators.relabel(generators.grid(rows, cols), seed)
+    return g
+
+
+def _tree(draw, n: int, seed: int) -> Graph:
+    return generators.random_tree(n, seed)
+
+
+def _forest(draw, n: int, seed: int) -> Graph:
+    n_trees = draw(st.integers(1, max(1, n // 2)))
+    return generators.random_forest(n, n_trees, seed)
+
+
+def _cycles(draw, n: int, seed: int) -> Graph:
+    if n < 3:
+        g, _ = generators.relabel(generators.path(max(n, 1)), seed)
+        return g
+    lengths = []
+    left = n
+    while left >= 3:
+        k = draw(st.integers(3, left))
+        if left - k in (1, 2):
+            k = left
+        lengths.append(k)
+        left -= k
+    g, _ = generators.relabel(generators.union_of_cycles(lengths), seed)
+    return g
+
+
+def _path(draw, n: int, seed: int) -> Graph:
+    g, _ = generators.relabel(generators.path(n), seed)
+    return g
+
+
+def _star(draw, n: int, seed: int) -> Graph:
+    g, _ = generators.relabel(generators.star(max(n, 2)), seed)
+    return g
+
+
+_FAMILY_BUILDERS = {
+    "er": _er,
+    "power-law": _power_law,
+    "grid": _grid,
+    "tree": _tree,
+    "forest": _forest,
+    "cycles": _cycles,
+    "path": _path,
+    "star": _star,
+}
+
+
+@st.composite
+def graphs(
+    draw,
+    min_n: int = 1,
+    max_n: int = 60,
+    families: tuple[str, ...] = ("er", "power-law", "grid", "tree",
+                                 "forest", "cycles", "path", "star"),
+) -> Graph:
+    """An undirected graph from one of the named generator families."""
+    unknown = set(families) - set(_FAMILY_BUILDERS)
+    if unknown:
+        raise ValueError(f"unknown graph families: {sorted(unknown)}")
+    family = draw(st.sampled_from(families))
+    n = draw(st.integers(max(min_n, 1), max_n))
+    seed = draw(seeds())
+    return _FAMILY_BUILDERS[family](draw, n, seed)
+
+
+@st.composite
+def weighted_graphs(
+    draw,
+    min_n: int = 1,
+    max_n: int = 60,
+    families: tuple[str, ...] = ("er", "power-law", "grid", "tree",
+                                 "forest", "cycles"),
+) -> WeightedGraph:
+    """A graph with distinct random edge weights (MSF/affinity inputs)."""
+    g = draw(graphs(min_n=min_n, max_n=max_n, families=families))
+    return generators.with_random_weights(g, draw(seeds()))
+
+
+@st.composite
+def trees(draw, min_n: int = 1, max_n: int = 60) -> Graph:
+    """A single random tree."""
+    n = draw(st.integers(max(min_n, 1), max_n))
+    return generators.random_tree(n, draw(seeds()))
+
+
+@st.composite
+def forests(draw, min_n: int = 1, max_n: int = 60) -> Graph:
+    """A random forest (possibly a single tree, possibly all singletons)."""
+    n = draw(st.integers(max(min_n, 1), max_n))
+    n_trees = draw(st.integers(1, max(1, n // 2)))
+    return generators.random_forest(n, n_trees, draw(seeds()))
+
+
+@st.composite
+def linked_lists(draw, min_n: int = 1, max_n: int = 80) -> np.ndarray:
+    """A successor array (``succ[tail] = -1``) with permuted element ids."""
+    n = draw(st.integers(max(min_n, 1), max_n))
+    return generators.linked_list(n, draw(seeds()))
+
+
+@st.composite
+def two_cycle_instances(
+    draw, min_n: int = 6, max_n: int = 80
+) -> tuple[Graph, bool]:
+    """A 2-Cycle problem instance: ``(graph, is_two_cycles)``."""
+    half = draw(st.integers(max(min_n, 6) // 2, max_n // 2))
+    two = draw(st.booleans())
+    return generators.two_cycle_instance(2 * half, two, draw(seeds()))
+
+
+@st.composite
+def permutations(draw, min_n: int = 1, max_n: int = 60) -> np.ndarray:
+    """A permutation of 0..n-1 (vertex relabelings, priorities π)."""
+    n = draw(st.integers(max(min_n, 1), max_n))
+    return np.random.default_rng(draw(seeds())).permutation(n).astype(np.int64)
+
+
+@st.composite
+def float_arrays(
+    draw,
+    min_size: int = 1,
+    max_size: int = 64,
+    lo: float = -1e6,
+    hi: float = 1e6,
+) -> np.ndarray:
+    """A finite float64 array (RMQ / prefix-sum / sorting inputs)."""
+    values = draw(st.lists(
+        st.floats(lo, hi, allow_nan=False, allow_infinity=False, width=64),
+        min_size=min_size, max_size=max_size,
+    ))
+    return np.asarray(values, dtype=np.float64)
+
+
+def dds_keys() -> st.SearchStrategy:
+    """Keys as algorithms use them: scalars and small structured tuples."""
+    scalar = st.one_of(
+        st.integers(-1000, 1000),
+        st.sampled_from(["a", "b", "deg", "label", "succ"]),
+    )
+    return st.one_of(scalar, st.tuples(scalar, st.integers(0, 8)))
+
+
+def dds_values() -> st.SearchStrategy:
+    """Constant-size values: scalars or short flat tuples."""
+    scalar = st.one_of(
+        st.integers(-10_000, 10_000),
+        st.floats(-100, 100, allow_nan=False),
+    )
+    return st.one_of(scalar, st.tuples(scalar, scalar))

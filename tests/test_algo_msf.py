@@ -3,11 +3,11 @@
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.graph import generators, validation
 from repro.algorithms.msf import minimum_spanning_forest, sequential_msf_ids
 from repro.baselines.boruvka import boruvka_msf
+from repro.verify import strategies as vst
 
 from conftest import graph_zoo
 
@@ -60,13 +60,12 @@ class TestCorrectness:
         assert res.edge_ids.size == 0 and res.total_weight == 0.0
 
     @settings(max_examples=10, deadline=None)
-    @given(st.integers(5, 50), st.integers(0, 3000))
-    def test_property_random_weighted_graphs(self, n, seed):
-        m = min(2 * n, n * (n - 1) // 2)
-        g = generators.erdos_renyi_gnm(n, m, rng=seed)
-        wg = generators.with_random_weights(g, rng=seed + 1)
+    @given(vst.weighted_graphs(min_n=2, max_n=50), vst.seeds())
+    def test_property_random_weighted_graphs(self, wg, seed):
         res = minimum_spanning_forest(wg, seed=seed % 7)
         assert np.array_equal(res.edge_ids, sequential_msf_ids(wg))
+        want = float(wg.edge_weights()[res.edge_ids].sum()) if res.edge_ids.size else 0.0
+        assert res.total_weight == pytest.approx(want)
 
     def test_deterministic(self):
         g = generators.erdos_renyi_gnm(120, 400, rng=6)

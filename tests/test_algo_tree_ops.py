@@ -3,10 +3,10 @@
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.graph import generators
 from repro.algorithms.tree_ops import root_forest
+from repro.verify import strategies as vst
 
 
 def reference_tables(graph, parent, roots):
@@ -134,10 +134,9 @@ class TestDerivedTables:
             assert ex.subtree_max(v) == amax[v]
 
     @settings(max_examples=15, deadline=None)
-    @given(st.integers(2, 50), st.integers(0, 2000))
-    def test_property_random_trees(self, n, seed):
-        g = generators.random_tree(n, rng=seed)
+    @given(vst.forests(min_n=2, max_n=50), vst.seeds())
+    def test_property_random_forests(self, g, seed):
         rf = root_forest(g, seed=seed % 9)
         _, size, members = reference_tables(g, rf.parent, rf.roots)
         assert np.array_equal(rf.subtree_size, size)
-        assert np.unique(rf.preorder).size == n
+        assert np.unique(rf.preorder).size == g.n

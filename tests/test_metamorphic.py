@@ -1,0 +1,114 @@
+"""Metamorphic tests: algorithm outputs commute with input symmetries.
+
+The AMPC algorithms operate on anonymous vertex ids, so relabeling the
+vertices (or permuting the order edges are listed in) must not change the
+*answer*, only its presentation:
+
+* connectivity labels induce the same partition (and the canonical
+  component-minima labels are bit-identical under edge reordering);
+* the MSF total weight is invariant, and the chosen edge set maps across
+  the relabeling;
+* an MIS stays a valid MIS after relabeling (validity is checked with the
+  conformance harness's own helpers);
+* list-ranking ranks transport along element renamings.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import (
+    connectivity,
+    list_ranking,
+    maximal_independent_set,
+    minimum_spanning_forest,
+)
+from repro.graph import generators, validation
+from repro.graph.graph import Graph, WeightedGraph
+from repro.verify import strategies as vst
+from repro.verify.oracles import mis_discrepancies
+
+
+def relabel_weighted(wg: WeightedGraph, seed: int) -> tuple[WeightedGraph, np.ndarray]:
+    """Vertex-relabel a weighted graph, carrying each edge's weight along."""
+    perm = np.random.default_rng(seed).permutation(wg.n).astype(np.int64)
+    edges = perm[wg.edge_list()]
+    return WeightedGraph.from_weighted_edges(
+        wg.n, edges, wg.edge_weights()
+    ), perm
+
+
+class TestConnectivityMetamorphic:
+    @settings(max_examples=15, deadline=None)
+    @given(vst.graphs(min_n=1, max_n=50), vst.seeds())
+    def test_relabeling_preserves_partition(self, g, seed):
+        h, perm = generators.relabel(g, seed)
+        a = connectivity(g, seed=3).labels
+        b = connectivity(h, seed=3).labels
+        # perm[old] = new: vertex v's component in g is perm[v]'s in h.
+        assert validation.same_partition(a, b[perm])
+
+    @settings(max_examples=15, deadline=None)
+    @given(vst.graphs(min_n=1, max_n=50), vst.seeds())
+    def test_edge_order_permutation_is_invisible(self, g, seed):
+        edges = g.edges()
+        order = np.random.default_rng(seed).permutation(edges.shape[0])
+        h = Graph.from_edges(g.n, edges[order])
+        a = connectivity(g, seed=5)
+        b = connectivity(h, seed=5)
+        # Canonical minima labels are exactly equal, not just up to renaming.
+        assert np.array_equal(a.labels, b.labels)
+        assert a.n_components == b.n_components
+
+
+class TestMSFMetamorphic:
+    @settings(max_examples=12, deadline=None)
+    @given(vst.weighted_graphs(min_n=2, max_n=40), vst.seeds())
+    def test_relabeling_preserves_weight_and_edge_set(self, wg, seed):
+        h, perm = relabel_weighted(wg, seed)
+        a = minimum_spanning_forest(wg, seed=2)
+        b = minimum_spanning_forest(h, seed=2)
+        assert a.total_weight == pytest.approx(b.total_weight)
+        # Distinct weights identify edges across the relabeling.
+        got_a = sorted(float(w) for w in wg.edge_weights()[a.edge_ids])
+        got_b = sorted(float(w) for w in h.edge_weights()[b.edge_ids])
+        assert got_a == pytest.approx(got_b)
+
+    @settings(max_examples=12, deadline=None)
+    @given(vst.weighted_graphs(min_n=2, max_n=40), vst.seeds())
+    def test_edge_order_permutation_preserves_weight(self, wg, seed):
+        order = np.random.default_rng(seed).permutation(wg.m)
+        h = WeightedGraph.from_weighted_edges(
+            wg.n, wg.edge_list()[order], wg.edge_weights()[order]
+        )
+        a = minimum_spanning_forest(wg, seed=4)
+        b = minimum_spanning_forest(h, seed=4)
+        assert a.total_weight == pytest.approx(b.total_weight)
+
+
+class TestMISMetamorphic:
+    @settings(max_examples=15, deadline=None)
+    @given(vst.graphs(min_n=1, max_n=50), vst.seeds())
+    def test_relabeled_run_is_still_a_valid_mis(self, g, seed):
+        h, perm = generators.relabel(g, seed)
+        res = maximal_independent_set(h, seed=1)
+        assert mis_discrepancies(h, res.in_mis) == []
+        # Transporting the set back along the relabeling keeps it a valid
+        # MIS of the original graph (independence/maximality are label-free).
+        back = np.zeros(g.n, dtype=bool)
+        back[:] = res.in_mis[perm]
+        assert mis_discrepancies(g, back) == []
+
+
+class TestListRankingMetamorphic:
+    @settings(max_examples=15, deadline=None)
+    @given(vst.linked_lists(min_n=1, max_n=60), vst.seeds())
+    def test_element_renaming_transports_ranks(self, succ, seed):
+        n = succ.size
+        perm = np.random.default_rng(seed).permutation(n).astype(np.int64)
+        renamed = np.full(n, -1, dtype=np.int64)
+        for i in range(n):
+            renamed[perm[i]] = perm[succ[i]] if succ[i] != -1 else -1
+        a = list_ranking(succ, seed=6).ranks
+        b = list_ranking(renamed, seed=6).ranks
+        assert np.array_equal(a, b[perm])

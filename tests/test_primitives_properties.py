@@ -1,0 +1,237 @@
+"""Property tests for the charged MPC primitives (§3).
+
+Sorting, duplicate removal, prefix sums, and contraction are the paper's
+"standard MPC primitives"; each is checked against its plain sequential
+meaning on inputs drawn from the shared strategies, and the ledger charges
+are checked to land (constant rounds, linear communication).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AMPCConfig, AMPCRuntime
+from repro.graph import validation
+from repro.primitives.contraction import (
+    compact_labels,
+    contract_graph,
+    contract_weighted,
+    resolve_pointers,
+)
+from repro.primitives.dedup import charged_unique, charged_unique_rows, group_min
+from repro.primitives.prefix_sum import (
+    SCAN_ROUNDS,
+    charged_max_scan,
+    charged_prefix_sum,
+)
+from repro.primitives.sorting import (
+    SORT_ROUNDS,
+    charged_argsort,
+    charged_lexsort,
+    charged_sort,
+)
+from repro.verify import strategies as vst
+
+
+def _runtime() -> AMPCRuntime:
+    return AMPCRuntime(AMPCConfig(space=64, n_machines=4, seed=1))
+
+
+@st.composite
+def leader_arrays(draw, min_n=1, max_n=60):
+    """An acyclic leader array: every pointer goes up a random total order.
+
+    This is exactly the shape contraction steps produce (vertices merge
+    toward lower-rank representatives), so chains but never cycles.
+    """
+    n = draw(st.integers(min_n, max_n))
+    rng = np.random.default_rng(draw(vst.seeds()))
+    order = rng.permutation(n)
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = np.arange(n)
+    leader = np.arange(n, dtype=np.int64)
+    for v in range(n):
+        if rank[v] > 0 and rng.random() < 0.7:
+            leader[v] = order[rng.integers(0, rank[v])]
+    return leader
+
+
+class TestSorting:
+    @settings(max_examples=30, deadline=None)
+    @given(vst.float_arrays(min_size=0, max_size=80))
+    def test_sort_matches_numpy(self, arr):
+        assert np.array_equal(charged_sort(arr), np.sort(arr))
+
+    @settings(max_examples=30, deadline=None)
+    @given(vst.float_arrays(min_size=0, max_size=80))
+    def test_argsort_is_stable_permutation(self, arr):
+        order = charged_argsort(arr)
+        assert np.array_equal(np.sort(order), np.arange(arr.size))
+        assert np.array_equal(arr[order], np.sort(arr))
+        assert np.array_equal(order, np.argsort(arr, kind="stable"))
+
+    @settings(max_examples=20, deadline=None)
+    @given(vst.float_arrays(min_size=1, max_size=60), vst.seeds())
+    def test_lexsort_matches_numpy(self, primary, seed):
+        secondary = np.random.default_rng(seed).integers(
+            0, 4, primary.size
+        ).astype(np.float64)
+        got = charged_lexsort((secondary, primary))
+        assert np.array_equal(got, np.lexsort((secondary, primary)))
+
+    def test_charges_constant_rounds_linear_io(self):
+        rt = _runtime()
+        arr = np.arange(32.0)[::-1].copy()
+        charged_sort(arr, rt)
+        rec = rt.report.rounds[-1]
+        assert rec.rounds == SORT_ROUNDS
+        assert rec.total_reads == arr.size and rec.total_writes == arr.size
+
+
+class TestDedup:
+    @settings(max_examples=30, deadline=None)
+    @given(vst.float_arrays(min_size=0, max_size=80))
+    def test_unique_matches_numpy(self, arr):
+        # Force duplicates by quantizing.
+        q = np.round(arr / 10.0)
+        assert np.array_equal(charged_unique(q), np.unique(q))
+
+    @settings(max_examples=20, deadline=None)
+    @given(vst.seeds())
+    def test_unique_rows_drops_parallel_edges(self, seed):
+        rng = np.random.default_rng(seed)
+        rows = rng.integers(0, 5, (40, 2)).astype(np.int64)
+        got = charged_unique_rows(rows)
+        assert np.array_equal(got, np.unique(rows, axis=0))
+
+    @settings(max_examples=20, deadline=None)
+    @given(vst.seeds())
+    def test_group_min_matches_dict_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 60))
+        keys = rng.integers(0, 8, n).astype(np.int64)
+        vals = rng.permutation(n).astype(np.float64)  # distinct values
+        payload = rng.integers(0, 1000, n).astype(np.int64)
+        uk, mv, pl = group_min(keys, vals, payload)
+        ref: dict[int, tuple[float, int]] = {}
+        for k, v, p in zip(keys, vals, payload):
+            if int(k) not in ref or v < ref[int(k)][0]:
+                ref[int(k)] = (float(v), int(p))
+        assert uk.tolist() == sorted(ref)
+        for k, v, p in zip(uk, mv, pl):
+            assert (float(v), int(p)) == ref[int(k)]
+
+    def test_charges_sort_rounds(self):
+        rt = _runtime()
+        charged_unique(np.array([3.0, 1.0, 3.0]), rt)
+        assert rt.report.rounds[-1].rounds == SORT_ROUNDS
+
+
+class TestPrefixSum:
+    @settings(max_examples=30, deadline=None)
+    @given(vst.float_arrays(min_size=1, max_size=80, lo=-100, hi=100))
+    def test_inclusive_matches_cumsum(self, arr):
+        assert np.allclose(charged_prefix_sum(arr), np.cumsum(arr))
+
+    @settings(max_examples=30, deadline=None)
+    @given(vst.float_arrays(min_size=1, max_size=80, lo=-100, hi=100))
+    def test_exclusive_is_shifted_inclusive(self, arr):
+        ex = charged_prefix_sum(arr, inclusive=False)
+        assert ex[0] == 0
+        assert np.allclose(ex[1:], np.cumsum(arr)[:-1])
+
+    @settings(max_examples=30, deadline=None)
+    @given(vst.float_arrays(min_size=1, max_size=80))
+    def test_max_scan_matches_accumulate(self, arr):
+        assert np.array_equal(charged_max_scan(arr), np.maximum.accumulate(arr))
+
+    def test_charges_scan_rounds(self):
+        rt = _runtime()
+        charged_prefix_sum(np.ones(16), rt)
+        rec = rt.report.rounds[-1]
+        assert rec.rounds == SCAN_ROUNDS
+        assert rec.total_reads == 16 and rec.total_writes == 16
+
+
+class TestContraction:
+    @settings(max_examples=25, deadline=None)
+    @given(leader_arrays())
+    def test_resolve_pointers_reaches_fixed_points(self, leader):
+        root = resolve_pointers(leader)
+        assert np.array_equal(root[root], root)  # roots are fixed points
+        assert np.array_equal(root, root[leader])  # chain-invariant
+        # Walking the chain by hand gives the same answer.
+        for v in range(leader.size):
+            x = v
+            while leader[x] != x:
+                x = int(leader[x])
+            assert root[v] == x
+
+    def test_resolve_pointers_rejects_cycles(self):
+        with pytest.raises(ValueError):
+            resolve_pointers(np.array([1, 0], dtype=np.int64))
+
+    def test_resolve_pointers_charges_chain_lengths(self):
+        rt = _runtime()
+        # A chain 4 -> 3 -> 2 -> 1 -> 0: total pointer steps 0+1+2+3+4.
+        leader = np.array([0, 0, 1, 2, 3], dtype=np.int64)
+        resolve_pointers(leader, rt)
+        rec = rt.report.rounds[-1]
+        assert rec.kind == "adaptive" and rec.rounds == 1
+        assert rec.total_reads == 0 + 1 + 2 + 3 + 4
+        assert rec.max_machine_reads == 4
+
+    @settings(max_examples=20, deadline=None)
+    @given(leader_arrays())
+    def test_compact_labels_bijective_on_roots(self, leader):
+        root = resolve_pointers(leader)
+        new_of, rep = compact_labels(root)
+        assert rep.size == np.unique(root).size
+        assert np.array_equal(rep[new_of], root)
+
+    @settings(max_examples=20, deadline=None)
+    @given(vst.graphs(min_n=1, max_n=40), vst.seeds())
+    def test_contract_by_components_empties_the_graph(self, g, seed):
+        root = validation.components_reference(g)
+        cg, new_of, rep = contract_graph(g, root)
+        assert cg.m == 0
+        assert cg.n == np.unique(root).size
+
+    @settings(max_examples=20, deadline=None)
+    @given(vst.graphs(min_n=1, max_n=40))
+    def test_contract_identity_keeps_structure(self, g):
+        root = np.arange(g.n, dtype=np.int64)
+        cg, new_of, rep = contract_graph(g, root)
+        assert cg.n == g.n
+        assert validation.same_partition(
+            validation.components_reference(cg),
+            validation.components_reference(g),
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(vst.weighted_graphs(min_n=2, max_n=40), vst.seeds())
+    def test_contract_weighted_keeps_lightest_parallel_edge(self, wg, seed):
+        rng = np.random.default_rng(seed)
+        # Merge random vertex pairs to force parallel edges.
+        leader = np.arange(wg.n, dtype=np.int64)
+        for _ in range(wg.n // 3):
+            a, b = rng.integers(0, wg.n, 2)
+            leader[max(a, b)] = min(a, b)
+        root = resolve_pointers(leader)
+        cg, new_of, rep, orig = contract_weighted(wg, root)
+        w_in = wg.edge_weights()
+        edges_in = wg.edge_list()
+        best: dict[tuple[int, int], float] = {}
+        for j in range(wg.m):
+            a, b = int(new_of[edges_in[j, 0]]), int(new_of[edges_in[j, 1]])
+            if a == b:
+                continue
+            pair = (min(a, b), max(a, b))
+            best[pair] = min(best.get(pair, np.inf), float(w_in[j]))
+        edges_out = cg.edge_list()
+        assert cg.m == len(best)
+        for j in range(cg.m):
+            pair = (int(min(edges_out[j])), int(max(edges_out[j])))
+            assert float(cg.edge_weights()[j]) == best[pair]
+            assert float(w_in[orig[j]]) == best[pair]

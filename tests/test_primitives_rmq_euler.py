@@ -9,6 +9,7 @@ from repro.core import AMPCConfig, AMPCRuntime
 from repro.graph import generators
 from repro.primitives.euler import build_euler_tour
 from repro.primitives.rmq import SparseTableRMQ
+from repro.verify import strategies as vst
 
 
 class TestRMQ:
@@ -38,14 +39,12 @@ class TestRMQ:
         assert rt.report.n_rounds > build_rounds
 
     @settings(max_examples=50, deadline=None)
-    @given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=1,
-                    max_size=64),
+    @given(vst.float_arrays(min_size=1, max_size=64, lo=-100, hi=100),
            st.data())
-    def test_matches_naive_min_max(self, values, data):
-        arr = np.array(values)
+    def test_matches_naive_min_max(self, arr, data):
         rmq = SparseTableRMQ(arr)
-        lo = data.draw(st.integers(0, len(values) - 1))
-        hi = data.draw(st.integers(lo, len(values) - 1))
+        lo = data.draw(st.integers(0, arr.size - 1))
+        hi = data.draw(st.integers(lo, arr.size - 1))
         assert rmq.range_min(lo, hi) == pytest.approx(arr[lo:hi + 1].min())
         assert rmq.range_max(lo, hi) == pytest.approx(arr[lo:hi + 1].max())
 
@@ -133,7 +132,6 @@ class TestEulerTour:
         assert tour.n_arcs == 0
 
     @settings(max_examples=25, deadline=None)
-    @given(st.integers(2, 40), st.integers(0, 10_000))
-    def test_random_trees_produce_valid_tours(self, n, seed):
-        g = generators.random_tree(n, rng=seed)
+    @given(vst.forests(min_n=2, max_n=40))
+    def test_random_forests_produce_valid_tours(self, g):
         self.check_tour(g)

@@ -20,9 +20,15 @@ from repro.core import (
     StoreNotSealedError,
     StoreSealedError,
 )
+from repro.verify import strategies as vst
 
-KEYS = st.sampled_from([("k", i) for i in range(6)] + ["a", "b"])
-VALUES = st.integers(-100, 100)
+# A narrowed draw of the shared DDS strategies: sampling from a small key
+# pool keeps duplicate-key interleavings (the interesting case) frequent.
+KEYS = st.one_of(
+    st.sampled_from([("k", i) for i in range(6)] + ["a", "b"]),
+    vst.dds_keys(),
+)
+VALUES = vst.dds_values()
 
 
 class DDSMachine(RuleBasedStateMachine):

@@ -1,0 +1,120 @@
+"""The `repro verify` conformance sweep, run in CI smoke mode.
+
+One module-scoped smoke sweep (every registered algorithm × its generator
+families × 2 seeds, with chaos replays armed) backs several assertions:
+zero invariant violations, all oracles agreeing, determinism everywhere,
+and a well-formed machine-readable JSON report. The CLI entry point is
+exercised separately on a narrow slice to keep the suite fast.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.verify import CASES, case_names, verify_sweep
+from repro.verify.oracles import Workload
+from repro.verify.runner import FAMILIES, family_names, make_workload
+
+pytestmark = pytest.mark.verify
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return verify_sweep(smoke=True, chaos=True)
+
+
+class TestRegistry:
+    def test_every_case_has_three_families(self):
+        for name, case in CASES.items():
+            assert len(case.families) >= 3, name
+            for family in case.families:
+                assert family in FAMILIES, (name, family)
+
+    def test_family_kinds_are_compatible(self):
+        for case in CASES.values():
+            for family in case.families:
+                workload = make_workload(case, family, n=12, seed=0)
+                assert isinstance(workload, Workload)
+                assert workload.kind == case.kind
+
+    def test_cross_model_and_chaos_coverage(self):
+        crossed = {n for n, c in CASES.items() if c.cross_model is not None}
+        assert {"connectivity", "msf", "list-ranking", "two-cycle"} <= crossed
+        chaotic = {n for n, c in CASES.items() if c.chaos_run is not None}
+        assert {"connectivity", "mis"} <= chaotic
+
+
+class TestSmokeSweep:
+    def test_all_cells_conformant(self, smoke_report):
+        assert smoke_report.ok, "\n" + smoke_report.format_failures()
+
+    def test_covers_every_algorithm_with_two_seeds(self, smoke_report):
+        summary = smoke_report.summary()
+        assert set(summary["by_algorithm"]) == set(case_names())
+        for name, case in CASES.items():
+            cells = [r for r in smoke_report.records if r.algorithm == name]
+            assert len(cells) == 2 * len(case.families)
+            assert {r.seed for r in cells} == {0, 1}
+
+    def test_no_violations_and_deterministic(self, smoke_report):
+        summary = smoke_report.summary()
+        assert summary["invariant_violations"] == 0
+        assert summary["oracle_disagreements"] == 0
+        assert summary["nondeterministic"] == 0
+        assert all(r.deterministic for r in smoke_report.records)
+
+    def test_chaos_replays_bit_identical(self, smoke_report):
+        chaos_cells = [
+            r for r in smoke_report.records if r.chaos_identical is not None
+        ]
+        assert chaos_cells, "no chaos-capable cells ran"
+        assert all(r.chaos_identical for r in chaos_cells)
+
+    def test_json_report_is_machine_readable(self, smoke_report):
+        parsed = json.loads(smoke_report.to_json())
+        assert parsed["summary"]["ok"] is True
+        assert parsed["summary"]["cells"] == len(parsed["records"])
+        record = parsed["records"][0]
+        for field in ("algorithm", "family", "seed", "status", "rounds",
+                      "deterministic", "invariant_violations"):
+            assert field in record
+
+
+class TestSelection:
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            verify_sweep(algorithms=["no-such-algo"], smoke=True)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown families"):
+            verify_sweep(families=["no-such-family"], smoke=True)
+
+    def test_family_filter_narrows_cells(self):
+        report = verify_sweep(algorithms=["connectivity"], families=["er"],
+                              seeds=[0], smoke=True)
+        assert report.n_cells == 1
+        assert report.records[0].family == "er"
+
+
+class TestCLI:
+    def test_verify_smoke_slice_exits_zero(self, capsys, tmp_path):
+        out = tmp_path / "report.json"
+        code = cli_main([
+            "verify", "--smoke", "--quiet",
+            "-a", "connectivity", "-a", "list-ranking",
+            "--seeds", "0",
+            "--json", str(out),
+        ])
+        assert code == 0
+        parsed = json.loads(out.read_text())
+        assert parsed["summary"]["ok"] is True
+        assert "0 failed" in capsys.readouterr().out
+
+    def test_verify_list(self, capsys):
+        assert cli_main(["verify", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in case_names():
+            assert name in out
+        for family in family_names():
+            assert family in out
