@@ -5,104 +5,286 @@ their *model* costs), these measure real wall-clock of the simulator's
 hot paths with repeated timing — the numbers that bound how large an
 instance the pure-Python simulator can sweep. Tracked so performance
 regressions in the core loop are visible (`--benchmark-compare`).
+
+Every scalar hot path is benchmarked next to its batch-engine
+counterpart (``write_array`` / ``read_array`` / ``round_batch`` /
+``vectorized=True``), and ``run_sweep`` measures the scalar-vs-batched
+pairs directly with ``time.perf_counter`` and emits the checked-in
+``benchmarks/BENCH_simulator.json``:
+
+    PYTHONPATH=src python benchmarks/bench_simulator_overhead.py
 """
 
+import json
+import sys
+import time
+
 import numpy as np
-import pytest
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - direct `python bench_...py` run
+    pytest = None
 
 from repro.core import AMPCConfig, AMPCRuntime
 from repro.core.dds import DistributedDataStore
-from repro.core.partition import key_hash, partition_items
+from repro.core.partition import key_hash, partition_items, server_of_array
 
 
-@pytest.fixture
-def sealed_store():
+def _fresh_scalar_store(n: int = 10_000) -> DistributedDataStore:
     store = DistributedDataStore(0, n_servers=64, seed=1)
-    for i in range(10_000):
+    for i in range(n):
         store.write(("k", i), i)
-    store.seal()
     return store
 
 
-def test_dds_read_throughput(benchmark, sealed_store):
-    keys = [("k", i) for i in range(10_000)]
-
-    def read_all():
-        get = sealed_store.get
-        total = 0
-        for key in keys:
-            total += get(key)
-        return total
-
-    benchmark(read_all)
-    benchmark.extra_info["ops_per_call"] = len(keys)
+def _fresh_batch_store(n: int = 10_000) -> DistributedDataStore:
+    store = DistributedDataStore(0, n_servers=64, seed=1)
+    ids = np.arange(n, dtype=np.int64)
+    store.write_array("k", ids, ids)
+    return store
 
 
-def test_dds_write_throughput(benchmark):
-    def write_10k():
-        store = DistributedDataStore(0, n_servers=64, seed=1)
-        for i in range(10_000):
-            store.write(("k", i), i)
+if pytest is not None:
+
+    @pytest.fixture
+    def sealed_store():
+        store = _fresh_scalar_store()
+        store.seal()
         return store
 
-    benchmark(write_10k)
-    benchmark.extra_info["ops_per_call"] = 10_000
+    @pytest.fixture
+    def sealed_batch_store():
+        store = _fresh_batch_store()
+        store.seal()
+        return store
 
+    def test_dds_read_throughput(benchmark, sealed_store):
+        keys = [("k", i) for i in range(10_000)]
 
-def test_machine_read_path(benchmark):
-    """Full ctx.read path (cache miss) through budget accounting."""
-    config = AMPCConfig(space=20_000, n_machines=4, seed=1,
-                        budget_multiplier=4.0)
-    rt = AMPCRuntime(config)
-    pairs = [(("k", i), i) for i in range(10_000)]
-
-    def run_round():
-        def worker(ctx, v):
+        def read_all():
+            get = sealed_store.get
             total = 0
-            for i in range(1000):
-                total += ctx.read(("k", (v * 1000 + i) % 10_000))
+            for key in keys:
+                total += get(key)
             return total
 
-        # Fresh setup each call: the data must be in the store this
-        # round reads from, independent of earlier benchmark iterations.
-        return rt.round(list(range(10)), worker, setup=pairs, tag="bench")
+        benchmark(read_all)
+        benchmark.extra_info["ops_per_call"] = len(keys)
 
-    benchmark(run_round)
-    benchmark.extra_info["reads_per_call"] = 10_000
+    def test_dds_read_array_throughput(benchmark, sealed_batch_store):
+        ids = np.arange(10_000, dtype=np.int64)
 
+        def read_all():
+            return int(sealed_batch_store.read_array("k", ids).sum())
 
-def test_key_hash_cost(benchmark):
-    keys = [("adj", i, i % 7) for i in range(5_000)]
+        benchmark(read_all)
+        benchmark.extra_info["ops_per_call"] = int(ids.size)
 
-    def hash_all():
-        total = 0
-        for key in keys:
-            total += key_hash(key, seed=3)
-        return total
+    def test_dds_write_throughput(benchmark):
+        benchmark(_fresh_scalar_store)
+        benchmark.extra_info["ops_per_call"] = 10_000
 
-    benchmark(hash_all)
-    benchmark.extra_info["ops_per_call"] = len(keys)
+    def test_dds_write_array_throughput(benchmark):
+        benchmark(_fresh_batch_store)
+        benchmark.extra_info["ops_per_call"] = 10_000
 
-
-def test_vectorized_partition_cost(benchmark):
-    items = np.arange(1_000_000, dtype=np.int64)
-    benchmark(lambda: partition_items(items, 64, seed=5))
-    benchmark.extra_info["ops_per_call"] = items.size
-
-
-def test_shrink_walk_cost(benchmark):
-    """End-to-end adaptive-walk round: the dominant simulator loop."""
-    from repro.algorithms.shrink import shrink
-    from repro.graph import generators
-    from repro.graph.io import orient_cycles
-
-    g = generators.cycle(8192)
-    succ, _ = orient_cycles(g)
-    config = AMPCConfig.for_input(8192, seed=1)
-
-    def run():
+    def test_machine_read_path(benchmark):
+        """Full ctx.read path (cache miss) through budget accounting."""
+        config = AMPCConfig(space=20_000, n_machines=4, seed=1,
+                            budget_multiplier=4.0)
         rt = AMPCRuntime(config)
-        return shrink(succ, rt, delta=0.5, target_size=200)
+        pairs = [(("k", i), i) for i in range(10_000)]
 
-    result = benchmark.pedantic(run, rounds=3, iterations=1)
-    benchmark.extra_info["elements"] = 8192
+        def run_round():
+            def worker(ctx, v):
+                total = 0
+                for i in range(1000):
+                    total += ctx.read(("k", (v * 1000 + i) % 10_000))
+                return total
+
+            # Fresh setup each call: the data must be in the store this
+            # round reads from, independent of earlier benchmark iterations.
+            return rt.round(list(range(10)), worker, setup=pairs, tag="bench")
+
+        benchmark(run_round)
+        benchmark.extra_info["reads_per_call"] = 10_000
+
+    def test_machine_read_array_path(benchmark):
+        """Batch counterpart: ctx.read_array through one budget check."""
+        config = AMPCConfig(space=20_000, n_machines=4, seed=1,
+                            budget_multiplier=4.0)
+        rt = AMPCRuntime(config)
+        all_ids = np.arange(10_000, dtype=np.int64)
+
+        def run_round():
+            def worker(ctx, block):
+                ids = (block[:, None] * 1000 + np.arange(1000)) % 10_000
+                total = np.int64(0)
+                for row in range(block.size):
+                    total += ctx.read_array("k", ids[row]).sum()
+                return np.full(block.size, int(total), dtype=np.int64)
+
+            return rt.round_batch(
+                np.arange(10, dtype=np.int64), worker,
+                setup_arrays=[("k", all_ids, all_ids)], tag="bench",
+            )
+
+        benchmark(run_round)
+        benchmark.extra_info["reads_per_call"] = 10_000
+
+    def test_key_hash_cost(benchmark):
+        keys = [("adj", i, i % 7) for i in range(5_000)]
+
+        def hash_all():
+            total = 0
+            for key in keys:
+                total += key_hash(key, seed=3)
+            return total
+
+        benchmark(hash_all)
+        benchmark.extra_info["ops_per_call"] = len(keys)
+
+    def test_server_of_array_cost(benchmark):
+        us = np.arange(5_000, dtype=np.int64)
+        is_ = us % 7
+
+        def hash_all():
+            return int(server_of_array(["adj", us, is_], 64, seed=3).sum())
+
+        benchmark(hash_all)
+        benchmark.extra_info["ops_per_call"] = int(us.size)
+
+    def test_vectorized_partition_cost(benchmark):
+        items = np.arange(1_000_000, dtype=np.int64)
+        benchmark(lambda: partition_items(items, 64, seed=5))
+        benchmark.extra_info["ops_per_call"] = items.size
+
+    @pytest.mark.parametrize("vectorized", [False, True],
+                             ids=["scalar", "batched"])
+    def test_shrink_walk_cost(benchmark, vectorized):
+        """End-to-end adaptive-walk rounds: the dominant simulator loop."""
+        from repro.algorithms.shrink import shrink
+        from repro.graph import generators
+        from repro.graph.io import orient_cycles
+
+        g = generators.cycle(8192)
+        succ, _ = orient_cycles(g)
+        config = AMPCConfig.for_input(8192, seed=1)
+
+        def run():
+            rt = AMPCRuntime(config)
+            return shrink(succ, rt, delta=0.5, target_size=200,
+                          vectorized=vectorized)
+
+        benchmark.pedantic(run, rounds=3, iterations=1)
+        benchmark.extra_info["elements"] = 8192
+
+
+# ---------------------------------------------------------------------------
+# the scalar-vs-batched sweep behind benchmarks/BENCH_simulator.json
+# ---------------------------------------------------------------------------
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_sweep(
+    *, dds_ops: int = 10_000, list_n: int = 100_000, repeats: int = 3
+) -> dict:
+    """Time each scalar hot path against its batched counterpart.
+
+    Returns the JSON-serializable payload written to
+    ``benchmarks/BENCH_simulator.json``; every pair also cross-checks
+    that the two paths produce identical values before timing, so the
+    reported speedups never compare diverging computations.
+    """
+    from repro.algorithms.list_ranking import list_ranking
+    from repro.graph.generators import linked_list
+
+    results: dict[str, dict] = {}
+
+    # -- DDS write path ----------------------------------------------------
+    scalar_s = _best_of(lambda: _fresh_scalar_store(dds_ops), repeats)
+    batched_s = _best_of(lambda: _fresh_batch_store(dds_ops), repeats)
+    results["dds_write"] = {
+        "ops": dds_ops,
+        "scalar_s": scalar_s,
+        "batched_s": batched_s,
+        "speedup": scalar_s / batched_s,
+    }
+
+    # -- DDS read path -----------------------------------------------------
+    store_a = _fresh_scalar_store(dds_ops)
+    store_a.seal()
+    store_b = _fresh_batch_store(dds_ops)
+    store_b.seal()
+    keys = [("k", i) for i in range(dds_ops)]
+    ids = np.arange(dds_ops, dtype=np.int64)
+    scalar_total = sum(store_a.get(k) for k in keys)
+    batched_total = int(store_b.read_array("k", ids).sum())
+    assert scalar_total == batched_total, "scalar/batched reads diverge"
+    scalar_s = _best_of(lambda: sum(store_a.get(k) for k in keys), repeats)
+    batched_s = _best_of(lambda: store_b.read_array("k", ids).sum(), repeats)
+    results["dds_read"] = {
+        "ops": dds_ops,
+        "scalar_s": scalar_s,
+        "batched_s": batched_s,
+        "speedup": scalar_s / batched_s,
+    }
+
+    # -- end-to-end list ranking ------------------------------------------
+    succ = linked_list(list_n, 1)
+    ref = list_ranking(succ, seed=0)
+    vec = list_ranking(succ, seed=0, vectorized=True)
+    assert np.array_equal(ref.ranks, vec.ranks), "ranks diverge"
+    ledger = [(s.tag, s.total_reads, s.total_writes)
+              for s in ref.report.rounds]
+    vledger = [(s.tag, s.total_reads, s.total_writes)
+               for s in vec.report.rounds]
+    assert ledger == vledger, "cost ledgers diverge"
+    scalar_s = _best_of(lambda: list_ranking(succ, seed=0), 1)
+    batched_s = _best_of(
+        lambda: list_ranking(succ, seed=0, vectorized=True), 1
+    )
+    results["list_ranking"] = {
+        "n": list_n,
+        "scalar_s": scalar_s,
+        "batched_s": batched_s,
+        "speedup": scalar_s / batched_s,
+    }
+
+    return {
+        "benchmark": "bench_simulator_overhead.run_sweep",
+        "settings": {"dds_ops": dds_ops, "list_n": list_n,
+                     "repeats": repeats},
+        "results": {
+            name: {k: (round(v, 6) if isinstance(v, float) else v)
+                   for k, v in entry.items()}
+            for name, entry in results.items()
+        },
+    }
+
+
+def main(argv: list[str]) -> int:
+    out = argv[1] if len(argv) > 1 else "benchmarks/BENCH_simulator.json"
+    payload = run_sweep()
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    for name, entry in payload["results"].items():
+        print(f"{name:14s} scalar {entry['scalar_s']:.4f}s  "
+              f"batched {entry['batched_s']:.4f}s  "
+              f"{entry['speedup']:.1f}x")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -65,6 +65,7 @@ def connectivity(
     max_phases: int | None = None,
     use_sparse_reduction: bool = False,
     runtime: AMPCRuntime | None = None,
+    vectorized: bool = False,
 ) -> ConnectivityResult:
     """Connected components (paper Algorithm 7).
 
@@ -83,6 +84,11 @@ def connectivity(
         runtime: run on an existing runtime (shares its ledger) — e.g. a
             :class:`repro.core.chaos.ChaosRuntime` armed with a fault
             plan; the result must be identical to a fault-free run.
+        vectorized: run the IncreaseDegrees round on the batch execution
+            engine and the leader choice in pure numpy. Identical labels
+            and cost ledger (enforced by tests); silently falls back to
+            the scalar path when the runtime is not ``batch_capable``
+            (chaos / fault injection / MPC).
     """
     n = graph.n
     if config is None:
@@ -107,6 +113,7 @@ def connectivity(
     mapping = np.arange(n, dtype=np.int64)
     current = graph
     rng = config.rng(salt=0xC0)
+    use_batch = vectorized and runtime.batch_capable
 
     # Sparse case m = o(n log^2 n): shrink vertices by ~log^2 n first
     # (Lemma 6.2 substitute; see module docstring).
@@ -148,7 +155,8 @@ def connectivity(
 
         # Step 2a: IncreaseDegrees(G, d) — one adaptive BFS round.
         augmented = _increase_degrees(
-            current, int(round(d)), runtime, tag=f"increase-deg:{phases}"
+            current, int(round(d)), runtime, tag=f"increase-deg:{phases}",
+            vectorized=use_batch,
         )
 
         # Step 2b: leader sampling with probability Θ(log n / d) — local
@@ -160,7 +168,8 @@ def connectivity(
         # neighbor. One adaptive round: every vertex walks its leader
         # chain with adaptive reads (resolve_pointers charges it), and the
         # relabel/dedup of the edge set is one more primitive round.
-        leader = _choose_leaders(augmented, is_leader, int(round(d)))
+        choose = _choose_leaders_vec if use_batch else _choose_leaders
+        leader = choose(augmented, is_leader, int(round(d)))
         root = resolve_pointers(leader, runtime, tag=f"resolve:{phases}")
         contracted, new_of, _rep = contract_graph(augmented, root, runtime=None)
         runtime.charge(f"contract:{phases}", rounds=1,
@@ -192,13 +201,23 @@ def _initial_budget(config: AMPCConfig, graph: Graph) -> float:
 
 
 def _increase_degrees(
-    graph: Graph, d: int, runtime: AMPCRuntime, *, tag: str
+    graph: Graph, d: int, runtime: AMPCRuntime, *, tag: str,
+    vectorized: bool = False,
 ) -> Graph:
     """Algorithm 6: BFS from every vertex until d vertices are seen.
 
     One adaptive round; every vertex issues at most O(d²) reads (the
     paper's query budget: d is the square root of per-vertex space).
     Returns the graph augmented with the (v, x) edges found.
+
+    With ``vectorized=True`` the same BFS runs through
+    :meth:`AMPCRuntime.round_batch`: each machine replays the walk over
+    a local CSR copy with the *exact* scalar control flow (the attempt
+    counter ``reads`` increments regardless of the read cache, so the
+    walk is cache-independent), deduplicates the keys it touched (the
+    scalar path's per-machine read cache makes repeat reads free), then
+    charges them in one :meth:`~repro.core.machine.MachineContext.charge_read_array`
+    call per namespace. The ledger is identical to the scalar round.
     """
     read_cap = 4 * d * d
 
@@ -225,18 +244,87 @@ def _increase_degrees(
             ctx.write(("fedge", v), int(x))
         return len(visited)
 
-    result = runtime.round(
-        list(range(graph.n)), worker, setup=encode_graph(graph), tag=tag
-    )
-    new_edges: list[tuple[int, int]] = []
-    for key, value in result.store.items():
-        if isinstance(key, tuple) and key[0] == "fedge":
-            new_edges.append((int(key[1]), int(value)))
-    if not new_edges:
-        return graph
+    indptr, indices = graph.indptr, graph.indices
+
+    def batch_worker(ctx, block: np.ndarray) -> np.ndarray:
+        # One call per machine. seen_* mirror the scalar per-machine read
+        # cache: only first touches of ("deg", u) / ("adj", u, i) charge.
+        seen_deg: set[int] = set()
+        seen_adj: set[tuple[int, int]] = set()
+        deg_keys: list[int] = []
+        adj_u: list[int] = []
+        adj_i: list[int] = []
+        fedge_v: list[int] = []
+        fedge_x: list[int] = []
+        counts = np.empty(block.size, dtype=np.int64)
+        for j, v in enumerate(block.tolist()):
+            visited = {v}
+            queue = [v]
+            head = 0
+            reads = 0
+            while head < len(queue) and len(visited) < d and reads < read_cap:
+                u = queue[head]
+                head += 1
+                if u not in seen_deg:
+                    seen_deg.add(u)
+                    deg_keys.append(u)
+                base = int(indptr[u])
+                deg_u = int(indptr[u + 1]) - base
+                reads += 1
+                for i in range(deg_u):
+                    if len(visited) >= d or reads >= read_cap:
+                        break
+                    if (u, i) not in seen_adj:
+                        seen_adj.add((u, i))
+                        adj_u.append(u)
+                        adj_i.append(i)
+                    x = int(indices[base + i])
+                    reads += 1
+                    if x not in visited:
+                        visited.add(x)
+                        queue.append(x)
+            visited.discard(v)
+            counts[j] = len(visited)
+            for x in sorted(visited):
+                fedge_v.append(v)
+                fedge_x.append(x)
+        if deg_keys:
+            ctx.charge_read_array("deg", np.asarray(deg_keys, np.int64))
+        if adj_u:
+            ctx.charge_read_array(
+                "adj", np.asarray(adj_u, np.int64), np.asarray(adj_i, np.int64)
+            )
+        if fedge_v:
+            ctx.write_array(
+                "fedge",
+                np.asarray(fedge_v, np.int64),
+                np.asarray(fedge_x, np.int64),
+            )
+        return counts
+
+    if vectorized:
+        result = runtime.round_batch(
+            np.arange(graph.n, dtype=np.int64), batch_worker,
+            setup=encode_graph(graph), tag=tag,
+        )
+        vs, xs = result.store.read_namespace("fedge")
+        if vs.size == 0:
+            return graph
+        found = np.column_stack((vs, xs.astype(np.int64)))
+    else:
+        result = runtime.round(
+            list(range(graph.n)), worker, setup=encode_graph(graph), tag=tag
+        )
+        new_edges: list[tuple[int, int]] = []
+        for key, value in result.store.items():
+            if isinstance(key, tuple) and key[0] == "fedge":
+                new_edges.append((int(key[1]), int(value)))
+        if not new_edges:
+            return graph
+        found = np.array(new_edges, np.int64)
     # Found edges are deduplicated into the edge set as part of the same
     # round's writes (the BFS round already charged them); no extra round.
-    combined = np.concatenate([graph.edges(), np.array(new_edges, np.int64)])
+    combined = np.concatenate([graph.edges(), found])
     return Graph.from_edges(graph.n, combined)
 
 
@@ -264,6 +352,41 @@ def _choose_leaders(
         elif nbrs.size < d:
             candidate = int(min(int(nbrs[0]), v))
             leader[v] = candidate
+    return leader
+
+
+def _choose_leaders_vec(
+    graph: Graph, is_leader: np.ndarray, d: int
+) -> np.ndarray:
+    """Numpy :func:`_choose_leaders` — identical output, no Python loop.
+
+    Purely machine-local work in the model (the scalar version charges
+    nothing), so this only removes simulator overhead. "First" neighbor
+    semantics follow CSR order, exactly like the scalar scan.
+    """
+    n = graph.n
+    leader = np.arange(n, dtype=np.int64)
+    if graph.indices.size == 0:
+        return leader
+    indptr, indices = graph.indptr, graph.indices
+    degs = np.diff(indptr)
+    src = np.repeat(np.arange(n, dtype=np.int64), degs)
+    # First leader neighbor per vertex = min CSR position whose target is
+    # a leader (matches nbr_leaders[0] in the scalar scan).
+    pos = np.arange(indices.size, dtype=np.int64)
+    lmask = is_leader[indices]
+    first_leader_pos = np.full(n, indices.size, dtype=np.int64)
+    np.minimum.at(first_leader_pos, src[lmask], pos[lmask])
+    has_leader_nbr = first_leader_pos < indices.size
+    nonleader = ~np.asarray(is_leader, dtype=bool)
+    use = nonleader & has_leader_nbr
+    leader[use] = indices[first_leader_pos[use]]
+    # Else: small neighborhoods contract to min(first neighbor, self).
+    has_nbr = degs > 0
+    first_nbr = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+    first_nbr[has_nbr] = indices[indptr[:-1][has_nbr]]
+    small = nonleader & has_nbr & ~has_leader_nbr & (degs < d)
+    leader[small] = np.minimum(first_nbr[small], leader[small])
     return leader
 
 

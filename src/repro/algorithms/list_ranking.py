@@ -52,6 +52,7 @@ def list_ranking(
     seed: int = 0,
     config: AMPCConfig | None = None,
     runtime: AMPCRuntime | None = None,
+    vectorized: bool = False,
 ) -> ListRankingResult:
     """Rank a linked list given as a successor array (paper Algorithm 11).
 
@@ -63,6 +64,9 @@ def list_ranking(
         config: explicit deployment.
         runtime: run on an existing runtime (shares its ledger) — used by
             the tree algorithms that invoke list ranking as a subroutine.
+        vectorized: execute shrink and fill-back on the batch engine:
+            identical ranks and cost ledger, much lower simulator wall
+            time (see docs/model.md "Performance").
     """
     n = int(succ.size)
     if config is None:
@@ -89,6 +93,7 @@ def list_ranking(
         target_size=target,
         forced=np.array([head], dtype=np.int64),
         tag="listrank-shrink",
+        vectorized=vectorized,
     )
 
     # Local solve: rank the O(n^eps) survivors by walking the contracted
@@ -105,6 +110,7 @@ def list_ranking(
         survivor_ranks,
         additive=True,
         tag="listrank-fill",
+        vectorized=vectorized,
     )
     ranks = np.full(n, -1, dtype=np.int64)
     for v, r in all_ranks.items():
@@ -145,6 +151,7 @@ def multi_list_ranking(
     runtime: AMPCRuntime | None = None,
     epsilon: float = 0.5,
     seed: int = 0,
+    vectorized: bool = False,
 ) -> MultiListRankingResult:
     """Rank a disjoint union of lists in O(1/ε) rounds.
 
@@ -176,7 +183,7 @@ def multi_list_ranking(
     target = max(4, int(math.ceil(2.0 * n**config.epsilon)), heads.size)
     outcome = shrink(
         succ, runtime, delta=config.epsilon, target_size=target,
-        forced=heads, tag="mlistrank-shrink",
+        forced=heads, tag="mlistrank-shrink", vectorized=vectorized,
     )
     runtime.charge("local-solve", rounds=1, reads=2 * outcome.alive.size)
     survivor_ranks: dict[int, float] = {}
@@ -200,9 +207,11 @@ def multi_list_ranking(
             f"input was not a disjoint union of head-anchored lists"
         )
     all_ranks = fill_back(runtime, outcome.history, survivor_ranks,
-                          additive=True, tag="mlistrank-fill")
+                          additive=True, tag="mlistrank-fill",
+                          vectorized=vectorized)
     all_heads = fill_back(runtime, outcome.history, survivor_heads,
-                          additive=False, tag="mlisthead-fill")
+                          additive=False, tag="mlisthead-fill",
+                          vectorized=vectorized)
     ranks = np.full(n, -1, dtype=np.int64)
     head_of = np.full(n, -1, dtype=np.int64)
     for v, r in all_ranks.items():

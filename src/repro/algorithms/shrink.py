@@ -85,6 +85,7 @@ def shrink(
     forced: np.ndarray | None = None,
     max_rounds: int | None = None,
     tag: str = "shrink",
+    vectorized: bool = False,
 ) -> ShrinkOutcome:
     """Run Shrink(G, δ, t) until at most ``target_size`` elements survive.
 
@@ -103,6 +104,12 @@ def shrink(
             above the paper's O(1/δ) bound, so a failure to shrink is
             reported as an error rather than a hang.
         tag: ledger label prefix.
+        vectorized: run rounds on the batch execution engine
+            (:meth:`~repro.core.runtime.AMPCRuntime.round_batch`). Results
+            and the cost ledger are identical to the scalar path (enforced
+            by tests); only simulator wall time changes. Silently falls
+            back to the scalar path on runtimes that are not
+            ``batch_capable`` (chaos / fault injection).
 
     Returns:
         ShrinkOutcome; ``runtime.report`` accumulates the per-round costs.
@@ -154,7 +161,12 @@ def shrink(
             sampled_mask[int(rng.integers(0, alive.size))] = True
         samples = alive[sampled_mask]
 
-        outcome = _shrink_round(
+        round_fn = (
+            _shrink_round_batch
+            if vectorized and runtime.batch_capable
+            else _shrink_round
+        )
+        outcome = round_fn(
             runtime,
             alive=alive,
             samples=samples,
@@ -242,6 +254,100 @@ def _shrink_round(
     return new_alive, new_succ, new_len, record
 
 
+def _shrink_round_batch(
+    runtime: AMPCRuntime,
+    *,
+    alive: np.ndarray,
+    samples: np.ndarray,
+    succ: np.ndarray,
+    length: np.ndarray,
+    tag: str,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, AbsorbRound]:
+    """One Shrink round on the vectorized engine (fused lockstep walks).
+
+    Ledger-exact twin of :func:`_shrink_round`: every walk issues exactly
+    the read/write sequence of the scalar ``walk`` worker — read succ and
+    len of the start, then per step read smp of the frontier and, on a
+    miss, write the absorb record and read len and succ of the frontier.
+    Walk segments between samples are disjoint (successor structures have
+    in-degree ≤ 1), so the scalar path's per-machine read cache never hits
+    during walks and the uncached batch reads charge identically. Lockstep
+    batching advances all walks together but preserves each walk's own
+    operation sequence, which is all the ledger (and any real concurrent
+    deployment) can see.
+    """
+    setup_arrays = [
+        ("succ", alive, succ[alive]),
+        ("len", alive, length[alive]),
+        ("smp", samples, np.ones(samples.size, dtype=np.int64)),
+    ]
+
+    def walk_all(g):
+        items = g.items
+        owners = g.machines
+        cur = g.read_array("succ", items, owner=owners, fill=TAIL).astype(
+            np.int64
+        )
+        cum = g.read_array("len", items, owner=owners, fill=0.0).astype(
+            np.float64
+        )
+        active = np.flatnonzero((cur != TAIL) & (cur != items))
+        while active.size:
+            frontier = cur[active]
+            smp = g.read_array("smp", frontier, owner=owners[active], fill=0)
+            walkers = active[smp == 0]
+            if walkers.size == 0:
+                break
+            targets = cur[walkers]
+            own = owners[walkers]
+            g.write_array(
+                "absorb",
+                targets,
+                np.column_stack(
+                    (items[walkers].astype(np.float64), cum[walkers])
+                ),
+                owner=own,
+            )
+            cum[walkers] += g.read_array("len", targets, owner=own, fill=0.0)
+            nxt = g.read_array("succ", targets, owner=own, fill=TAIL).astype(
+                np.int64
+            )
+            cur[walkers] = nxt
+            active = walkers[(nxt != TAIL) & (nxt != items[walkers])]
+        return cur, cum
+
+    result = runtime.round_batch(
+        samples, walk_all, setup_arrays=setup_arrays, fused=True, tag=tag
+    )
+
+    new_succ = succ.copy()
+    new_len = length.copy()
+    if result.results is not None:
+        nxt_arr, cum_arr = result.results
+        new_succ[samples] = nxt_arr
+        new_len[samples] = cum_arr
+
+    ids, vals = result.store.read_namespace("absorb")
+    if ids.size:
+        record = AbsorbRound(
+            absorbed=ids.astype(np.int64, copy=True),
+            absorber=vals[:, 0].astype(np.int64),
+            offset=vals[:, 1].astype(np.float64),
+        )
+    else:
+        record = AbsorbRound(
+            absorbed=np.zeros(0, dtype=np.int64),
+            absorber=np.zeros(0, dtype=np.int64),
+            offset=np.zeros(0, dtype=np.float64),
+        )
+
+    alive_mask = np.zeros(succ.size, dtype=bool)
+    alive_mask[alive] = True
+    alive_mask[record.absorbed] = False
+    new_alive = np.flatnonzero(alive_mask).astype(np.int64)
+    return new_alive, new_succ, new_len, record
+
+
 def fill_back(
     runtime: AMPCRuntime,
     history: list[AbsorbRound],
@@ -249,6 +355,7 @@ def fill_back(
     *,
     additive: bool,
     tag: str = "fill-back",
+    vectorized: bool = False,
 ) -> dict[int, float]:
     """Propagate per-element values from survivors to absorbed elements.
 
@@ -265,11 +372,21 @@ def fill_back(
             derivable level by level; survivors of the final round seed it).
         additive: add the stored offset (rank semantics) or copy (labels).
         tag: ledger label prefix.
+        vectorized: run each level on the batch engine; identical values
+            and ledger (per-machine reads are ``block size + distinct
+            absorbers on the machine`` either way — the scalar path's read
+            cache deduplicates absorber reads, the batch path deduplicates
+            them explicitly). Falls back to the scalar path on runtimes
+            that are not ``batch_capable``.
 
     Returns:
         dict mapping every element ever absorbed (plus the seeds) to its
         value.
     """
+    if vectorized and runtime.batch_capable:
+        return _fill_back_batch(
+            runtime, history, values, additive=additive, tag=tag
+        )
     out = dict(values)
     for level in range(len(history) - 1, -1, -1):
         record = history[level]
@@ -304,4 +421,72 @@ def fill_back(
         )
         for u, value in zip(record.absorbed.tolist(), result.results):
             out[int(u)] = value
+    return out
+
+
+def _fill_back_batch(
+    runtime: AMPCRuntime,
+    history: list[AbsorbRound],
+    values: dict[int, float],
+    *,
+    additive: bool,
+    tag: str,
+) -> dict[int, float]:
+    """Vectorized :func:`fill_back` (per-machine block workers)."""
+    out = dict(values)
+    top = -1
+    for record in history:
+        if record.absorbed.size:
+            top = max(top, int(record.absorbed.max()), int(record.absorber.max()))
+    for element in out:
+        top = max(top, int(element))
+    # Dense value table over the id universe: absorbed/absorber ids are
+    # element ids, so the table is O(n) — the coordinator already holds
+    # O(n) state (succ arrays, history) in both paths.
+    val_arr = np.zeros(top + 1, dtype=np.float64)
+    have = np.zeros(top + 1, dtype=bool)
+    for element, value in out.items():
+        val_arr[element] = value
+        have[element] = True
+
+    for level in range(len(history) - 1, -1, -1):
+        record = history[level]
+        if record.absorbed.size == 0:
+            runtime.charge(f"{tag}:{level}", rounds=1)
+            continue
+        needed = np.unique(record.absorber)
+        known = have[needed]
+        if not known.all():
+            # The scalar path hits out[element] at setup time; keep the
+            # same error type for the same corrupted-history condition.
+            raise KeyError(int(needed[~known][0]))
+        setup_arrays = [
+            ("val", needed, val_arr[needed]),
+            (
+                "abs",
+                record.absorbed,
+                np.column_stack(
+                    (record.absorber.astype(np.float64), record.offset)
+                ),
+            ),
+        ]
+
+        def worker(ctx, block):
+            data = ctx.read_array("abs", block, fill=0.0)
+            absorbers = data[:, 0].astype(np.int64)
+            # One charged read per distinct absorber on this machine —
+            # exactly what the scalar path's read cache charges.
+            uniq = np.unique(absorbers)
+            base = ctx.read_array("val", uniq, fill=0.0)
+            base = base[np.searchsorted(uniq, absorbers)]
+            return base + data[:, 1] if additive else base
+
+        result = runtime.round_batch(
+            record.absorbed, worker, setup_arrays=setup_arrays,
+            tag=f"{tag}:{level}",
+        )
+        new_vals = np.asarray(result.results, dtype=np.float64)
+        val_arr[record.absorbed] = new_vals
+        have[record.absorbed] = True
+        out.update(zip(record.absorbed.tolist(), new_vals.tolist()))
     return out

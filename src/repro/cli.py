@@ -10,7 +10,7 @@ Usage::
     python -m repro two-cycle cycles.txt
     python -m repro bc graph.txt              # bridges / articulation / 2ecc
     python -m repro chaos connectivity graph.txt --crash 0.2 --outage 0.1
-    python -m repro verify --smoke [--chaos] [--json report.json]
+    python -m repro verify --smoke [--chaos] [--vectorized] [--json report.json]
     python -m repro generate er 1000 3000 out.txt [--seed 0]
 
 Every run prints the result summary followed by the per-round cost
@@ -103,6 +103,10 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--chaos", action="store_true",
                         help="also replay chaos-capable algorithms under "
                              "the default fault plan")
+    verify.add_argument("--vectorized", action="store_true",
+                        help="run algorithms with a batch-engine variant "
+                             "on the vectorized execution path (same "
+                             "oracles, invariants, and ledger contract)")
     verify.add_argument("--balance-slack", type=float, default=4.0,
                         help="constant factor over the Lemma 2.1 balance "
                              "bound (default 4.0)")
@@ -196,6 +200,7 @@ def _verify(args) -> int:
         size=args.size,
         smoke=args.smoke,
         chaos=args.chaos,
+        vectorized=args.vectorized,
         balance_slack=args.balance_slack,
         progress=None if args.quiet else progress,
     )

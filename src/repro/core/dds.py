@@ -20,7 +20,7 @@ Lemma 2.1 contention analysis.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterable, Iterator
+from typing import Any, Hashable, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -30,7 +30,156 @@ from .errors import (
     StoreSealedError,
     ValueSizeError,
 )
-from .partition import replica_servers, server_of
+from .partition import replica_servers, server_of, server_of_array
+
+
+def _batch_keys(parts: Sequence[Any]) -> Iterator[tuple]:
+    """Materialize the tuple keys of a column-decomposed key batch.
+
+    ``parts`` mixes scalar components (shared by all keys) with equal-length
+    arrays of per-key components — the same layout
+    :func:`repro.core.partition.key_hash_array` consumes.
+    """
+    length = None
+    for part in parts:
+        if isinstance(part, np.ndarray):
+            length = part.size
+            break
+    if length is None:
+        raise ValueError("key batch needs at least one array component")
+    columns = [
+        part.tolist() if isinstance(part, np.ndarray) else [part] * length
+        for part in parts
+    ]
+    return zip(*columns)
+
+
+class _Column:
+    """Columnar storage for one namespace of (id -> value) pairs.
+
+    Append-only chunks of parallel int64-id / value arrays; a sorted index
+    is built lazily on first lookup (i.e. after the store seals). Duplicate
+    ids keep every row — bucket semantics — and a plain lookup returns the
+    first-written row, matching the scalar store's duplicate-key rule.
+    """
+
+    __slots__ = (
+        "width",
+        "dtype",
+        "rows",
+        "_id_chunks",
+        "_value_chunks",
+        "_ids",
+        "_values",
+        "_order",
+        "_sorted_ids",
+        "_n_distinct",
+    )
+
+    def __init__(self, width: int, dtype: np.dtype) -> None:
+        self.width = width
+        self.dtype = dtype
+        self.rows = 0
+        self._id_chunks: list[np.ndarray] = []
+        self._value_chunks: list[np.ndarray] = []
+        self._ids: np.ndarray | None = None
+        self._values: np.ndarray | None = None
+        self._order: np.ndarray | None = None
+        self._sorted_ids: np.ndarray | None = None
+        self._n_distinct = 0
+
+    def append(self, ids: np.ndarray, values: np.ndarray) -> None:
+        width = 1 if values.ndim == 1 else values.shape[1]
+        if width != self.width or values.dtype != self.dtype:
+            raise ValueError(
+                f"namespace value layout changed: expected width {self.width} "
+                f"dtype {self.dtype}, got width {width} dtype {values.dtype}"
+            )
+        self._id_chunks.append(np.array(ids, copy=True))
+        self._value_chunks.append(np.array(values, copy=True))
+        self.rows += ids.size
+        self._ids = self._values = self._order = self._sorted_ids = None
+
+    def _materialized(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._ids is None:
+            if len(self._id_chunks) == 1:
+                self._ids = self._id_chunks[0]
+                self._values = self._value_chunks[0]
+            else:
+                self._ids = np.concatenate(self._id_chunks)
+                self._values = np.concatenate(self._value_chunks)
+        return self._ids, self._values
+
+    def _indexed(self) -> None:
+        if self._order is None:
+            ids, _ = self._materialized()
+            # Stable sort: among duplicate ids, sorted order preserves write
+            # order, so the first sorted occurrence is the first write.
+            self._order = np.argsort(ids, kind="stable")
+            self._sorted_ids = ids[self._order]
+            if self.rows:
+                self._n_distinct = (
+                    int(np.count_nonzero(np.diff(self._sorted_ids))) + 1
+                )
+            else:
+                self._n_distinct = 0
+
+    @property
+    def n_distinct(self) -> int:
+        self._indexed()
+        return self._n_distinct
+
+    def lookup(self, ids: np.ndarray, fill: Any) -> tuple[np.ndarray, np.ndarray]:
+        """First-written value per id, ``fill`` where absent; plus hit mask."""
+        k = ids.size
+        shape = k if self.width == 1 else (k, self.width)
+        if self.rows == 0:
+            return np.full(shape, fill, dtype=self.dtype), np.zeros(k, bool)
+        self._indexed()
+        pos = np.searchsorted(self._sorted_ids, ids)
+        safe = np.minimum(pos, self.rows - 1)
+        found = self._sorted_ids[safe] == ids
+        out = np.full(shape, fill, dtype=self.dtype)
+        _, values = self._materialized()
+        out[found] = values[self._order[safe[found]]]
+        return out, found
+
+    def _span(self, id_: int) -> tuple[int, int]:
+        self._indexed()
+        lo = int(np.searchsorted(self._sorted_ids, id_, side="left"))
+        hi = int(np.searchsorted(self._sorted_ids, id_, side="right"))
+        return lo, hi
+
+    def count(self, id_: int) -> int:
+        if self.rows == 0:
+            return 0
+        lo, hi = self._span(id_)
+        return hi - lo
+
+    def value_at(self, id_: int, index: int) -> Any:
+        """The ``index``-th (1-based, write-order) value of ``id_``, or None."""
+        if self.rows == 0:
+            return None
+        lo, hi = self._span(id_)
+        if index > hi - lo:
+            return None
+        _, values = self._materialized()
+        row = int(self._order[lo + index - 1])
+        return self._scalar(values, row)
+
+    def _scalar(self, values: np.ndarray, row: int) -> Any:
+        if self.width == 1:
+            return values[row].item()
+        return tuple(values[row].tolist())
+
+    def write_order(self) -> tuple[np.ndarray, np.ndarray]:
+        """(ids, values) in write order — views, do not mutate."""
+        return self._materialized()
+
+    def iter_pairs(self) -> Iterator[tuple[int, Any]]:
+        ids, values = self._materialized()
+        for row in range(self.rows):
+            yield int(ids[row]), self._scalar(values, row)
 
 
 def value_words(value: Any) -> int:
@@ -68,6 +217,7 @@ class DistributedDataStore:
         "track_contention",
         "observer",
         "_data",
+        "_columns",
         "_sealed",
         "_server_reads",
         "_server_items",
@@ -91,6 +241,10 @@ class DistributedDataStore:
         self.max_words = max_words
         self.track_contention = track_contention
         self._data: dict[Hashable, Any] = {}
+        # Columnar twin of _data for the vectorized path: namespace ->
+        # arrays of (id, value) rows, keyed exactly like the tuple keys
+        # (namespace, id) of the scalar path (same hash, same placement).
+        self._columns: dict[str, _Column] = {}
         # key -> owning server, filled at write time so reads don't
         # re-hash (profiling showed per-read hashing dominating).
         self._server_map: dict[Hashable, int] = {}
@@ -124,6 +278,16 @@ class DistributedDataStore:
     def _serve_read(self, key: Hashable) -> None:
         """Attribute one read to the server answering it."""
         self._server_reads[self._owner_of(key)] += 1
+
+    def _place_write_array(self, namespace: str, ids: np.ndarray) -> None:
+        """Batch :meth:`_place_write`: one hash sweep, bincount histogram."""
+        servers = server_of_array([namespace, ids], self.n_servers, self.seed)
+        self._server_items += np.bincount(servers, minlength=self.n_servers)
+
+    def _serve_read_array(self, parts: Sequence[Any]) -> None:
+        """Batch :meth:`_serve_read` over column-decomposed keys."""
+        servers = server_of_array(parts, self.n_servers, self.seed)
+        self._server_reads += np.bincount(servers, minlength=self.n_servers)
 
     # -- write side (open during round i) ---------------------------------
 
@@ -170,6 +334,57 @@ class DistributedDataStore:
             count += 1
         return count
 
+    def write_array(
+        self, namespace: str, ids: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Columnar bulk write: pair ``(namespace, ids[i]) -> values[i]``.
+
+        Semantically identical to ``write((namespace, int(ids[i])), v_i)``
+        for every row — same key hash, same per-server placement histogram,
+        same duplicate-key bucket semantics, same seal discipline — but the
+        whole batch is placed with one vectorized hash sweep and one
+        ``np.bincount``. ``values`` is 1-D (one word per value) or 2-D with
+        ``values.shape[1]`` words per value. Mixing scalar ``write`` and
+        ``write_array`` on the *same* (namespace, id) key leaves the
+        duplicate ordering between the two paths unspecified.
+        """
+        if self._sealed:
+            raise StoreSealedError(
+                f"store D_{self.round_index} is sealed; writes belong to the "
+                f"next round's store"
+            )
+        if not isinstance(namespace, str):
+            raise TypeError(
+                f"write_array namespaces must be str, got {type(namespace).__name__}"
+            )
+        ids = np.asarray(ids, dtype=np.int64)
+        values = np.asarray(values)
+        if ids.ndim != 1:
+            raise ValueError(f"ids must be 1-D, got shape {ids.shape}")
+        if values.ndim not in (1, 2) or len(values) != ids.size:
+            raise ValueError(
+                f"values must be 1-D or 2-D with {ids.size} rows, "
+                f"got shape {values.shape}"
+            )
+        width = 1 if values.ndim == 1 else values.shape[1]
+        if 2 > self.max_words:
+            raise ValueSizeError(
+                f"key exceeds {self.max_words} words: ({namespace!r}, id)"
+            )
+        if width > self.max_words:
+            raise ValueSizeError(
+                f"values exceed {self.max_words} words: width {width}"
+            )
+        column = self._columns.get(namespace)
+        if column is None:
+            column = self._columns[namespace] = _Column(width, values.dtype)
+        column.append(ids, values)
+        self.n_writes += ids.size
+        if self.track_contention:
+            self._place_write_array(namespace, ids)
+        if self.observer is not None:
+            self.observer.on_store_write_batch(self, namespace, ids)
+
     def seal(self) -> None:
         """Freeze the store; from now on it is read-only (round boundary)."""
         self._sealed = True
@@ -197,7 +412,102 @@ class DistributedDataStore:
         found = self._data.get(key)
         if isinstance(found, _Bucket):
             return found.values[0]
+        if found is None and self._columns:
+            column = self._column_for(key)
+            if column is not None:
+                return column.value_at(int(key[1]), 1)
         return found
+
+    def read_array(
+        self,
+        namespace: str,
+        ids: np.ndarray,
+        *,
+        fill: Any = 0,
+        return_found: bool = False,
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """Columnar bulk read: first-written value per ``(namespace, id)``.
+
+        Charges exactly like ``ids.size`` scalar :meth:`get` calls — the
+        read counter and the per-server read-load histogram advance by the
+        same amounts on the same servers — but the batch is routed with one
+        vectorized hash sweep. Missing ids yield ``fill`` (which must be
+        castable to the namespace's value dtype); pass
+        ``return_found=True`` to also get the hit mask.
+        """
+        if not self._sealed:
+            raise StoreNotSealedError(
+                f"store D_{self.round_index} is still being written; it must "
+                f"be sealed before reads"
+            )
+        ids = np.asarray(ids, dtype=np.int64)
+        self.n_reads += ids.size
+        if self._route_reads:
+            self._serve_read_array([namespace, ids])
+        if self.observer is not None:
+            self.observer.on_store_read_batch(self, namespace, ids)
+        column = self._columns.get(namespace)
+        if column is None:
+            out = np.full(ids.size, fill)
+            found = np.zeros(ids.size, bool)
+        else:
+            out, found = column.lookup(ids, fill)
+        if return_found:
+            return out, found
+        return out
+
+    def serve_reads_array(self, parts: Sequence[Any]) -> None:
+        """Charge a batch of reads without fetching values.
+
+        ``parts`` is a column-decomposed key batch (scalars shared across
+        keys, arrays per-key) — e.g. ``["adj", us, slots]`` for keys
+        ``("adj", u, slot)``. Advances the read counter and per-server
+        loads exactly as individual :meth:`get` calls on those keys would;
+        used by workers that recompute values locally (replayed reads) but
+        must still pay and attribute the model's read cost.
+        """
+        length = 0
+        for part in parts:
+            if isinstance(part, np.ndarray):
+                length = part.size
+                break
+        if not self._sealed:
+            raise StoreNotSealedError(
+                f"store D_{self.round_index} is still being written; it must "
+                f"be sealed before reads"
+            )
+        self.n_reads += length
+        if length and self._route_reads:
+            self._serve_read_array(parts)
+        if length and self.observer is not None:
+            first_array = next(p for p in parts if isinstance(p, np.ndarray))
+            self.observer.on_store_read_batch(self, parts[0], first_array)
+
+    def read_namespace(self, namespace: str) -> tuple[np.ndarray, np.ndarray]:
+        """Coordinator-side bulk collection of one columnar namespace.
+
+        Returns (ids, values) in write order, duplicates included —
+        the batch analogue of scanning :meth:`items` for a namespace.
+        Uncharged, like :meth:`items`: callers that model machine-side
+        collection must charge reads through the runtime. Only rows
+        written via :meth:`write_array` appear.
+        """
+        column = self._columns.get(namespace)
+        if column is None:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        ids, values = column.write_order()
+        return ids, values
+
+    def _column_for(self, key: Hashable) -> _Column | None:
+        """The column holding ``key`` if it is a batch-style (str, int) key."""
+        if (
+            type(key) is tuple
+            and len(key) == 2
+            and isinstance(key[0], str)
+            and isinstance(key[1], (int, np.integer))
+        ):
+            return self._columns.get(key[0])
+        return None
 
     def get_indexed(self, key: Hashable, index: int) -> Any:
         """Query the ``index``-th (1-based) pair with this key, or None.
@@ -217,6 +527,10 @@ class DistributedDataStore:
             self.observer.on_store_read(self, key)
         found = self._data.get(key)
         if found is None:
+            if self._columns:
+                column = self._column_for(key)
+                if column is not None:
+                    return column.value_at(int(key[1]), index)
             return None
         if isinstance(found, _Bucket):
             return found.values[index - 1] if index <= len(found.values) else None
@@ -232,17 +546,30 @@ class DistributedDataStore:
         """
         found = self._data.get(key)
         if found is None:
+            if self._columns:
+                column = self._column_for(key)
+                if column is not None:
+                    return column.count(int(key[1]))
             return 0
         if isinstance(found, _Bucket):
             return len(found.values)
         return 1
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        if key in self._data:
+            return True
+        if self._columns:
+            column = self._column_for(key)
+            if column is not None:
+                return column.count(int(key[1])) > 0
+        return False
 
     def __len__(self) -> int:
         """Number of distinct keys stored."""
-        return len(self._data)
+        total = len(self._data)
+        for column in self._columns.values():
+            total += column.n_distinct
+        return total
 
     @property
     def n_pairs(self) -> int:
@@ -261,6 +588,9 @@ class DistributedDataStore:
                     yield key, v
             else:
                 yield key, value
+        for namespace, column in self._columns.items():
+            for id_, value in column.iter_pairs():
+                yield (namespace, id_), value
 
     # -- contention accounting (Lemma 2.1) --------------------------------
 
@@ -362,6 +692,19 @@ class ReplicatedDataStore(DistributedDataStore):
     def _place_write(self, key: Hashable) -> None:
         for server in self.replicas_of(key):
             self._server_items[server] += 1
+
+    def _place_write_array(self, namespace: str, ids: np.ndarray) -> None:
+        # Replication placement is per-key (distinct-replica search), so
+        # the batch degrades to the scalar loop; replicated stores exist
+        # for the chaos path, which the vectorized engine opts out of.
+        for key in _batch_keys([namespace, ids]):
+            self._place_write(key)
+
+    def _serve_read_array(self, parts: Sequence[Any]) -> None:
+        # Per-key failover (outage probing, injector hooks) cannot be
+        # expressed as a bincount; replay the batch through _serve_read.
+        for key in _batch_keys(parts):
+            self._serve_read(key)
 
     def _serve_read(self, key: Hashable) -> None:
         replicas = self.replicas_of(key)

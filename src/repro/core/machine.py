@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import Any, Hashable, Iterable
 
+import numpy as np
+
 from .config import AMPCConfig
 from .dds import DistributedDataStore
 from .errors import AdaptivityError, BudgetExceededError, MachineCrash
@@ -124,6 +126,67 @@ class MachineContext:
         """Batch :meth:`read`; one query per (uncached) key."""
         return [self.read(key) for key in keys]
 
+    def read_array(
+        self,
+        namespace: str,
+        ids: np.ndarray,
+        *,
+        fill: Any = 0,
+        return_found: bool = False,
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """Columnar batch read of ``(namespace, ids[i])`` keys.
+
+        Charges ``len(ids)`` reads in one budget check — the same O(S)
+        budget scalar reads consume one at a time — and attributes each
+        read to its owning server exactly as scalar reads would. Unlike
+        :meth:`read`, results are NOT cached: callers are expected to
+        deduplicate their own batches (pass each needed key once), which
+        is what model assumption 4 grants for free anyway. Missing ids
+        yield ``fill``.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size:
+            self._charge_read(ids.size)
+        if self.observer is not None:
+            self.observer.on_machine_read_batch(self, namespace, ids)
+        return self._prev.read_array(
+            namespace, ids, fill=fill, return_found=return_found
+        )
+
+    def charge_read_array(self, namespace: str, *columns: np.ndarray) -> None:
+        """Charge a batch of adaptive reads whose values are replayed locally.
+
+        ``columns`` are the per-key components after ``namespace`` — e.g.
+        ``charge_read_array("adj", us, slots)`` charges reads of keys
+        ``("adj", u, slot)``. Budgets and per-server attribution advance
+        exactly as if each key were read with :meth:`read` (uncached); no
+        values are returned. For workers that recompute round inputs from
+        coordinator-held arrays but must still pay the model's read cost.
+        """
+        if not columns or columns[0].size == 0:
+            return
+        self._charge_read(columns[0].size)
+        if self.observer is not None:
+            self.observer.on_machine_read_batch(self, namespace, columns[0])
+        self._prev.serve_reads_array([namespace, *columns])
+
+    def write_array(
+        self, namespace: str, ids: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Columnar batch write of ``(namespace, ids[i]) -> values[i]``.
+
+        Charges ``len(ids)`` writes in one budget check; placement and
+        duplicate-key semantics match scalar :meth:`write` of the same
+        tuple keys.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size == 0:
+            return
+        self._charge_write(ids.size)
+        if self.observer is not None:
+            self.observer.on_machine_write_batch(self, namespace, ids)
+        self._next.write_array(namespace, ids, values)
+
     # -- writes (into D_i, visible next round) -----------------------------
 
     def write(self, key: Hashable, value: Any) -> None:
@@ -204,6 +267,28 @@ class TransactionalContextMixin:
             self.observer.on_machine_write(self, key)
         self.buffered_writes.append((key, value))
 
+    def read_array(self, namespace: str, ids: np.ndarray, **kwargs: Any) -> Any:
+        if self.crash_at is not None and self.reads_used >= self.crash_at:
+            raise MachineCrash(self.machine_id, self.reads_used)
+        return super().read_array(namespace, ids, **kwargs)
+
+    def charge_read_array(self, namespace: str, *columns: np.ndarray) -> None:
+        if self.crash_at is not None and self.reads_used >= self.crash_at:
+            raise MachineCrash(self.machine_id, self.reads_used)
+        super().charge_read_array(namespace, *columns)
+
+    def write_array(
+        self, namespace: str, ids: np.ndarray, values: np.ndarray
+    ) -> None:
+        # Rollback granularity is per buffered pair; a columnar write would
+        # need its own undo bookkeeping. The vectorized engine checks
+        # runtime.batch_capable and stays on the scalar path under fault
+        # injection, so this is a guard, not a code path.
+        raise NotImplementedError(
+            "batch writes are not supported on transactional (fault-injected) "
+            "contexts; run with vectorized=False under fault injection"
+        )
+
     def commit(self) -> None:
         for key, value in self.buffered_writes:
             self._next.write(key, value)
@@ -275,3 +360,15 @@ class MPCMachineContext(MachineContext):
                 f"{key!r}; MPC machines may only read their own inbox"
             )
         return super().read_indexed(key, index)
+
+    def read_array(self, namespace: str, ids: np.ndarray, **kwargs: Any) -> Any:
+        raise AdaptivityError(
+            f"MPC machine {self.machine_id} attempted batch adaptive reads "
+            f"of {namespace!r} keys; MPC machines may only read their own inbox"
+        )
+
+    def charge_read_array(self, namespace: str, *columns: np.ndarray) -> None:
+        raise AdaptivityError(
+            f"MPC machine {self.machine_id} attempted batch adaptive reads "
+            f"of {namespace!r} keys; MPC machines may only read their own inbox"
+        )

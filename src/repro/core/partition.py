@@ -13,12 +13,21 @@ Keys are scalars or flat tuples of ``int`` / ``str`` / ``bytes`` / ``float``.
 from __future__ import annotations
 
 import zlib
-from typing import Hashable
+from typing import Hashable, Sequence
 
 import numpy as np
 
 _MASK64 = (1 << 64) - 1
 _GOLDEN = 0x9E3779B97F4A7C15
+_MULT1 = 0xBF58476D1CE4E5B9
+_MULT2 = 0x94D049BB133111EB
+
+# Memoized string-component mixes: algorithms hash the same handful of
+# namespace strings ("succ", "deg", "adj", ...) on every single read, and
+# the crc32 + splitmix of those strings showed up in read-path profiles.
+# Bounded so adversarial key streams cannot grow it without limit.
+_STR_MIX_CACHE: dict[str, int] = {}
+_STR_MIX_CACHE_MAX = 1 << 16
 
 
 def splitmix64(x: int) -> int:
@@ -29,9 +38,26 @@ def splitmix64(x: int) -> int:
     expectations reproducible.
     """
     x = (x + _GOLDEN) & _MASK64
-    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
-    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    x = ((x ^ (x >> 30)) * _MULT1) & _MASK64
+    x = ((x ^ (x >> 27)) * _MULT2) & _MASK64
     return (x ^ (x >> 31)) & _MASK64
+
+
+def splitmix64_array(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`splitmix64` over an integer array.
+
+    Bit-exact parity with the scalar mixer: for any int64/uint64 array
+    ``a``, ``splitmix64_array(a)[i] == splitmix64(int(a[i]) & 2**64-1)``.
+    Signed inputs are reinterpreted as their two's-complement uint64
+    values, matching the scalar path's ``& _MASK64``.
+    """
+    x = x.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        x += np.uint64(_GOLDEN)
+        x = (x ^ (x >> np.uint64(30))) * np.uint64(_MULT1)
+        x = (x ^ (x >> np.uint64(27))) * np.uint64(_MULT2)
+        x ^= x >> np.uint64(31)
+    return x
 
 
 def _mix_part(part: Hashable) -> int:
@@ -39,7 +65,12 @@ def _mix_part(part: Hashable) -> int:
     if isinstance(part, (int, np.integer)):
         return splitmix64(int(part) & _MASK64)
     if isinstance(part, str):
-        return splitmix64(zlib.crc32(part.encode("utf-8")))
+        mixed = _STR_MIX_CACHE.get(part)
+        if mixed is None:
+            mixed = splitmix64(zlib.crc32(part.encode("utf-8")))
+            if len(_STR_MIX_CACHE) < _STR_MIX_CACHE_MAX:
+                _STR_MIX_CACHE[part] = mixed
+        return mixed
     if isinstance(part, bytes):
         return splitmix64(zlib.crc32(part))
     if isinstance(part, (float, np.floating)):
@@ -71,6 +102,45 @@ def key_hash(key: Hashable, seed: int = 0) -> int:
 def server_of(key: Hashable, n_servers: int, seed: int = 0) -> int:
     """The DDS server responsible for ``key`` (paper §2.1, assumption 3)."""
     return key_hash(key, seed) % n_servers
+
+
+def key_hash_array(
+    parts: Sequence[Hashable | np.ndarray], seed: int = 0
+) -> np.ndarray:
+    """Vectorized :func:`key_hash` over column-decomposed keys.
+
+    ``parts`` is the key laid out column-wise: each entry is either a
+    scalar component shared by every key (e.g. a namespace string) or an
+    int64 array of per-key components. All array entries must share one
+    length ``k``; the result is a uint64 array ``h`` with ``h[i] ==
+    key_hash(tuple(part_i for part in parts), seed)`` — and, for a single
+    array entry, ``h[i] == key_hash(int(ids[i]), seed)``, since scalar
+    ``key_hash`` mixes a 1-tuple and a bare scalar identically.
+    """
+    h: np.ndarray | np.uint64 = np.uint64(splitmix64(seed & _MASK64))
+    for part in parts:
+        if isinstance(part, np.ndarray):
+            mixed: np.ndarray | np.uint64 = splitmix64_array(part)
+        else:
+            mixed = np.uint64(_mix_part(part))
+        h = splitmix64_array(np.asarray(h ^ mixed, dtype=np.uint64))
+        if h.ndim == 0:
+            h = np.uint64(h)
+    if not isinstance(h, np.ndarray) or h.ndim == 0:
+        raise ValueError("key_hash_array needs at least one array component")
+    return h
+
+
+def server_of_array(
+    parts: Sequence[Hashable | np.ndarray], n_servers: int, seed: int = 0
+) -> np.ndarray:
+    """Vectorized :func:`server_of`: one server id per decomposed key.
+
+    Elementwise identical to calling ``server_of`` on each materialized
+    key tuple (property-tested); used by the columnar DDS path to place
+    whole key arrays with one hash sweep instead of per-key mixing.
+    """
+    return (key_hash_array(parts, seed) % np.uint64(n_servers)).astype(np.int64)
 
 
 def replica_servers(

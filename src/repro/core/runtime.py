@@ -41,7 +41,7 @@ import numpy as np
 from .config import AMPCConfig
 from .cost import RoundStats, RunReport
 from .dds import DistributedDataStore
-from .errors import RoundProtocolError
+from .errors import BudgetExceededError, RoundProtocolError
 from .machine import MachineContext, MPCMachineContext
 from .partition import machine_of, partition_items
 
@@ -107,6 +107,33 @@ class _ObserverFan:
     def on_machine_write(self, ctx: MachineContext, key: Hashable) -> None:
         for obs in self.observers:
             obs.on_machine_write(ctx, key)
+
+    # Batch hooks (vectorized path): one event per array operation, so the
+    # observer cost stays O(1) per batch rather than O(batch size).
+
+    def on_store_write_batch(
+        self, store: DistributedDataStore, namespace: str, ids: np.ndarray
+    ) -> None:
+        for obs in self.observers:
+            obs.on_store_write_batch(store, namespace, ids)
+
+    def on_store_read_batch(
+        self, store: DistributedDataStore, namespace: str, ids: np.ndarray
+    ) -> None:
+        for obs in self.observers:
+            obs.on_store_read_batch(store, namespace, ids)
+
+    def on_machine_read_batch(
+        self, ctx: Any, namespace: str, ids: np.ndarray
+    ) -> None:
+        for obs in self.observers:
+            obs.on_machine_read_batch(ctx, namespace, ids)
+
+    def on_machine_write_batch(
+        self, ctx: Any, namespace: str, ids: np.ndarray
+    ) -> None:
+        for obs in self.observers:
+            obs.on_machine_write_batch(ctx, namespace, ids)
 
 
 class AMPCRuntime:
@@ -306,19 +333,30 @@ class AMPCRuntime:
         if worker is not None and work is not None:
             assignment = self._assign(work, item_key)
             results = [None] * len(work)
-            # Group by machine so each machine's items run consecutively
-            # against one shared read cache, matching the model: a machine
-            # processes all items it was assigned within the round.
-            order = np.argsort(assignment, kind="stable")
-            for idx in order:
-                item = work[int(idx)]
-                ctx = ctx_for(int(assignment[int(idx)]))
-                out = worker(ctx, item)
-                results[int(idx)] = out
-                if out is not None:
-                    # Publishing the result for the driver / next round
-                    # costs one write in a real deployment.
-                    ctx._charge_write(1)
+            if self.config.n_machines == 1:
+                # Unit-machine deployments: every item lands on machine 0,
+                # so the argsort grouping and index boxing below are pure
+                # interpreter overhead.
+                ctx = ctx_for(0)
+                for i, item in enumerate(work):
+                    out = worker(ctx, item)
+                    results[i] = out
+                    if out is not None:
+                        ctx._charge_write(1)
+            else:
+                # Group by machine so each machine's items run consecutively
+                # against one shared read cache, matching the model: a machine
+                # processes all items it was assigned within the round.
+                order = np.argsort(assignment, kind="stable")
+                for idx in order:
+                    item = work[int(idx)]
+                    ctx = ctx_for(int(assignment[int(idx)]))
+                    out = worker(ctx, item)
+                    results[int(idx)] = out
+                    if out is not None:
+                        # Publishing the result for the driver / next round
+                        # costs one write in a real deployment.
+                        ctx._charge_write(1)
         elif per_machine is not None:
             ids = range(self.config.n_machines) if machines is None else machines
             for mid in ids:
@@ -349,6 +387,190 @@ class AMPCRuntime:
         for obs in self.observers:
             obs.on_round_end(
                 self, stats, list(contexts.values()), read_store, next_store
+            )
+        return RoundResult(results=results, store=next_store, stats=stats)
+
+    # ------------------------------------------------------------------
+    # vectorized rounds
+    # ------------------------------------------------------------------
+
+    @property
+    def batch_capable(self) -> bool:
+        """Whether :meth:`round_batch` preserves this runtime's semantics.
+
+        True only when machines run the plain
+        :class:`~repro.core.machine.MachineContext`. Fault-injecting /
+        chaos runtimes (crash points, buffered transactional writes) and
+        MPC runtimes substitute their own context classes and opt out;
+        algorithms offering ``vectorized=True`` check this flag and fall
+        back to the scalar path, so chaos replays stay bit-faithful.
+        """
+        return self.machine_context_cls is MachineContext
+
+    def round_batch(
+        self,
+        work: np.ndarray,
+        worker: Callable[..., Any],
+        *,
+        setup: Pairs | None = None,
+        setup_arrays: Sequence[tuple[str, np.ndarray, np.ndarray]] | None = None,
+        fused: bool = False,
+        tag: str = "round",
+    ) -> "RoundResult":
+        """Execute one AMPC round on the vectorized engine.
+
+        The model contract is the scalar :meth:`round`'s, with integer work
+        items and array-shaped results: items are assigned to machines by
+        the *same* seeded hash (so scalar and batch runs agree on
+        placement), per-machine O(S) budgets are charged for every read and
+        write, every result publication costs one write, and the new store
+        seals at the round boundary.
+
+        Args:
+            work: 1-D integer array of work items.
+            worker: with ``fused=False`` (default), called once per active
+                machine as ``worker(ctx, block)`` where ``ctx`` is a
+                :class:`~repro.core.machine.MachineContext` and ``block``
+                the machine's items; must return None or an array (or tuple
+                of arrays) with one row per block item — rows are scattered
+                back into work order and each is charged one publication
+                write. With ``fused=True``, called once as ``worker(gctx)``
+                with a :class:`BatchRoundContext` advancing all machines in
+                lockstep; must return None or (a tuple of) arrays with one
+                row per work item.
+            setup: scalar key-value pairs readable this round (as in
+                :meth:`round`).
+            setup_arrays: columnar setup — (namespace, ids, values) triples
+                bulk-written into the readable store, charged like
+                ``setup`` pairs.
+            tag: label for the cost ledger.
+        """
+        start = time.perf_counter()
+        work = np.asarray(work)
+        if work.dtype.kind not in "iu":
+            raise RoundProtocolError(
+                f"round_batch work must be an integer array, got dtype "
+                f"{work.dtype}"
+            )
+        work = work.astype(np.int64, copy=False)
+        if work.ndim != 1:
+            raise RoundProtocolError(
+                f"round_batch work must be 1-D, got shape {work.shape}"
+            )
+        n_items = work.size
+
+        setup_writes = 0
+        if setup is not None or setup_arrays is not None:
+            read_store = self._new_store()
+            if setup is not None:
+                setup_writes += read_store.write_many(setup)
+            if setup_arrays is not None:
+                for namespace, ids, values in setup_arrays:
+                    ids = np.asarray(ids, dtype=np.int64)
+                    read_store.write_array(namespace, ids, values)
+                    setup_writes += ids.size
+            read_store.seal()
+        else:
+            read_store = self._store
+            if read_store is None:
+                read_store = self._new_store()
+                read_store.seal()
+        next_store = self._new_store()
+        for obs in self.observers:
+            obs.on_round_start(self, read_store, next_store)
+
+        assignment = self._assign(work, None)
+        results: Any = None
+        if fused:
+            gctx = BatchRoundContext(
+                self.config, read_store, next_store, work, assignment,
+                self._fan,
+            )
+            out = worker(gctx) if n_items else None
+            if out is not None:
+                for col in out if isinstance(out, tuple) else (out,):
+                    if len(col) != n_items:
+                        raise RoundProtocolError(
+                            f"fused round_batch worker returned {len(col)} "
+                            f"rows for {n_items} work items"
+                        )
+                # Publishing each item's result costs one write, exactly
+                # like the scalar path's +1 per non-None worker return.
+                gctx.charge_publications()
+            results = out
+            ledger_contexts: list[Any] = gctx.ledgers()
+        else:
+            contexts: dict[int, MachineContext] = {}
+            out_arrays: list[np.ndarray] | None = None
+            tuple_out = False
+            silent_blocks = 0
+            if n_items:
+                if self.config.n_machines == 1:
+                    groups = [(0, np.arange(n_items))]
+                else:
+                    order = np.argsort(assignment, kind="stable")
+                    sorted_assign = assignment[order]
+                    cuts = np.flatnonzero(np.diff(sorted_assign)) + 1
+                    starts = np.concatenate(([0], cuts))
+                    ends = np.concatenate((cuts, [n_items]))
+                    groups = [
+                        (int(sorted_assign[s]), order[s:e])
+                        for s, e in zip(starts, ends)
+                    ]
+                for mid, idx in groups:
+                    ctx = self.machine_context_cls(
+                        mid, self.config, read_store, next_store
+                    )
+                    ctx.observer = self._fan
+                    contexts[mid] = ctx
+                    out = ctx_out = worker(ctx, work[idx])
+                    if out is None:
+                        silent_blocks += 1
+                        continue
+                    cols = out if isinstance(out, tuple) else (out,)
+                    cols = [np.asarray(c) for c in cols]
+                    for col in cols:
+                        if len(col) != idx.size:
+                            raise RoundProtocolError(
+                                f"round_batch worker returned {len(col)} rows "
+                                f"for a block of {idx.size} items"
+                            )
+                    if out_arrays is None:
+                        tuple_out = isinstance(ctx_out, tuple)
+                        out_arrays = [
+                            np.empty((n_items,) + col.shape[1:], dtype=col.dtype)
+                            for col in cols
+                        ]
+                    for dst, col in zip(out_arrays, cols):
+                        dst[idx] = col
+                    ctx._charge_write(idx.size)
+                for ctx in contexts.values():
+                    ctx.commit()
+            if out_arrays is not None:
+                if silent_blocks:
+                    raise RoundProtocolError(
+                        "round_batch workers must return outputs for every "
+                        "block or for none"
+                    )
+                results = tuple(out_arrays) if tuple_out else out_arrays[0]
+            ledger_contexts = list(contexts.values())
+
+        next_store.seal()
+        self._store = next_store
+        self._round_counter += 1
+
+        stats = self._record(
+            tag=tag,
+            kind="adaptive",
+            contexts=ledger_contexts,
+            read_store=read_store,
+            setup_writes=setup_writes,
+            next_store=next_store,
+            wall=time.perf_counter() - start,
+        )
+        for obs in self.observers:
+            obs.on_round_end(
+                self, stats, ledger_contexts, read_store, next_store
             )
         return RoundResult(results=results, store=next_store, stats=stats)
 
@@ -401,7 +623,10 @@ class AMPCRuntime:
         """Random machine assignment of work items (deterministic in seed)."""
         p = self.config.n_machines
         seed = self.config.seed ^ (0x51ED * (self._round_counter + 1))
-        if item_key is None and len(work) > 0 and isinstance(
+        if p == 1:
+            # Identical to hashing each item mod 1, minus the hashing.
+            assignment = np.zeros(len(work), dtype=np.int64)
+        elif item_key is None and len(work) > 0 and isinstance(
             work[0], (int, np.integer)
         ):
             assignment = partition_items(np.asarray(work, dtype=np.int64), p, seed)
@@ -452,6 +677,186 @@ class AMPCRuntime:
         )
         self.report.add(stats)
         return stats
+
+
+class BatchRoundContext:
+    """Whole-round machine interface for fused vectorized rounds.
+
+    One instance stands in for *every* active machine of a round: each
+    batch operation carries an ``owner`` array naming the machine issuing
+    each element, and per-machine O(S) budgets are charged by bincount —
+    the same limits :class:`~repro.core.machine.MachineContext` enforces
+    element-wise. Machines in a real deployment execute concurrently;
+    advancing all their programs in lockstep reorders only simulator
+    execution, never any single machine's own read/write sequence, so
+    budgets, contention histograms, and store contents are unchanged.
+
+    Attributes:
+        items: the round's work items (1-D int64, in work order).
+        machines: ``machines[i]`` is the machine that owns ``items[i]``.
+        reads_used / writes_used: per-machine budget consumption arrays.
+    """
+
+    __slots__ = (
+        "config",
+        "items",
+        "machines",
+        "observer",
+        "_prev",
+        "_next",
+        "reads_used",
+        "writes_used",
+        "_read_over",
+        "_write_over",
+    )
+
+    def __init__(
+        self,
+        config: AMPCConfig,
+        prev_store: DistributedDataStore,
+        next_store: DistributedDataStore,
+        items: np.ndarray,
+        machines: np.ndarray,
+        observer: Any,
+    ) -> None:
+        self.config = config
+        self.items = items
+        self.machines = machines
+        self._prev = prev_store
+        self._next = next_store
+        self.observer = observer
+        p = config.n_machines
+        self.reads_used = np.zeros(p, dtype=np.int64)
+        self.writes_used = np.zeros(p, dtype=np.int64)
+        self._read_over = np.zeros(p, dtype=bool)
+        self._write_over = np.zeros(p, dtype=bool)
+
+    def read_array(
+        self,
+        namespace: str,
+        ids: np.ndarray,
+        *,
+        owner: np.ndarray,
+        fill: Any = 0,
+        return_found: bool = False,
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """Batch adaptive read; element i is issued by machine ``owner[i]``.
+
+        Uncached (callers deduplicate per machine where the scalar path's
+        read cache would have deduplicated); missing ids yield ``fill``.
+        """
+        self._charge(
+            self.reads_used, self._read_over, owner,
+            self.config.read_budget, "read",
+        )
+        if self.observer is not None:
+            self.observer.on_machine_read_batch(self, namespace, ids)
+        return self._prev.read_array(
+            namespace, ids, fill=fill, return_found=return_found
+        )
+
+    def write_array(
+        self,
+        namespace: str,
+        ids: np.ndarray,
+        values: np.ndarray,
+        *,
+        owner: np.ndarray,
+    ) -> None:
+        """Batch write into the next store, charged to ``owner`` machines."""
+        self._charge(
+            self.writes_used, self._write_over, owner,
+            self.config.write_budget, "write",
+        )
+        if self.observer is not None:
+            self.observer.on_machine_write_batch(self, namespace, ids)
+        self._next.write_array(namespace, ids, values)
+
+    def charge_publications(self) -> None:
+        """Charge one result-publication write per work item (the batch
+        analogue of the scalar path's +1 write per non-None return)."""
+        self._charge(
+            self.writes_used, self._write_over, self.machines,
+            self.config.write_budget, "write",
+        )
+
+    def _charge(
+        self,
+        used: np.ndarray,
+        over: np.ndarray,
+        owner: np.ndarray,
+        budget: float,
+        kind: str,
+    ) -> None:
+        owner = np.asarray(owner, dtype=np.int64)
+        if owner.size == 0:
+            return
+        used += np.bincount(owner, minlength=used.size)
+        fresh = used > budget
+        if fresh.any():
+            over |= fresh
+            if self.config.strict:
+                mid = int(np.argmax(fresh))
+                raise BudgetExceededError(mid, kind, int(used[mid]), budget)
+
+    def ledgers(self) -> list["_MachineLedger"]:
+        """Per-active-machine accounting views for _record / observers."""
+        active = (
+            np.unique(self.machines)
+            if self.machines.size
+            else np.empty(0, dtype=np.int64)
+        )
+        return [
+            _MachineLedger(
+                int(mid),
+                int(self.reads_used[mid]),
+                int(self.writes_used[mid]),
+                bool(self._read_over[mid]),
+                bool(self._write_over[mid]),
+                self._prev,
+                self._next,
+            )
+            for mid in active
+        ]
+
+
+class _MachineLedger:
+    """Frozen per-machine accounting view of a fused batch round.
+
+    Duck-types the slice of :class:`~repro.core.machine.MachineContext`
+    that :meth:`AMPCRuntime._record` and round-end observers consume.
+    """
+
+    __slots__ = (
+        "machine_id",
+        "reads_used",
+        "writes_used",
+        "read_violation",
+        "write_violation",
+        "_prev",
+        "_next",
+    )
+
+    def __init__(
+        self,
+        machine_id: int,
+        reads_used: int,
+        writes_used: int,
+        read_violation: bool,
+        write_violation: bool,
+        prev_store: DistributedDataStore,
+        next_store: DistributedDataStore,
+    ) -> None:
+        self.machine_id = machine_id
+        self.reads_used = reads_used
+        self.writes_used = writes_used
+        self.read_violation = read_violation
+        self.write_violation = write_violation
+        self._prev = prev_store
+        self._next = next_store
+
+    def commit(self) -> None:
+        """Batch writes go straight to the store; nothing to flush."""
 
 
 class RoundCheckpoint:

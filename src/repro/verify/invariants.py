@@ -111,6 +111,17 @@ class Observer:
 
     def on_machine_write(self, ctx: MachineContext, key: Hashable) -> None: ...
 
+    # batch (vectorized-path) events: one event per array operation. ``ctx``
+    # may be a MachineContext or a runtime BatchRoundContext; ``ids`` is the
+    # int64 id column of the (namespace, id) key batch.
+    def on_machine_read_batch(
+        self, ctx: Any, namespace: str, ids: np.ndarray
+    ) -> None: ...
+
+    def on_machine_write_batch(
+        self, ctx: Any, namespace: str, ids: np.ndarray
+    ) -> None: ...
+
     # store-level events ---------------------------------------------------
     def on_store_write(
         self, store: DistributedDataStore, key: Hashable
@@ -118,6 +129,14 @@ class Observer:
 
     def on_store_read(
         self, store: DistributedDataStore, key: Hashable
+    ) -> None: ...
+
+    def on_store_write_batch(
+        self, store: DistributedDataStore, namespace: str, ids: np.ndarray
+    ) -> None: ...
+
+    def on_store_read_batch(
+        self, store: DistributedDataStore, namespace: str, ids: np.ndarray
     ) -> None: ...
 
     def on_store_seal(self, store: DistributedDataStore) -> None: ...
@@ -238,6 +257,27 @@ class StoreDisciplineObserver(RecordingObserver):
                 f"D_{ctx._next.round_index}"
             )
 
+    def on_machine_read_batch(self, ctx, namespace, ids):
+        # One check per batch keeps the observed run O(1) per array op
+        # while still catching any staging mistake the batch could make.
+        if not ctx._prev.sealed:
+            self.record(
+                f"batch read of {len(ids)} {namespace!r} keys from unsealed "
+                f"store D_{ctx._prev.round_index}"
+            )
+        if ctx._prev is ctx._next:
+            self.record(
+                f"batch read of {namespace!r} keys targets the store being "
+                f"written"
+            )
+
+    def on_machine_write_batch(self, ctx, namespace, ids):
+        if ctx._next.sealed:
+            self.record(
+                f"batch write of {len(ids)} {namespace!r} keys into sealed "
+                f"store D_{ctx._next.round_index}"
+            )
+
     def on_round_end(self, runtime, stats, contexts, read_store, next_store):
         if not next_store.sealed:
             self.record(
@@ -343,6 +383,13 @@ class MPCDisciplineObserver(RecordingObserver):
                 self.record(
                     f"MPC machine {ctx.machine_id} read non-inbox key {key!r}"
                 )
+
+    def on_machine_read_batch(self, ctx, namespace, ids):
+        if isinstance(ctx, MPCMachineContext):
+            self.record(
+                f"MPC machine {ctx.machine_id} issued batch adaptive reads "
+                f"of {namespace!r} keys"
+            )
 
     def on_round_end(self, runtime, stats, contexts, read_store, next_store):
         if isinstance(runtime, MPCRuntime):

@@ -87,6 +87,10 @@ class AlgorithmCase:
             against the MPC baseline.
         chaos_run: optional ``(workload, seed, plan)`` → result computed
             under the fault plan (must match the fault-free digest).
+        run_vectorized: optional ``(workload, seed)`` → result computed on
+            the batch execution engine (``vectorized=True``). Must produce
+            the same digest AND cost-ledger summary as :attr:`run`; the
+            sweep's ``vectorized`` mode swaps it in for :attr:`run`.
     """
 
     name: str
@@ -98,6 +102,7 @@ class AlgorithmCase:
     report_of: Callable[[Any], RunReport | None]
     cross_model: Callable[[Workload, Any, int], list[str]] | None = None
     chaos_run: Callable[[Workload, int, FaultPlan], Any] | None = None
+    run_vectorized: Callable[[Workload, int], Any] | None = None
 
 
 CASES: dict[str, AlgorithmCase] = {}
@@ -255,6 +260,9 @@ register(AlgorithmCase(
     chaos_run=lambda w, seed, plan: algorithms.connectivity(
         w.payload,
         runtime=_chaos_runtime(w.payload.n + w.payload.m, seed, plan),
+    ),
+    run_vectorized=lambda w, seed: algorithms.connectivity(
+        w.payload, seed=seed, vectorized=True
     ),
 ))
 
@@ -512,6 +520,9 @@ register(AlgorithmCase(
     digest=lambda res: _arr_digest(res.ranks),
     report_of=lambda res: res.report,
     cross_model=_list_ranking_cross,
+    run_vectorized=lambda w, seed: algorithms.list_ranking(
+        w.payload, seed=seed, vectorized=True
+    ),
 ))
 
 

@@ -238,6 +238,7 @@ class CellRecord:
     rounds: int | None = None
     error: str | None = None
     duration_s: float = 0.0
+    vectorized: bool = False
 
     @property
     def ok(self) -> bool:
@@ -273,6 +274,7 @@ class CellRecord:
             "rounds": self.rounds,
             "error": self.error,
             "duration_s": round(self.duration_s, 4),
+            "vectorized": self.vectorized,
         }
 
 
@@ -363,15 +365,18 @@ def _run_cell(
     *,
     balance_slack: float,
     chaos: bool,
+    vectorized: bool = False,
 ) -> CellRecord:
     workload = make_workload(case, family, n, seed)
     wn, wm = workload.size
+    use_vectorized = vectorized and case.run_vectorized is not None
+    run = case.run_vectorized if use_vectorized else case.run
     record = CellRecord(algorithm=case.name, family=family, seed=seed,
-                        n=wn, m=wm)
+                        n=wn, m=wm, vectorized=use_vectorized)
     start = time.perf_counter()
     try:
         with InvariantSuite(balance_slack=balance_slack) as suite:
-            result = case.run(workload, seed)
+            result = run(workload, seed)
         record.invariant_violations = [
             {"invariant": v.invariant, "message": v.message, "tag": v.tag}
             for v in suite.violations
@@ -387,7 +392,7 @@ def _run_cell(
         # Seed-determinism: the same cell twice must agree bit for bit,
         # including the cost ledger (wall time excluded).
         rerun_workload = make_workload(case, family, n, seed)
-        rerun = case.run(rerun_workload, seed)
+        rerun = run(rerun_workload, seed)
         record.deterministic = (
             case.digest(result) == case.digest(rerun)
             and _summary_without_walltime(report)
@@ -419,6 +424,7 @@ def verify_sweep(
     size: int | None = None,
     smoke: bool = False,
     chaos: bool = False,
+    vectorized: bool = False,
     balance_slack: float = 4.0,
     progress: Callable[[CellRecord], None] | None = None,
 ) -> ConformanceReport:
@@ -433,6 +439,11 @@ def verify_sweep(
         smoke: CI mode — small instances, two seeds.
         chaos: additionally replay chaos-capable cases under the default
             fault plan and require bit-identical answers.
+        vectorized: run cases that register a ``run_vectorized`` variant
+            on the batch execution engine instead of the scalar
+            simulator; oracles, invariants, and the seed-determinism
+            matrix apply unchanged (the batch path must satisfy the same
+            contract). Cases without a vectorized variant run scalar.
         balance_slack: constant factor granted over the Lemma 2.1 bound.
         progress: optional callback invoked with each finished cell.
     """
@@ -461,6 +472,7 @@ def verify_sweep(
                 record = _run_cell(
                     case, family, n, seed,
                     balance_slack=balance_slack, chaos=chaos,
+                    vectorized=vectorized,
                 )
                 records.append(record)
                 if progress is not None:
@@ -473,6 +485,7 @@ def verify_sweep(
         "size": n,
         "smoke": smoke,
         "chaos": chaos,
+        "vectorized": vectorized,
         "balance_slack": balance_slack,
     }
     return ConformanceReport(records=records, settings=settings)

@@ -27,6 +27,8 @@ __all__ = [
     "float_arrays",
     "forests",
     "graphs",
+    "id_arrays",
+    "id_batches",
     "linked_lists",
     "permutations",
     "seeds",
@@ -203,6 +205,42 @@ def dds_keys() -> st.SearchStrategy:
         st.sampled_from(["a", "b", "deg", "label", "succ"]),
     )
     return st.one_of(scalar, st.tuples(scalar, st.integers(0, 8)))
+
+
+@st.composite
+def id_arrays(
+    draw,
+    min_size: int = 0,
+    max_size: int = 256,
+    lo: int = 0,
+    hi: int = 1 << 40,
+) -> np.ndarray:
+    """An int64 id column for the batch DDS APIs (duplicates allowed).
+
+    Ids span many orders of magnitude so the splitmix64 placement hash is
+    exercised well past the small-key regime the graph algorithms use.
+    """
+    values = draw(st.lists(st.integers(lo, hi), min_size=min_size,
+                           max_size=max_size))
+    return np.asarray(values, dtype=np.int64)
+
+
+@st.composite
+def id_batches(
+    draw,
+    min_size: int = 0,
+    max_size: int = 256,
+) -> tuple[str, np.ndarray, np.ndarray]:
+    """A ``(namespace, ids, values)`` triple for ``write_array``."""
+    namespace = draw(st.sampled_from(["succ", "len", "val", "adj", "fedge"]))
+    ids = draw(id_arrays(min_size=min_size, max_size=max_size))
+    kind = draw(st.sampled_from(["int", "float"]))
+    rng = np.random.default_rng(draw(seeds()))
+    if kind == "int":
+        values = rng.integers(-(1 << 30), 1 << 30, size=ids.size)
+    else:
+        values = rng.standard_normal(ids.size)
+    return namespace, ids, values
 
 
 def dds_values() -> st.SearchStrategy:

@@ -1,0 +1,476 @@
+"""The vectorized batch execution engine vs the scalar simulator.
+
+The batch path (``splitmix64_array`` placement, columnar DDS arrays,
+``round_batch``, the ``vectorized=True`` algorithm variants) is a pure
+simulator optimization: the model contract — results, rounds, read/write
+charges, per-server contention — must be *bit-identical* to the scalar
+path. Every test here asserts that equivalence directly, most of them
+down to the full per-round cost ledger.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.connectivity import connectivity
+from repro.algorithms.list_ranking import (
+    list_ranking,
+    multi_list_ranking,
+    sequential_list_ranks,
+)
+from repro.algorithms.shrink import fill_back, shrink
+from repro.core import AMPCConfig, AMPCRuntime
+from repro.core.dds import DistributedDataStore
+from repro.core.errors import (
+    AdaptivityError,
+    BudgetExceededError,
+    RoundProtocolError,
+    StoreNotSealedError,
+    StoreSealedError,
+)
+from repro.core.partition import (
+    _STR_MIX_CACHE,
+    key_hash,
+    key_hash_array,
+    server_of,
+    server_of_array,
+    splitmix64,
+    splitmix64_array,
+)
+from repro.graph import generators
+from repro.verify import strategies as vst
+from repro.verify.runner import verify_sweep
+
+
+def _ledger(report):
+    """Cost ledger rows with every model-visible field (no wall time)."""
+    return [
+        (s.tag, s.kind, s.rounds, s.total_reads, s.total_writes,
+         s.max_machine_reads, s.max_machine_writes, s.n_machines_active,
+         s.budget_violations, s.max_server_load)
+        for s in report.rounds
+    ]
+
+
+def _store_state(store: DistributedDataStore):
+    return (
+        store.n_reads,
+        store.n_writes,
+        store.server_read_loads.tolist(),
+        store.server_item_loads.tolist(),
+        len(store),
+    )
+
+
+# ---------------------------------------------------------------------------
+# placement hashing
+# ---------------------------------------------------------------------------
+
+
+class TestVectorizedHashing:
+    def test_splitmix64_array_matches_scalar(self):
+        xs = np.array([0, 1, 2, 97, 2**40, 2**63 - 1, 123456789],
+                      dtype=np.int64)
+        got = splitmix64_array(xs.astype(np.uint64))
+        want = [splitmix64(int(x)) for x in xs]
+        assert got.tolist() == want
+
+    @settings(max_examples=40, deadline=None)
+    @given(vst.id_arrays(min_size=1, max_size=128), vst.seeds(),
+           st.integers(1, 97))
+    def test_server_of_array_elementwise_parity(self, ids, seed, n_servers):
+        got = server_of_array(["succ", ids], n_servers, seed=seed)
+        want = [server_of(("succ", int(i)), n_servers, seed=seed)
+                for i in ids]
+        assert got.tolist() == want
+
+    def test_key_hash_array_three_component_keys(self):
+        us = np.arange(50, dtype=np.int64)
+        is_ = us % 7
+        got = key_hash_array(["adj", us, is_], seed=11)
+        want = [key_hash(("adj", int(u), int(i)), seed=11)
+                for u, i in zip(us, is_)]
+        assert got.tolist() == want
+
+    def test_key_hash_array_requires_an_array_component(self):
+        with pytest.raises(ValueError):
+            key_hash_array(["only", "scalars"])
+
+    def test_str_mix_memoization(self):
+        before = len(_STR_MIX_CACHE)
+        a = key_hash(("a-namespace-string", 1))
+        b = key_hash(("a-namespace-string", 2))
+        assert "a-namespace-string" in _STR_MIX_CACHE
+        assert len(_STR_MIX_CACHE) >= before
+        # Memoized result stays consistent with the first computation.
+        assert a == key_hash(("a-namespace-string", 1))
+        assert a != b
+
+
+# ---------------------------------------------------------------------------
+# columnar DDS
+# ---------------------------------------------------------------------------
+
+
+class TestBatchStore:
+    def _scalar_twin(self, namespace, ids, values, n_servers=16, seed=3):
+        store = DistributedDataStore(0, n_servers=n_servers, seed=seed)
+        for i, v in zip(ids.tolist(), values.tolist()):
+            store.write((namespace, i), v)
+        return store
+
+    @settings(max_examples=40, deadline=None)
+    @given(vst.id_batches(min_size=0, max_size=128), vst.seeds(max_seed=50))
+    def test_batch_matches_scalar_store(self, batch, seed):
+        namespace, ids, values = batch
+        scalar = self._scalar_twin(namespace, ids, values, seed=seed)
+        batched = DistributedDataStore(0, n_servers=16, seed=seed)
+        batched.write_array(namespace, ids, values)
+        assert _store_state(scalar) == _store_state(batched)
+        scalar.seal()
+        batched.seal()
+        got, found = batched.read_array(namespace, ids, return_found=True)
+        assert bool(found.all()) == (ids.size > 0) or ids.size == 0
+        # First-occurrence-wins duplicate semantics match scalar get().
+        want = [scalar.get((namespace, int(i))) for i in ids]
+        assert got.tolist() == pytest.approx(want)
+        assert _store_state(scalar) == _store_state(batched)
+
+    def test_read_array_missing_ids_fill_and_found(self):
+        store = DistributedDataStore(0, n_servers=8, seed=1)
+        store.write_array("x", np.array([1, 3], dtype=np.int64),
+                          np.array([10.0, 30.0]))
+        store.seal()
+        got, found = store.read_array(
+            "x", np.array([1, 2, 3], dtype=np.int64),
+            fill=-1.0, return_found=True,
+        )
+        assert got.tolist() == [10.0, -1.0, 30.0]
+        assert found.tolist() == [True, False, True]
+
+    def test_seal_discipline(self):
+        store = DistributedDataStore(0, n_servers=8, seed=1)
+        ids = np.array([1], dtype=np.int64)
+        with pytest.raises(StoreNotSealedError):
+            store.read_array("x", ids)
+        store.write_array("x", ids, np.array([1.0]))
+        store.seal()
+        with pytest.raises(StoreSealedError):
+            store.write_array("x", ids, np.array([2.0]))
+
+    def test_read_namespace_write_order_with_duplicates(self):
+        store = DistributedDataStore(0, n_servers=8, seed=1)
+        store.write_array("a", np.array([5, 5, 2], dtype=np.int64),
+                          np.array([1.0, 2.0, 3.0]))
+        ids, values = store.read_namespace("a")
+        assert ids.tolist() == [5, 5, 2]
+        assert values.tolist() == [1.0, 2.0, 3.0]
+        assert store.multiplicity(("a", 5)) == 2
+        assert ("a", 5) in store and ("a", 7) not in store
+
+    def test_two_dim_values_roundtrip(self):
+        store = DistributedDataStore(0, n_servers=8, seed=1)
+        ids = np.array([4, 9], dtype=np.int64)
+        vals = np.array([[1.0, 2.0], [3.0, 4.0]])
+        store.write_array("pair", ids, vals)
+        store.seal()
+        got = store.read_array("pair", ids)
+        assert got.tolist() == vals.tolist()
+        assert store.get(("pair", 4)) == (1.0, 2.0)
+
+
+# ---------------------------------------------------------------------------
+# machine-context batch APIs
+# ---------------------------------------------------------------------------
+
+
+class TestBatchContext:
+    def _round_pair(self, worker, n_items=40, **cfg):
+        config = AMPCConfig(space=64, n_machines=4, seed=2, **cfg)
+        rt = AMPCRuntime(config)
+        ids = np.arange(n_items, dtype=np.int64)
+        return rt, rt.round_batch(
+            ids, worker, setup_arrays=[("v", ids, ids.astype(np.float64))],
+            tag="t",
+        )
+
+    def test_budget_charged_in_one_batch(self):
+        def worker(ctx, block):
+            before = ctx.reads_used
+            ctx.read_array("v", block)
+            assert ctx.reads_used == before + block.size
+            return block
+
+        rt, result = self._round_pair(worker)
+        assert result.stats.total_reads == 40
+
+    def test_budget_violation_raises_in_strict_mode(self):
+        config = AMPCConfig(space=4, n_machines=1, seed=2,
+                            strict=True, budget_multiplier=1.0)
+        rt = AMPCRuntime(config)
+        ids = np.arange(200, dtype=np.int64)
+
+        def worker(ctx, block):
+            ctx.read_array("v", block)
+            return block
+
+        with pytest.raises(BudgetExceededError):
+            rt.round_batch(
+                ids, worker,
+                setup_arrays=[("v", ids, ids.astype(np.float64))], tag="t",
+            )
+
+    def test_mpc_context_rejects_batch_reads(self):
+        from repro.core.runtime import MPCRuntime
+
+        rt = MPCRuntime(AMPCConfig(space=64, n_machines=4, seed=2))
+        assert not rt.batch_capable
+
+        def worker(ctx, v):
+            ctx.read_array("v", np.array([0], dtype=np.int64))
+
+        with pytest.raises(AdaptivityError):
+            rt.round([0], worker, setup=[(("v", 0), 1)], tag="t")
+
+    def test_chaos_runtime_is_not_batch_capable(self):
+        from repro.core.chaos import FaultPlan, arm
+
+        config = AMPCConfig.for_input(64, seed=1, replication_factor=2)
+        rt = arm(AMPCRuntime)(config, plan=FaultPlan.machine_crashes(0.2))
+        assert not rt.batch_capable
+
+    def test_round_batch_rejects_non_integer_work(self):
+        rt = AMPCRuntime(AMPCConfig(space=64, n_machines=4, seed=2))
+        with pytest.raises(RoundProtocolError):
+            rt.round_batch(np.array([0.5, 1.5]), lambda ctx, b: b, tag="t")
+
+    def test_round_batch_rejects_misaligned_output(self):
+        rt = AMPCRuntime(AMPCConfig(space=64, n_machines=4, seed=2))
+
+        def worker(ctx, block):
+            return block[:-1]
+
+        with pytest.raises(RoundProtocolError):
+            rt.round_batch(np.arange(8, dtype=np.int64), worker, tag="t")
+
+
+# ---------------------------------------------------------------------------
+# round_batch vs round: identical stats
+# ---------------------------------------------------------------------------
+
+
+class TestRoundParity:
+    def _setup_pairs(self, n):
+        return [(("v", i), float(i)) for i in range(n)]
+
+    def test_per_machine_mode_matches_scalar_round(self):
+        n = 300
+        config = AMPCConfig(space=256, n_machines=8, seed=5)
+
+        rt_a = AMPCRuntime(config)
+        res_a = rt_a.round(
+            list(range(n)),
+            lambda ctx, v: ctx.read(("v", v)) * 2,
+            setup=self._setup_pairs(n), tag="t",
+        )
+        scalar_out = [res_a.results[i] for i in range(n)]
+
+        rt_b = AMPCRuntime(config)
+        ids = np.arange(n, dtype=np.int64)
+
+        def worker(ctx, block):
+            return ctx.read_array("v", block) * 2
+
+        res_b = rt_b.round_batch(
+            ids, worker,
+            setup_arrays=[("v", ids, ids.astype(np.float64))], tag="t",
+        )
+        assert scalar_out == res_b.results.tolist()
+        assert _ledger(rt_a.report) == _ledger(rt_b.report)
+
+    def test_fused_mode_matches_scalar_round(self):
+        n = 300
+        config = AMPCConfig(space=256, n_machines=8, seed=5)
+
+        rt_a = AMPCRuntime(config)
+        rt_a.round(
+            list(range(n)),
+            lambda ctx, v: ctx.read(("v", v)) * 2,
+            setup=self._setup_pairs(n), tag="t",
+        )
+
+        rt_b = AMPCRuntime(config)
+        ids = np.arange(n, dtype=np.int64)
+
+        def fused(gctx):
+            vals = gctx.read_array("v", gctx.items, owner=gctx.machines)
+            return vals * 2
+
+        res_b = rt_b.round_batch(
+            ids, fused,
+            setup_arrays=[("v", ids, ids.astype(np.float64))],
+            fused=True, tag="t",
+        )
+        assert res_b.results.tolist() == (ids * 2).tolist()
+        assert _ledger(rt_a.report) == _ledger(rt_b.report)
+
+    def test_single_machine_fast_path_matches_grouped_loop(self):
+        n = 64
+        pairs = self._setup_pairs(n)
+
+        def run(n_machines):
+            rt = AMPCRuntime(
+                AMPCConfig(space=1024, n_machines=n_machines, seed=5)
+            )
+            res = rt.round(
+                list(range(n)), lambda ctx, v: ctx.read(("v", v)),
+                setup=pairs, tag="t",
+            )
+            return [res.results[i] for i in range(n)], rt.report
+
+        out_1, report_1 = run(1)
+        out_8, report_8 = run(8)
+        assert out_1 == out_8
+        # Same totals; machine-local maxima legitimately differ with p.
+        assert report_1.total_reads == report_8.total_reads
+        assert report_1.total_writes == report_8.total_writes
+
+
+# ---------------------------------------------------------------------------
+# algorithm parity: results AND full cost ledgers
+# ---------------------------------------------------------------------------
+
+
+class TestAlgorithmParity:
+    @pytest.mark.parametrize("n,seed", [(60, 0), (400, 3), (1500, 11)])
+    def test_list_ranking(self, n, seed):
+        succ = generators.linked_list(n, rng=seed)
+        a = list_ranking(succ, seed=seed)
+        b = list_ranking(succ, seed=seed, vectorized=True)
+        assert np.array_equal(a.ranks, b.ranks)
+        assert np.array_equal(a.ranks, sequential_list_ranks(succ))
+        assert a.shrink_rounds == b.shrink_rounds
+        assert _ledger(a.report) == _ledger(b.report)
+
+    def test_multi_list_ranking(self):
+        rng = np.random.default_rng(7)
+        sizes = [40, 90, 1, 13]
+        succ = np.full(sum(sizes), -1, dtype=np.int64)
+        heads, base = [], 0
+        perm = rng.permutation(sum(sizes))
+        for size in sizes:
+            chunk = perm[base:base + size]
+            heads.append(int(chunk[0]))
+            for i in range(size - 1):
+                succ[chunk[i]] = chunk[i + 1]
+            base += size
+        heads = np.array(heads, dtype=np.int64)
+        a = multi_list_ranking(succ, heads, seed=5)
+        b = multi_list_ranking(succ, heads, seed=5, vectorized=True)
+        assert np.array_equal(a.ranks, b.ranks)
+        assert np.array_equal(a.head_of, b.head_of)
+        assert _ledger(a.report) == _ledger(b.report)
+
+    @pytest.mark.parametrize("make,seed", [
+        (lambda: generators.erdos_renyi_gnm(150, 450, rng=0), 0),
+        (lambda: generators.union_of_cycles([20, 31, 9]), 2),
+        (lambda: generators.random_forest(120, 10, rng=4), 1),
+    ])
+    def test_connectivity(self, make, seed):
+        g = make()
+        a = connectivity(g, seed=seed)
+        b = connectivity(g, seed=seed, vectorized=True)
+        assert np.array_equal(a.labels, b.labels)
+        assert a.phases == b.phases
+        assert a.n_components == b.n_components
+        assert _ledger(a.report) == _ledger(b.report)
+
+    def test_shrink_and_fill_back(self):
+        succ = generators.linked_list(500, rng=9)
+        config = AMPCConfig.for_input(500, seed=3)
+
+        def run(vectorized):
+            rt = AMPCRuntime(config)
+            outcome = shrink(succ, rt, delta=0.5, target_size=30,
+                             vectorized=vectorized)
+            values = {int(v): float(i)
+                      for i, v in enumerate(outcome.alive.tolist())}
+            out = fill_back(rt, outcome.history, values, additive=True,
+                            vectorized=vectorized)
+            return outcome, out, rt.report
+
+        oa, fa, ra = run(False)
+        ob, fb, rb = run(True)
+        assert np.array_equal(oa.alive, ob.alive)
+        assert np.array_equal(oa.succ, ob.succ)
+        assert np.array_equal(oa.length, ob.length)
+        assert len(oa.history) == len(ob.history)
+        for rec_a, rec_b in zip(oa.history, ob.history):
+            order_a = np.argsort(rec_a.absorbed)
+            order_b = np.argsort(rec_b.absorbed)
+            assert np.array_equal(rec_a.absorbed[order_a],
+                                  rec_b.absorbed[order_b])
+            assert np.array_equal(rec_a.absorber[order_a],
+                                  rec_b.absorber[order_b])
+            assert np.allclose(rec_a.offset[order_a], rec_b.offset[order_b])
+        assert fa == fb
+        assert _ledger(ra) == _ledger(rb)
+
+    def test_vectorized_falls_back_on_chaos_runtime(self):
+        from repro.core.chaos import FaultPlan, arm
+
+        g = generators.erdos_renyi_gnm(60, 120, rng=1)
+        config = AMPCConfig.for_input(g.n + g.m, seed=2,
+                                      replication_factor=2)
+        rt = arm(AMPCRuntime)(config, plan=FaultPlan.machine_crashes(0.15))
+        res = connectivity(g, runtime=rt, vectorized=True)
+        ref = connectivity(g, config=AMPCConfig.for_input(g.n + g.m, seed=2))
+        assert np.array_equal(res.labels, ref.labels)
+
+
+# ---------------------------------------------------------------------------
+# sweep + benchmark integration
+# ---------------------------------------------------------------------------
+
+
+class TestVectorizedSweep:
+    def test_verify_smoke_vectorized(self):
+        report = verify_sweep(
+            algorithms=["list-ranking", "connectivity"],
+            families=["list-uniform", "er"],
+            seeds=[0], smoke=True, vectorized=True,
+        )
+        assert report.ok, report.format_failures()
+        assert report.settings["vectorized"] is True
+        assert all(r.vectorized for r in report.records)
+
+    def test_verify_smoke_vectorized_flag_without_variant(self):
+        report = verify_sweep(
+            algorithms=["mis"], families=["er"], seeds=[0],
+            smoke=True, vectorized=True,
+        )
+        assert report.ok, report.format_failures()
+        # No run_vectorized registered: cells run (and record) scalar.
+        assert all(not r.vectorized for r in report.records)
+
+
+def test_benchmark_sweep_smoke():
+    import importlib.util
+    import pathlib
+
+    bench_path = (pathlib.Path(__file__).resolve().parents[1]
+                  / "benchmarks" / "bench_simulator_overhead.py")
+    spec = importlib.util.spec_from_file_location("bench_sim", bench_path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    payload = module.run_sweep(dds_ops=2_000, list_n=3_000, repeats=1)
+    results = payload["results"]
+    assert set(results) == {"dds_write", "dds_read", "list_ranking"}
+    for entry in results.values():
+        assert entry["scalar_s"] > 0 and entry["batched_s"] > 0
+        assert np.isfinite(entry["speedup"])
+    # Batched DDS writes beat the scalar loop even at small sizes.
+    assert results["dds_write"]["speedup"] > 1.0
