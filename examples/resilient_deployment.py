@@ -11,6 +11,13 @@ and outages deeper than the replication factor roll the round back to
 its checkpoint — and finally project the wall-clock of the run under the
 paper's RDMA latency figures.
 
+The recovery story is printed with the ledger renderers of
+:mod:`repro.analysis` (``render_timeline`` / ``render_recovery_table``);
+for the structured per-round/per-machine view of the same numbers —
+aborted attempts, checkpoint/restore markers, recovery charges as trace
+events — run the equivalent ``python -m repro trace`` with a chaos-armed
+runtime or see ``docs/observability.md``.
+
 Run:  python examples/resilient_deployment.py
 """
 

@@ -1,4 +1,11 @@
-"""Analysis utilities: contention, complexity fits, report tables."""
+"""Analysis utilities: contention, complexity fits, report tables.
+
+Everything here consumes finished :class:`~repro.core.cost.RunReport`
+ledgers (post-hoc analysis); live observation of an execution — spans,
+metrics, profiling — is :mod:`repro.observe`, whose ``repro trace`` CLI
+reuses :func:`~repro.analysis.timeline.render_timeline` as its terminal
+summary.
+"""
 
 from .complexity import FitResult, best_family, fit_family, growth_ratio
 from .contention import ContentionStats, balls_in_bins_trial, contention_profile

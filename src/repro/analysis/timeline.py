@@ -3,6 +3,14 @@
 Turns a :class:`~repro.core.cost.RunReport` into a per-round bar chart of
 communication volume with adaptivity markers — a quick visual answer to
 "where do the rounds and the bytes go?" without plotting dependencies.
+
+This renders the *ledger* view of an execution: one bar per recorded
+round, after the fact. The structured counterpart is the trace produced
+by :mod:`repro.observe` — the same per-round costs as span attributes
+with timing and per-machine breakdowns, exportable to Perfetto. The
+``repro trace`` CLI prints both (this timeline as the terminal summary
+beside the exported trace); they agree by construction because both
+read the same ``RunReport`` rows.
 """
 
 from __future__ import annotations

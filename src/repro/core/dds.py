@@ -16,6 +16,14 @@ The store also plays the role of the P serving machines of §2.1: every read
 is attributed to the server owning the key (random placement via
 :mod:`repro.core.partition`), giving the per-server load data behind the
 Lemma 2.1 contention analysis.
+
+Observation wiring: when an installed observer overrides a per-op *store*
+hook (``on_store_read`` / ``on_store_write`` / batch variants /
+``on_store_seal``), the owning runtime sets :attr:`DistributedDataStore.
+observer` to its :class:`~repro.core.hooks.ObserverFan`; otherwise the
+attribute stays ``None`` and every hook site below is a single ``is
+None`` predicate — the "zero overhead disabled" half of the
+:mod:`repro.observe` contract.
 """
 
 from __future__ import annotations

@@ -40,6 +40,7 @@ class MachineContext:
         "_cache",
         "scratch",
         "observer",
+        "batch_observer",
         "reads_used",
         "writes_used",
         "read_violation",
@@ -64,10 +65,15 @@ class MachineContext:
         # machine processes within one round). Lives in the machine's own
         # space S; cleared at the round boundary like everything else.
         self.scratch: dict[Hashable, Any] = {}
-        # Verification hook (repro.verify.invariants): set by the runtime
-        # when invariant observers are installed; None costs one predicate
-        # per charged read/write.
+        # Observation hooks (repro.verify invariants, repro.observe tracer
+        # and metrics): set by the runtime only when some installed
+        # observer overrides the corresponding hooks (see
+        # repro.core.hooks.ObserverFan). ``observer`` feeds the scalar
+        # per-op hooks, ``batch_observer`` the per-array-op hooks — split
+        # so batch-op consumers don't tax the scalar hot path. None costs
+        # one predicate per charged operation.
         self.observer: Any = None
+        self.batch_observer: Any = None
         self.reads_used = 0
         self.writes_used = 0
         self.read_violation = False
@@ -147,8 +153,8 @@ class MachineContext:
         ids = np.asarray(ids, dtype=np.int64)
         if ids.size:
             self._charge_read(ids.size)
-        if self.observer is not None:
-            self.observer.on_machine_read_batch(self, namespace, ids)
+        if self.batch_observer is not None:
+            self.batch_observer.on_machine_read_batch(self, namespace, ids)
         return self._prev.read_array(
             namespace, ids, fill=fill, return_found=return_found
         )
@@ -166,8 +172,8 @@ class MachineContext:
         if not columns or columns[0].size == 0:
             return
         self._charge_read(columns[0].size)
-        if self.observer is not None:
-            self.observer.on_machine_read_batch(self, namespace, columns[0])
+        if self.batch_observer is not None:
+            self.batch_observer.on_machine_read_batch(self, namespace, columns[0])
         self._prev.serve_reads_array([namespace, *columns])
 
     def write_array(
@@ -183,8 +189,8 @@ class MachineContext:
         if ids.size == 0:
             return
         self._charge_write(ids.size)
-        if self.observer is not None:
-            self.observer.on_machine_write_batch(self, namespace, ids)
+        if self.batch_observer is not None:
+            self.batch_observer.on_machine_write_batch(self, namespace, ids)
         self._next.write_array(namespace, ids, values)
 
     # -- writes (into D_i, visible next round) -----------------------------

@@ -42,28 +42,31 @@ from .config import AMPCConfig
 from .cost import RoundStats, RunReport
 from .dds import DistributedDataStore
 from .errors import BudgetExceededError, RoundProtocolError
+from .hooks import ObserverFan
 from .machine import MachineContext, MPCMachineContext
 from .partition import machine_of, partition_items
 
 Pairs = Iterable[tuple[Hashable, Any]]
 
 # ---------------------------------------------------------------------------
-# observer plumbing (repro.verify)
+# observer plumbing (repro.verify invariants, repro.observe tracing/metrics)
 # ---------------------------------------------------------------------------
 
 # Observers registered here are attached to every runtime constructed while
-# they are installed — the hook repro.verify.invariants uses to watch
-# runtimes that algorithms build internally. Kept as a module-level list so
-# installation needs no knowledge of which runtime subclass an algorithm
-# instantiates.
+# they are installed — the hook repro.verify.invariants and repro.observe
+# use to watch runtimes that algorithms build internally. Kept as a
+# module-level list so installation needs no knowledge of which runtime
+# subclass an algorithm instantiates.
 _GLOBAL_OBSERVERS: list[Any] = []
 
 
 def install_observer(observer: Any) -> None:
     """Attach ``observer`` to every runtime constructed from now on.
 
-    See :class:`repro.verify.invariants.InvariantSuite` for the expected
-    interface; prefer its context-manager form over calling this directly.
+    See :class:`repro.core.hooks.RuntimeObserver` for the hook interface;
+    prefer the context-manager installers
+    (:class:`repro.verify.invariants.InvariantSuite`,
+    :class:`repro.observe.TracingSession`) over calling this directly.
     """
     _GLOBAL_OBSERVERS.append(observer)
 
@@ -74,66 +77,6 @@ def uninstall_observer(observer: Any) -> None:
         _GLOBAL_OBSERVERS.remove(observer)
     except ValueError:
         pass
-
-
-class _ObserverFan:
-    """Dispatches store/machine-level events to a runtime's observers.
-
-    One fan per observed runtime is shared by all its stores and machine
-    contexts, so the per-event cost is one attribute test plus this loop.
-    """
-
-    __slots__ = ("observers",)
-
-    def __init__(self, observers: list[Any]) -> None:
-        self.observers = observers
-
-    def on_store_write(self, store: DistributedDataStore, key: Hashable) -> None:
-        for obs in self.observers:
-            obs.on_store_write(store, key)
-
-    def on_store_read(self, store: DistributedDataStore, key: Hashable) -> None:
-        for obs in self.observers:
-            obs.on_store_read(store, key)
-
-    def on_store_seal(self, store: DistributedDataStore) -> None:
-        for obs in self.observers:
-            obs.on_store_seal(store)
-
-    def on_machine_read(self, ctx: MachineContext, key: Hashable) -> None:
-        for obs in self.observers:
-            obs.on_machine_read(ctx, key)
-
-    def on_machine_write(self, ctx: MachineContext, key: Hashable) -> None:
-        for obs in self.observers:
-            obs.on_machine_write(ctx, key)
-
-    # Batch hooks (vectorized path): one event per array operation, so the
-    # observer cost stays O(1) per batch rather than O(batch size).
-
-    def on_store_write_batch(
-        self, store: DistributedDataStore, namespace: str, ids: np.ndarray
-    ) -> None:
-        for obs in self.observers:
-            obs.on_store_write_batch(store, namespace, ids)
-
-    def on_store_read_batch(
-        self, store: DistributedDataStore, namespace: str, ids: np.ndarray
-    ) -> None:
-        for obs in self.observers:
-            obs.on_store_read_batch(store, namespace, ids)
-
-    def on_machine_read_batch(
-        self, ctx: Any, namespace: str, ids: np.ndarray
-    ) -> None:
-        for obs in self.observers:
-            obs.on_machine_read_batch(ctx, namespace, ids)
-
-    def on_machine_write_batch(
-        self, ctx: Any, namespace: str, ids: np.ndarray
-    ) -> None:
-        for obs in self.observers:
-            obs.on_machine_write_batch(ctx, namespace, ids)
 
 
 class AMPCRuntime:
@@ -159,17 +102,21 @@ class AMPCRuntime:
         # Invariant observers (repro.verify): globally-installed observers
         # are picked up at construction; more can be attached per instance.
         self.observers: list[Any] = list(_GLOBAL_OBSERVERS)
-        self._fan: _ObserverFan | None = (
-            _ObserverFan(self.observers) if self.observers else None
+        self._fan: ObserverFan | None = (
+            ObserverFan(self.observers) if self.observers else None
         )
         for obs in self.observers:
             obs.on_runtime_created(self)
 
     def attach_observer(self, observer: Any) -> None:
-        """Attach an invariant observer to this runtime instance."""
+        """Attach an observer (invariants, tracer, metrics) to this runtime."""
         self.observers.append(observer)
         if self._fan is None:
-            self._fan = _ObserverFan(self.observers)
+            self._fan = ObserverFan(self.observers)
+        else:
+            # The fan precomputes per-hook dispatch lists; a new observer
+            # must be folded into them.
+            self._fan.rebuild()
         observer.on_runtime_created(self)
 
     # ------------------------------------------------------------------
@@ -184,7 +131,7 @@ class AMPCRuntime:
     def _new_store(self) -> DistributedDataStore:
         store = self._build_store(self._store_counter)
         self._store_counter += 1
-        if self._fan is not None:
+        if self._fan is not None and self._fan.any_store_hooks:
             store.observer = self._fan
         return store
 
@@ -209,12 +156,15 @@ class AMPCRuntime:
         after a whole-round abort (e.g. more DDS servers lost than the
         replication factor covers).
         """
-        return RoundCheckpoint(
+        checkpoint = RoundCheckpoint(
             store=self._store,
             round_counter=self._round_counter,
             store_counter=self._store_counter,
             report_length=len(self.report.rounds),
         )
+        for obs in self.observers:
+            obs.on_checkpoint(self, checkpoint)
+        return checkpoint
 
     def restore(self, checkpoint: "RoundCheckpoint") -> None:
         """Roll the runtime back to a :meth:`checkpoint` snapshot.
@@ -233,6 +183,10 @@ class AMPCRuntime:
         self._round_counter = checkpoint.round_counter
         self._store_counter = checkpoint.store_counter
         del self.report.rounds[checkpoint.report_length:]
+        # Observers (e.g. the tracer) must learn that the round in flight
+        # was abandoned — its events will never see an on_round_end.
+        for obs in self.observers:
+            obs.on_restore(self, checkpoint)
 
     def bootstrap(self, pairs: Pairs, tag: str = "bootstrap") -> None:
         """Load the input into D_0 (paper §2: "The input data is stored in
@@ -325,10 +279,16 @@ class AMPCRuntime:
                 ctx = self.machine_context_cls(
                     mid, self.config, read_store, next_store
                 )
-                ctx.observer = self._fan
+                fan = self._fan
+                if fan is not None:
+                    if fan.any_machine_scalar_hooks:
+                        ctx.observer = fan
+                    if fan.any_machine_batch_hooks:
+                        ctx.batch_observer = fan
                 contexts[mid] = ctx
             return ctx
 
+        fan = self._fan
         results: list[Any] = []
         if worker is not None and work is not None:
             assignment = self._assign(work, item_key)
@@ -338,30 +298,48 @@ class AMPCRuntime:
                 # so the argsort grouping and index boxing below are pure
                 # interpreter overhead.
                 ctx = ctx_for(0)
+                if fan is not None:
+                    fan.on_machine_start(ctx)
                 for i, item in enumerate(work):
                     out = worker(ctx, item)
                     results[i] = out
                     if out is not None:
                         ctx._charge_write(1)
+                if fan is not None:
+                    fan.on_machine_end(ctx)
             else:
                 # Group by machine so each machine's items run consecutively
                 # against one shared read cache, matching the model: a machine
                 # processes all items it was assigned within the round.
+                # Grouping also yields the machine-step boundaries observers
+                # are told about: each machine's span covers its whole block.
                 order = np.argsort(assignment, kind="stable")
+                running_ctx: MachineContext | None = None
                 for idx in order:
                     item = work[int(idx)]
                     ctx = ctx_for(int(assignment[int(idx)]))
+                    if fan is not None and ctx is not running_ctx:
+                        if running_ctx is not None:
+                            fan.on_machine_end(running_ctx)
+                        fan.on_machine_start(ctx)
+                        running_ctx = ctx
                     out = worker(ctx, item)
                     results[int(idx)] = out
                     if out is not None:
                         # Publishing the result for the driver / next round
                         # costs one write in a real deployment.
                         ctx._charge_write(1)
+                if fan is not None and running_ctx is not None:
+                    fan.on_machine_end(running_ctx)
         elif per_machine is not None:
             ids = range(self.config.n_machines) if machines is None else machines
             for mid in ids:
                 ctx = ctx_for(int(mid))
+                if fan is not None:
+                    fan.on_machine_start(ctx)
                 out = per_machine(ctx)
+                if fan is not None:
+                    fan.on_machine_end(ctx)
                 if out is not None:
                     ctx._charge_write(1)
                     results.append(out)
@@ -480,12 +458,19 @@ class AMPCRuntime:
             obs.on_round_start(self, read_store, next_store)
 
         assignment = self._assign(work, None)
+        fan = self._fan
         results: Any = None
         if fused:
             gctx = BatchRoundContext(
                 self.config, read_store, next_store, work, assignment,
-                self._fan,
+                fan
+                if fan is not None and fan.any_machine_batch_hooks
+                else None,
             )
+            # The fused worker advances every machine in lockstep: observers
+            # see one machine-step span whose ctx carries per-machine arrays.
+            if fan is not None:
+                fan.on_machine_start(gctx)
             out = worker(gctx) if n_items else None
             if out is not None:
                 for col in out if isinstance(out, tuple) else (out,):
@@ -497,6 +482,10 @@ class AMPCRuntime:
                 # Publishing each item's result costs one write, exactly
                 # like the scalar path's +1 per non-None worker return.
                 gctx.charge_publications()
+            if fan is not None:
+                # End after the publication charge so the span's write
+                # totals match the scalar path's accounting.
+                fan.on_machine_end(gctx)
             results = out
             ledger_contexts: list[Any] = gctx.ledgers()
         else:
@@ -521,10 +510,18 @@ class AMPCRuntime:
                     ctx = self.machine_context_cls(
                         mid, self.config, read_store, next_store
                     )
-                    ctx.observer = self._fan
+                    if fan is not None:
+                        if fan.any_machine_scalar_hooks:
+                            ctx.observer = fan
+                        if fan.any_machine_batch_hooks:
+                            ctx.batch_observer = fan
                     contexts[mid] = ctx
+                    if fan is not None:
+                        fan.on_machine_start(ctx)
                     out = ctx_out = worker(ctx, work[idx])
                     if out is None:
+                        if fan is not None:
+                            fan.on_machine_end(ctx)
                         silent_blocks += 1
                         continue
                     cols = out if isinstance(out, tuple) else (out,)
@@ -544,6 +541,10 @@ class AMPCRuntime:
                     for dst, col in zip(out_arrays, cols):
                         dst[idx] = col
                     ctx._charge_write(idx.size)
+                    if fan is not None:
+                        # End after the publication charge so the machine
+                        # span's write count matches the scalar path's.
+                        fan.on_machine_end(ctx)
                 for ctx in contexts.values():
                     ctx.commit()
             if out_arrays is not None:
@@ -608,6 +609,22 @@ class AMPCRuntime:
             write_budget=self.config.write_budget,
         )
         self._round_counter += rounds
+        self.report.add(stats)
+        for obs in self.observers:
+            obs.on_charge(self, stats)
+        return stats
+
+    def charge_stats(self, stats: RoundStats) -> RoundStats:
+        """Record an externally-accounted ledger row.
+
+        For primitives that compute their own exact per-machine costs
+        (e.g. ``resolve_pointers`` charging chain-length reads) where
+        :meth:`charge`'s uniform-spread estimate would be wrong. Fires
+        the same ``on_charge`` observer hook, so traced/metered runs see
+        every ledger row — appending to ``runtime.report`` directly
+        would leave observers blind to the cost.
+        """
+        self._round_counter += stats.rounds
         self.report.add(stats)
         for obs in self.observers:
             obs.on_charge(self, stats)

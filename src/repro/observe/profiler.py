@@ -1,0 +1,163 @@
+"""Opt-in host-side profiling with phase attribution.
+
+Model costs (rounds, reads, writes) are what the paper bounds; wall time
+is what a practitioner waits for. This module answers "where does the
+wall time go" by wrapping a run in :mod:`cProfile` and attributing
+exclusive function time to simulator *phases* by module path:
+
+======================  ==================================================
+phase                   modules
+======================  ==================================================
+``hash-partition``      ``core/partition.py`` (seeded hashing, placement)
+``dds-serve``           ``core/dds.py`` (store reads/writes/contention)
+``machine-exec``        ``core/machine.py`` (budget charging, caching)
+``runtime``             ``core/runtime.py``, ``core/chaos.py`` (driver)
+``primitives``          ``primitives/`` (charged MPC building blocks)
+``algorithm``           ``algorithms/`` (the logic under study)
+``graph``               ``graph/`` (generators, CSR, IO)
+``observe``/``verify``  the observability/conformance layers themselves
+``other``               everything else (numpy internals, stdlib, ...)
+======================  ==================================================
+
+Profiling is strictly opt-in (``RunProfiler`` context manager or
+``TracingSession(profile=True)``): cProfile multiplies Python call costs
+several-fold, so it must never be armed inside the <5% tracing overhead
+envelope. For cheap wall-time-only measurement use :func:`time_run`.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import time
+from typing import Any, Callable
+
+#: (path fragment, phase) in match order — first hit wins.
+_PHASE_RULES: tuple[tuple[str, str], ...] = (
+    ("repro/core/partition", "hash-partition"),
+    ("repro/core/dds", "dds-serve"),
+    ("repro/core/machine", "machine-exec"),
+    ("repro/core/runtime", "runtime"),
+    ("repro/core/chaos", "runtime"),
+    ("repro/core/", "runtime"),
+    ("repro/primitives/", "primitives"),
+    ("repro/algorithms/", "algorithm"),
+    ("repro/baselines/", "algorithm"),
+    ("repro/graph/", "graph"),
+    ("repro/observe/", "observe"),
+    ("repro/verify/", "verify"),
+)
+
+
+def phase_of(filename: str) -> str:
+    """Map a source filename to its simulator phase."""
+    path = filename.replace("\\", "/")
+    for fragment, phase in _PHASE_RULES:
+        if fragment in path:
+            return phase
+    return "other"
+
+
+class PhaseBreakdown:
+    """Wall time attributed to simulator phases.
+
+    Attributes:
+        total_s: total exclusive time over all profiled functions.
+        phases: phase → exclusive seconds, descending.
+        top: the ``(function, seconds)`` heaviest individual functions.
+    """
+
+    def __init__(self, phases: dict[str, float],
+                 top: list[tuple[str, float]]) -> None:
+        self.phases = dict(
+            sorted(phases.items(), key=lambda kv: kv[1], reverse=True)
+        )
+        self.top = top
+        self.total_s = sum(phases.values())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "total_s": self.total_s,
+            "phases": self.phases,
+            "top": [{"function": f, "seconds": s} for f, s in self.top],
+        }
+
+    def format_table(self, width: int = 40) -> str:
+        """ASCII bar chart of phase shares (same spirit as the round
+        timeline of :mod:`repro.analysis.timeline`)."""
+        lines = [f"{'phase':<16} {'seconds':>9}  share"]
+        total = self.total_s or 1.0
+        for phase, seconds in self.phases.items():
+            share = seconds / total
+            bar = "#" * max(1, round(share * width)) if seconds else ""
+            lines.append(f"{phase:<16} {seconds:>9.4f}  {share:>5.1%} {bar}")
+        return "\n".join(lines)
+
+
+class RunProfiler:
+    """cProfile wrapper attributing exclusive time to phases.
+
+    Usage::
+
+        with RunProfiler() as prof:
+            result = repro.connectivity(graph, seed=0)
+        print(prof.breakdown().format_table())
+
+    Also usable via explicit :meth:`start` / :meth:`stop` (the shape the
+    :class:`repro.observe.TracingSession` needs).
+    """
+
+    def __init__(self, top_n: int = 10) -> None:
+        self.top_n = top_n
+        self._profile: cProfile.Profile | None = None
+        self._stats: list[Any] | None = None
+
+    def start(self) -> None:
+        if self._profile is not None:
+            return
+        self._profile = cProfile.Profile()
+        self._profile.enable()
+
+    def stop(self) -> None:
+        if self._profile is None:
+            return
+        self._profile.disable()
+        self._stats = self._profile.getstats()
+        self._profile = None
+
+    def __enter__(self) -> "RunProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    def breakdown(self) -> PhaseBreakdown:
+        """Phase attribution of the profiled window (after stop)."""
+        if self._stats is None:
+            raise RuntimeError("RunProfiler.breakdown() before stop()")
+        phases: dict[str, float] = {}
+        functions: list[tuple[str, float]] = []
+        for entry in self._stats:
+            code = entry.code
+            seconds = entry.inlinetime
+            if isinstance(code, str):  # builtin — no source file
+                label, filename = code, ""
+            else:
+                filename = code.co_filename
+                label = f"{filename.rsplit('/', 1)[-1]}:{code.co_name}"
+            phase = phase_of(filename) if filename else "other"
+            phases[phase] = phases.get(phase, 0.0) + seconds
+            if seconds > 0:
+                functions.append((label, seconds))
+        functions.sort(key=lambda fs: fs[1], reverse=True)
+        return PhaseBreakdown(phases, functions[: self.top_n])
+
+
+def time_run(fn: Callable[[], Any],
+             clock: Callable[[], float] = time.perf_counter,
+             ) -> tuple[Any, float]:
+    """Run ``fn`` and return ``(result, wall_seconds)`` — the zero-
+    instrumentation timer used by the overhead benchmarks."""
+    start = clock()
+    result = fn()
+    return result, clock() - start

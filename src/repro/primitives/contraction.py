@@ -64,7 +64,8 @@ def resolve_pointers(
         raise ValueError("leader pointers contain a cycle")
     depth = hops
     if runtime is not None:
-        runtime.report.add(
+        # charge_stats (not report.add) so observers see this round too.
+        runtime.charge_stats(
             RoundStats(
                 index=len(runtime.report.rounds),
                 tag=tag,
@@ -78,7 +79,6 @@ def resolve_pointers(
                 write_budget=runtime.config.write_budget,
             )
         )
-        runtime._round_counter += 1
     return root
 
 

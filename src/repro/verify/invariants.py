@@ -29,14 +29,15 @@ from __future__ import annotations
 import hashlib
 import math
 from dataclasses import dataclass
-from typing import Any, Hashable
+from typing import Any
 
 import numpy as np
 
 from repro.core.cost import RoundStats
 from repro.core.dds import DistributedDataStore, ReplicatedDataStore
 from repro.core.errors import AMPCError
-from repro.core.machine import MachineContext, MPCMachineContext
+from repro.core.hooks import RuntimeObserver
+from repro.core.machine import MPCMachineContext
 from repro.core.runtime import (
     AMPCRuntime,
     MPCRuntime,
@@ -69,77 +70,15 @@ class InvariantViolation:
         return f"{self.invariant}{where}: {self.message}"
 
 
-class Observer:
-    """No-op base class defining the full observer interface.
+class Observer(RuntimeObserver):
+    """Base class for conformance observers.
 
-    Subclasses override the hooks they need; the runtime calls every hook
-    unconditionally on installed observers, so unused hooks must stay
-    cheap (they are single dynamic dispatches).
+    This is :class:`repro.core.hooks.RuntimeObserver` under its historical
+    verify-layer name. It must stay an *empty* subclass: the runtime's
+    :class:`~repro.core.hooks.ObserverFan` only dispatches hooks a subclass
+    actually overrides, and redefining hooks here (even as no-ops) would
+    make every conformance observer look like it overrides everything.
     """
-
-    # runtime-level events -------------------------------------------------
-    def on_runtime_created(self, runtime: AMPCRuntime) -> None: ...
-
-    def on_bootstrap(
-        self, runtime: AMPCRuntime, store: DistributedDataStore, count: int
-    ) -> None: ...
-
-    def on_round_start(
-        self,
-        runtime: AMPCRuntime,
-        read_store: DistributedDataStore,
-        next_store: DistributedDataStore,
-    ) -> None: ...
-
-    def on_round_end(
-        self,
-        runtime: AMPCRuntime,
-        stats: RoundStats,
-        contexts: list[MachineContext],
-        read_store: DistributedDataStore,
-        next_store: DistributedDataStore,
-    ) -> None: ...
-
-    def on_charge(self, runtime: AMPCRuntime, stats: RoundStats) -> None: ...
-
-    def on_assignment(
-        self, runtime: AMPCRuntime, assignment: np.ndarray, n_items: int
-    ) -> None: ...
-
-    # machine-level events -------------------------------------------------
-    def on_machine_read(self, ctx: MachineContext, key: Hashable) -> None: ...
-
-    def on_machine_write(self, ctx: MachineContext, key: Hashable) -> None: ...
-
-    # batch (vectorized-path) events: one event per array operation. ``ctx``
-    # may be a MachineContext or a runtime BatchRoundContext; ``ids`` is the
-    # int64 id column of the (namespace, id) key batch.
-    def on_machine_read_batch(
-        self, ctx: Any, namespace: str, ids: np.ndarray
-    ) -> None: ...
-
-    def on_machine_write_batch(
-        self, ctx: Any, namespace: str, ids: np.ndarray
-    ) -> None: ...
-
-    # store-level events ---------------------------------------------------
-    def on_store_write(
-        self, store: DistributedDataStore, key: Hashable
-    ) -> None: ...
-
-    def on_store_read(
-        self, store: DistributedDataStore, key: Hashable
-    ) -> None: ...
-
-    def on_store_write_batch(
-        self, store: DistributedDataStore, namespace: str, ids: np.ndarray
-    ) -> None: ...
-
-    def on_store_read_batch(
-        self, store: DistributedDataStore, namespace: str, ids: np.ndarray
-    ) -> None: ...
-
-    def on_store_seal(self, store: DistributedDataStore) -> None: ...
 
 
 class RecordingObserver(Observer):

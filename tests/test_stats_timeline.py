@@ -1,4 +1,10 @@
-"""Tests for graph statistics and the ledger timeline renderer."""
+"""Tests for graph statistics and the ledger timeline renderer.
+
+The timeline is the ASCII *ledger* view of a run; the structured trace
+view of the same rows lives in :mod:`repro.observe` and is covered by
+``tests/test_observe_*.py`` (which also check the two views agree with
+the ledger bit-for-bit).
+"""
 
 import networkx as nx
 import numpy as np
