@@ -125,6 +125,7 @@ def test_diameter_dependence(benchmark, record, diameter):
     assert ampc.report.n_rounds <= 40
 
 
+@pytest.mark.aggregate  # asserts over the full sweep; skipped by --quick
 def test_shape_loglog_vs_log(benchmark):
     from conftest import record_row
 

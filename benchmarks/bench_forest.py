@@ -56,6 +56,7 @@ def test_deep_forest_vs_label_propagation(benchmark, record):
     assert result.report.n_rounds > 500
 
 
+@pytest.mark.aggregate  # asserts over the full sweep; skipped by --quick
 def test_shape_flat(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     rounds = [_ampc_rounds[n] for n in NS]

@@ -50,6 +50,7 @@ def test_mpc_list_ranking(benchmark, record, n):
     )
 
 
+@pytest.mark.aggregate  # asserts over the full sweep; skipped by --quick
 def test_shape(benchmark):
     from conftest import record_row
 

@@ -35,6 +35,7 @@ def test_ampc_matching(benchmark, record, n):
     )
 
 
+@pytest.mark.aggregate  # asserts over the full sweep; skipped by --quick
 def test_shape_flat(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     iters = [_iters[n] for n in NS]

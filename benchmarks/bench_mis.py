@@ -59,6 +59,7 @@ def test_luby_mis(benchmark, record, n):
     )
 
 
+@pytest.mark.aggregate  # asserts over the full sweep; skipped by --quick
 def test_shape_flat_vs_growing(benchmark):
     from conftest import record_row
 

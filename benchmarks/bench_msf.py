@@ -75,6 +75,7 @@ def test_grid_workload_agreement(benchmark, record):
     )
 
 
+@pytest.mark.aggregate  # asserts over the full sweep; skipped by --quick
 def test_shape(benchmark):
     from conftest import record_row
 

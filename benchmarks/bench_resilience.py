@@ -128,6 +128,7 @@ def test_mis_under_faults(benchmark, record, rate):
 
 
 @pytest.mark.chaos
+@pytest.mark.aggregate  # asserts over the full sweep; skipped by --quick
 def test_emit_sweep_json(benchmark):
     """Runs last: dump the whole sweep as JSON (stdout and optional file)."""
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

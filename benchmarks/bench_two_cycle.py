@@ -53,6 +53,7 @@ def test_mpc_two_cycle(benchmark, record, n):
     )
 
 
+@pytest.mark.aggregate  # asserts over the full sweep; skipped by --quick
 def test_shape_flat_vs_log(benchmark):
     """The paper's headline: the 2-Cycle conjecture fails in AMPC."""
     from conftest import record_row

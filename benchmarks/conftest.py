@@ -10,12 +10,44 @@ paper's Figure 1 reports.
 
 from __future__ import annotations
 
+import os
 from collections import defaultdict
 
 import pytest
 
 _TABLES: dict[str, list[list]] = defaultdict(list)
 _HEADERS: dict[str, list[str]] = {}
+
+
+def pytest_collection_modifyitems(config, items):
+    """``REPRO_BENCH_QUICK=1`` (set by ``repro bench --quick``): keep
+    only the first parametrization of every benchmark function.
+
+    Bench modules list their sweeps in ascending size, so the first
+    collected item is the smallest instance — the quick sweep still
+    executes every bench module end to end (and fails on exceptions)
+    but finishes in seconds instead of minutes.
+    """
+    if not os.environ.get("REPRO_BENCH_QUICK"):
+        return
+    seen: set[tuple[str, str]] = set()
+    keep, drop = [], []
+    for item in items:
+        # Shape/aggregate tests assert over the *full* sweep's results
+        # (e.g. rounds at every n) — meaningless on one tiny instance.
+        if item.get_closest_marker("aggregate") is not None:
+            drop.append(item)
+            continue
+        key = (item.module.__name__,
+               getattr(item, "originalname", None) or item.name)
+        if key in seen:
+            drop.append(item)
+        else:
+            seen.add(key)
+            keep.append(item)
+    items[:] = keep
+    if drop:
+        config.hook.pytest_deselected(items=drop)
 
 
 def record_row(experiment: str, headers: list[str], row: list) -> None:

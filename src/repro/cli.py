@@ -11,8 +11,15 @@ Usage::
     python -m repro bc graph.txt              # bridges / articulation / 2ecc
     python -m repro chaos connectivity graph.txt --crash 0.2 --outage 0.1
     python -m repro verify --smoke [--chaos] [--vectorized] [--json report.json]
+    python -m repro verify --smoke --backend process --workers 4
     python -m repro trace connectivity [graph.txt] [--detail machine]
+    python -m repro bench --quick
     python -m repro generate er 1000 3000 out.txt [--seed 0]
+
+Algorithm runs, traces, and verify sweeps accept ``--backend
+{serial,process}`` and ``--workers N`` to execute rounds on the
+multi-core process backend (results and cost ledgers are bit-identical
+to serial; see docs/api.md "Execution backends").
 
 Every run prints the result summary followed by the per-round cost
 ledger (``--no-ledger`` to suppress).
@@ -34,6 +41,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_backend(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--backend", choices=["serial", "process"],
+                       default="serial",
+                       help="execution backend: 'serial' (default) or "
+                            "'process' (multi-core worker pool; results "
+                            "and ledgers are bit-identical to serial)")
+        p.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="process-backend worker count "
+                            "(default: autodetect from CPU count)")
+
     def add_run(name: str, help_text: str) -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=help_text)
         p.add_argument("graph", help="edge-list file (u v [w] per line)")
@@ -42,6 +59,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--no-ledger", action="store_true",
                        help="suppress the per-round cost table")
+        add_backend(p)
         return p
 
     add_run("connectivity", "connected components (paper §6)")
@@ -108,6 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run algorithms with a batch-engine variant "
                              "on the vectorized execution path (same "
                              "oracles, invariants, and ledger contract)")
+    add_backend(verify)
     verify.add_argument("--balance-slack", type=float, default=4.0,
                         help="constant factor over the Lemma 2.1 balance "
                              "bound (default 4.0)")
@@ -147,6 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--vectorized", action="store_true",
                        help="trace the batch execution engine instead of "
                             "the scalar path")
+    add_backend(trace)
     trace.add_argument("--detail", choices=["round", "machine", "op"],
                        default="machine",
                        help="trace granularity (default machine; op emits "
@@ -168,6 +188,20 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--no-summary", action="store_true",
                        help="suppress the rendered timeline and metric "
                             "summary")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the benchmark suite under pytest (--quick for a tiny "
+             "deterministic smoke sweep of every bench module)",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="smoke mode: keep only the smallest "
+                            "parametrization of each benchmark, disable "
+                            "timing, fail on any exception")
+    bench.add_argument("--bench-dir", default="benchmarks", metavar="DIR",
+                       help="benchmark directory (default: benchmarks)")
+    bench.add_argument("-k", dest="keyword", default=None, metavar="EXPR",
+                       help="forwarded to pytest -k")
 
     stats_p = sub.add_parser("stats", help="describe a graph file")
     stats_p.add_argument("graph", help="edge-list file")
@@ -195,6 +229,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _verify(args)
     if args.command == "trace":
         return _trace(args)
+    if args.command == "bench":
+        return _bench(args)
     if args.command == "stats":
         from repro.graph import files, stats
 
@@ -227,6 +263,48 @@ def _generate(args) -> int:
     return 0
 
 
+def _bench(args) -> int:
+    """``repro bench [--quick]`` — pytest over the benchmark directory.
+
+    ``--quick`` sets ``REPRO_BENCH_QUICK=1`` (the benchmark conftest
+    keeps only the smallest parametrization of each test) and disables
+    timing, so the sweep exercises every bench module end to end in
+    seconds and fails on any exception.
+    """
+    import os
+    import subprocess
+
+    import repro
+
+    if not os.path.isdir(args.bench_dir):
+        print(f"benchmark directory not found: {args.bench_dir}",
+              file=sys.stderr)
+        return 2
+
+    env = dict(os.environ)
+    # Make sure the subprocess resolves the same `repro` package.
+    pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__)))
+    env["PYTHONPATH"] = pkg_root + os.pathsep + env.get("PYTHONPATH", "")
+
+    cmd = [sys.executable, "-m", "pytest", args.bench_dir, "-q",
+           "-p", "no:cacheprovider"]
+    if args.quick:
+        env["REPRO_BENCH_QUICK"] = "1"
+        cmd.append("--benchmark-disable")
+    if args.keyword:
+        cmd += ["-k", args.keyword]
+
+    mode = "quick smoke" if args.quick else "full"
+    print(f"bench: {mode} sweep of {args.bench_dir}/ "
+          f"({' '.join(cmd[2:])})")
+    proc = subprocess.run(cmd, env=env)
+    if proc.returncode != 0:
+        print(f"bench: FAILED (pytest exit {proc.returncode})",
+              file=sys.stderr)
+    return proc.returncode
+
+
 def _verify(args) -> int:
     from repro.verify import case_names, verify_sweep
     from repro.verify.runner import family_names
@@ -253,6 +331,8 @@ def _verify(args) -> int:
         smoke=args.smoke,
         chaos=args.chaos,
         vectorized=args.vectorized,
+        backend=args.backend,
+        workers=args.workers,
         balance_slack=args.balance_slack,
         progress=None if args.quiet else progress,
     )
@@ -274,9 +354,44 @@ def _verify(args) -> int:
         print(f"wrote JSON report -> {args.json}")
 
     observe_ok = True
+    backend_ok = True
     if args.smoke:
         observe_ok = _traced_smoke(args.observe_baseline, human)
-    return 0 if (report.ok and observe_ok) else 1
+        if args.backend == "serial":
+            # The sweep above ran serial; add one process-backend cell
+            # so smoke always exercises the cross-backend oracle.
+            backend_ok = _process_smoke(human)
+    return 0 if (report.ok and observe_ok and backend_ok) else 1
+
+
+def _process_smoke(human) -> bool:
+    """The process-backend smoke cell of ``repro verify --smoke``.
+
+    Runs connectivity, list-ranking, and MIS cells on the process
+    backend (2 workers) and requires bit-identical results and
+    per-round ledgers against their serial twins (the
+    ``backend_identical`` oracle in :func:`verify_sweep`'s cells).
+    """
+    from repro.verify.oracles import CASES
+    from repro.verify.runner import SMOKE_SIZE, _run_cell
+
+    ok = True
+    for name, family in (("connectivity", "er"),
+                         ("list-ranking", "list-uniform"),
+                         ("mis", "er")):
+        case = CASES[name]
+        record = _run_cell(case, family, SMOKE_SIZE, 0,
+                           balance_slack=4.0, chaos=False,
+                           backend="process", workers=2)
+        cell_ok = record.ok and record.backend_identical is True
+        ok = ok and cell_ok
+        print(f"  [{'ok ' if cell_ok else 'FAIL'}] process backend: "
+              f"{name} {family} n={record.n} bit-identical="
+              f"{record.backend_identical}", file=human)
+        if record.error:
+            print(f"    process backend error: {record.error}",
+                  file=human)
+    return ok
 
 
 def _traced_smoke(baseline_path: str, human) -> bool:
@@ -420,11 +535,15 @@ def _trace(args) -> int:
 
     path = "vectorized" if args.vectorized else "scalar"
     print(f"tracing {case.name} on {source} "
-          f"({path} path, detail={args.detail})")
+          f"({path} path, detail={args.detail}, "
+          f"backend={args.backend})")
 
-    with TracingSession(detail=args.detail, metrics=True,
-                        profile=args.profile) as session:
-        result = run(workload, args.seed)
+    from repro.parallel import use_backend
+
+    with use_backend(args.backend, args.workers):
+        with TracingSession(detail=args.detail, metrics=True,
+                            profile=args.profile) as session:
+            result = run(workload, args.seed)
     report = case.report_of(result)
 
     # Schema + ledger reconciliation: a trace that disagrees with the
@@ -536,14 +655,29 @@ def _chaos(args) -> int:
 
 
 def _run(args) -> int:
-    import repro
+    import contextlib
+
     from repro.graph import files
+    from repro.parallel import use_backend
 
     if args.command == "msf":
         graph = files.read_weighted_edge_list(args.graph)
     else:
         graph = files.read_edge_list(args.graph)
     print(f"loaded {graph!r} from {args.graph}")
+    if args.backend != "serial":
+        print(f"backend: {args.backend} "
+              f"(workers={args.workers or 'auto'})")
+
+    backend_ctx = (use_backend(args.backend, args.workers)
+                   if args.backend != "serial"
+                   else contextlib.nullcontext())
+    with backend_ctx:
+        return _run_dispatch(args, graph)
+
+
+def _run_dispatch(args, graph) -> int:
+    import repro
 
     kwargs = dict(epsilon=args.epsilon, seed=args.seed)
     if args.command == "connectivity":

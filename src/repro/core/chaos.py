@@ -443,6 +443,15 @@ class ChaosMixin:
       :class:`~repro.core.cost.RoundStats` / ``RunReport.recovery_summary()``.
     """
 
+    # Chaos rounds never shard over the process backend: the crash RNG
+    # advances in machine execution order and replicated stores carry
+    # per-key failover state, both of which must replay serially for
+    # fault plans to fire at identical operations. (The transactional
+    # machine context already fails AMPCRuntime.parallel_capable's
+    # check; this class attribute shadows the property so the intent
+    # survives any future context refactor.)
+    parallel_capable = False
+
     def __init__(
         self, config: AMPCConfig, *args, plan: FaultPlan | None = None, **kwargs
     ) -> None:

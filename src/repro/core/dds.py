@@ -184,6 +184,47 @@ class _Column:
         """(ids, values) in write order — views, do not mutate."""
         return self._materialized()
 
+    def share_parts(
+        self,
+    ) -> tuple[int, np.dtype, np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+        """Materialize + index, then expose the arrays for cross-process
+        sharing: ``(width, dtype, ids, values, order, sorted_ids,
+        n_distinct)``. Building the sorted index *before* sharing means
+        every worker reads one parent-built index instead of re-sorting
+        per process. The arrays are internal views — treat as read-only.
+        """
+        ids, values = self._materialized()
+        self._indexed()
+        assert self._order is not None and self._sorted_ids is not None
+        return (
+            self.width, self.dtype, ids, values,
+            self._order, self._sorted_ids, self._n_distinct,
+        )
+
+    @classmethod
+    def from_shared_parts(
+        cls,
+        width: int,
+        dtype: np.dtype,
+        ids: np.ndarray,
+        values: np.ndarray,
+        order: np.ndarray,
+        sorted_ids: np.ndarray,
+        n_distinct: int,
+    ) -> "_Column":
+        """Rebuild a read-only column over externally-held (e.g. shared-
+        memory) arrays without copying. The result is for lookups only;
+        appending to it is unsupported (shadow stores are sealed).
+        """
+        column = cls(width, dtype)
+        column.rows = int(ids.size)
+        column._ids = ids
+        column._values = values
+        column._order = order
+        column._sorted_ids = sorted_ids
+        column._n_distinct = int(n_distinct)
+        return column
+
     def iter_pairs(self) -> Iterator[tuple[int, Any]]:
         ids, values = self._materialized()
         for row in range(self.rows):
@@ -269,6 +310,39 @@ class DistributedDataStore:
         self.observer: Any = None
         self.n_writes = 0
         self.n_reads = 0
+
+    @classmethod
+    def attach_shadow(
+        cls,
+        *,
+        round_index: int,
+        n_servers: int,
+        seed: int,
+        max_words: int,
+        track_contention: bool,
+        data: dict,
+        columns: dict[str, _Column],
+    ) -> "DistributedDataStore":
+        """Reconstruct a sealed read-only twin of an exported store.
+
+        Used by the process backend (:mod:`repro.parallel`): workers
+        serve the round's adaptive reads from a shadow wired to the
+        parent's column arrays (shared memory, zero copy) and scalar
+        ``data`` dict. The shadow starts with zeroed read counters, so
+        ``n_reads`` / ``_server_reads`` accumulated worker-side are
+        exactly the deltas to merge back into the parent's store.
+        """
+        store = cls(
+            round_index=round_index,
+            n_servers=n_servers,
+            seed=seed,
+            max_words=max_words,
+            track_contention=track_contention,
+        )
+        store._data = data
+        store._columns = columns
+        store._sealed = True
+        return store
 
     # -- server routing (overridden by ReplicatedDataStore) ----------------
 

@@ -290,3 +290,44 @@ class ObserverFan:
     def on_store_seal(self, store: Any) -> None:
         for obs in self._on_store_seal:
             obs.on_store_seal(store)
+
+
+class OpRecorder:
+    """Worker-side journal of per-operation *read* events (process backend).
+
+    The process backend (:mod:`repro.parallel`) runs machine programs in
+    other OS processes, where the parent's observers do not exist. To keep
+    armed observers (invariant suites, op-level tracers) seeing the exact
+    serial event stream, each worker records its charged reads into the
+    machine's op journal — writes are journaled by the worker's journal
+    store, so the two interleave in true operation order — and the parent
+    replays the journal through the real :class:`ObserverFan` during the
+    deterministic machine-order merge.
+
+    Installed as a context's ``observer`` / ``batch_observer``, so read
+    events are recorded at exactly the points the serial path would have
+    dispatched them (e.g. scalar reads only on cache misses). Write hooks
+    are no-ops here: the journal store captures writes, and the parent
+    fires the write hooks while applying them. ``ids`` arrays are copied
+    because callers may mutate them after the call returns; the serial
+    fan dispatches synchronously and never needs that copy.
+    """
+
+    __slots__ = ("ops",)
+
+    def __init__(self, ops: list) -> None:
+        self.ops = ops
+
+    def on_machine_read(self, ctx: Any, key: Hashable) -> None:
+        self.ops.append(("r", key))
+
+    def on_machine_read_batch(
+        self, ctx: Any, namespace: str, ids: np.ndarray
+    ) -> None:
+        self.ops.append(("rb", namespace, np.array(ids, copy=True)))
+
+    def on_machine_write(self, ctx: Any, key: Hashable) -> None: ...
+
+    def on_machine_write_batch(
+        self, ctx: Any, namespace: str, ids: np.ndarray
+    ) -> None: ...

@@ -45,6 +45,7 @@ class MachineContext:
         "writes_used",
         "read_violation",
         "write_violation",
+        "worker_id",
     )
 
     def __init__(
@@ -74,6 +75,11 @@ class MachineContext:
         # one predicate per charged operation.
         self.observer: Any = None
         self.batch_observer: Any = None
+        # Which OS worker executed this machine's program on the process
+        # backend (repro.parallel); None on the serial path. Diagnostic
+        # only — never feeds placement, budgets, or any ledger quantity,
+        # so serial and parallel runs stay bit-identical.
+        self.worker_id: int | None = None
         self.reads_used = 0
         self.writes_used = 0
         self.read_violation = False

@@ -25,9 +25,11 @@ _MULT2 = 0x94D049BB133111EB
 # Memoized string-component mixes: algorithms hash the same handful of
 # namespace strings ("succ", "deg", "adj", ...) on every single read, and
 # the crc32 + splitmix of those strings showed up in read-path profiles.
-# Bounded so adversarial key streams cannot grow it without limit.
+# A small LRU (dicts iterate in insertion order; re-inserting an entry
+# moves it to the MRU end) so long sweeps over adversarial key streams
+# keep the working set — the namespace strings — and evict the rest.
 _STR_MIX_CACHE: dict[str, int] = {}
-_STR_MIX_CACHE_MAX = 1 << 16
+_STR_MIX_CACHE_MAX = 4096
 
 
 def splitmix64(x: int) -> int:
@@ -65,11 +67,15 @@ def _mix_part(part: Hashable) -> int:
     if isinstance(part, (int, np.integer)):
         return splitmix64(int(part) & _MASK64)
     if isinstance(part, str):
-        mixed = _STR_MIX_CACHE.get(part)
+        cache = _STR_MIX_CACHE
+        mixed = cache.get(part)
         if mixed is None:
             mixed = splitmix64(zlib.crc32(part.encode("utf-8")))
-            if len(_STR_MIX_CACHE) < _STR_MIX_CACHE_MAX:
-                _STR_MIX_CACHE[part] = mixed
+            if len(cache) >= _STR_MIX_CACHE_MAX:
+                del cache[next(iter(cache))]  # evict the LRU entry
+        else:
+            del cache[part]
+        cache[part] = mixed  # (re-)insert at the MRU end
         return mixed
     if isinstance(part, bytes):
         return splitmix64(zlib.crc32(part))

@@ -93,12 +93,43 @@ class AMPCRuntime:
 
     machine_context_cls = MachineContext
 
-    def __init__(self, config: AMPCConfig) -> None:
+    def __init__(
+        self,
+        config: AMPCConfig,
+        *,
+        backend: str | None = None,
+        n_workers: int | None = None,
+    ) -> None:
         self.config = config
         self.report = RunReport()
         self._store: DistributedDataStore | None = None
         self._round_counter = 0
         self._store_counter = 0
+        # Execution backend: "serial" (default) or "process" (shard each
+        # round's machines over a pool of forked OS workers; see
+        # repro.parallel). When no explicit backend is given, the ambient
+        # selection of repro.parallel.use_backend applies — that is how
+        # the CLI and the verify sweep run algorithms that construct
+        # their runtimes internally. Imported lazily: repro.parallel's
+        # package module is stdlib-only, but keeping the import out of
+        # module scope avoids ordering constraints during package init.
+        import repro.parallel as _parallel
+
+        if backend is None:
+            backend = _parallel.default_backend()
+            if n_workers is None:
+                n_workers = _parallel.default_workers()
+        if backend not in _parallel.BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of "
+                f"{_parallel.BACKENDS}"
+            )
+        self.backend = backend
+        self.n_workers = n_workers
+        # Rounds that requested the process backend but ran serially
+        # because their worker/payload could not be shipped to pool
+        # workers. Diagnostic only — fallback rounds are bit-identical.
+        self.parallel_fallbacks = 0
         # Invariant observers (repro.verify): globally-installed observers
         # are picked up at construction; more can be attached per instance.
         self.observers: list[Any] = list(_GLOBAL_OBSERVERS)
@@ -308,29 +339,49 @@ class AMPCRuntime:
                 if fan is not None:
                     fan.on_machine_end(ctx)
             else:
-                # Group by machine so each machine's items run consecutively
-                # against one shared read cache, matching the model: a machine
-                # processes all items it was assigned within the round.
-                # Grouping also yields the machine-step boundaries observers
-                # are told about: each machine's span covers its whole block.
-                order = np.argsort(assignment, kind="stable")
-                running_ctx: MachineContext | None = None
-                for idx in order:
-                    item = work[int(idx)]
-                    ctx = ctx_for(int(assignment[int(idx)]))
-                    if fan is not None and ctx is not running_ctx:
-                        if running_ctx is not None:
-                            fan.on_machine_end(running_ctx)
-                        fan.on_machine_start(ctx)
-                        running_ctx = ctx
-                    out = worker(ctx, item)
-                    results[int(idx)] = out
-                    if out is not None:
-                        # Publishing the result for the driver / next round
-                        # costs one write in a real deployment.
-                        ctx._charge_write(1)
-                if fan is not None and running_ctx is not None:
-                    fan.on_machine_end(running_ctx)
+                executed = False
+                if self._use_process_backend(
+                    read_store, next_store, len(work)
+                ):
+                    import repro.parallel.backend as _pbackend
+                    from repro.parallel.pool import CallableShipError
+
+                    try:
+                        _pbackend.run_scalar_round(
+                            self, read_store, next_store, work, worker,
+                            assignment, results, contexts,
+                        )
+                        executed = True
+                    except CallableShipError:
+                        # Unshippable worker or work items: run the
+                        # round serially (bit-identical by construction;
+                        # workers mutate no parent state before raising).
+                        self.parallel_fallbacks += 1
+                if not executed:
+                    # Group by machine so each machine's items run
+                    # consecutively against one shared read cache, matching
+                    # the model: a machine processes all items it was
+                    # assigned within the round. Grouping also yields the
+                    # machine-step boundaries observers are told about:
+                    # each machine's span covers its whole block.
+                    order = np.argsort(assignment, kind="stable")
+                    running_ctx: MachineContext | None = None
+                    for idx in order:
+                        item = work[int(idx)]
+                        ctx = ctx_for(int(assignment[int(idx)]))
+                        if fan is not None and ctx is not running_ctx:
+                            if running_ctx is not None:
+                                fan.on_machine_end(running_ctx)
+                            fan.on_machine_start(ctx)
+                            running_ctx = ctx
+                        out = worker(ctx, item)
+                        results[int(idx)] = out
+                        if out is not None:
+                            # Publishing the result for the driver / next
+                            # round costs one write in a real deployment.
+                            ctx._charge_write(1)
+                    if fan is not None and running_ctx is not None:
+                        fan.on_machine_end(running_ctx)
         elif per_machine is not None:
             ids = range(self.config.n_machines) if machines is None else machines
             for mid in ids:
@@ -371,6 +422,51 @@ class AMPCRuntime:
     # ------------------------------------------------------------------
     # vectorized rounds
     # ------------------------------------------------------------------
+
+    @property
+    def parallel_capable(self) -> bool:
+        """Whether the process backend preserves this runtime's semantics.
+
+        Mirrors :attr:`batch_capable`: true only for runtimes whose
+        machines run the plain MachineContext against plain stores.
+        Chaos runtimes additionally pin this to False at class level —
+        their crash RNG advances in machine execution order, which
+        sharding would have to reproduce op-for-op to keep fault plans
+        firing at identical operations; they run serially instead.
+        """
+        return self.machine_context_cls is MachineContext
+
+    def resolved_workers(self) -> int:
+        """The worker count a parallel round would use right now."""
+        import repro.parallel as _parallel
+
+        if self.n_workers is not None:
+            return max(1, int(self.n_workers))
+        ambient = _parallel.default_workers()
+        if ambient is not None:
+            return max(1, int(ambient))
+        return _parallel.autodetect_workers()
+
+    def _use_process_backend(
+        self,
+        read_store: DistributedDataStore,
+        next_store: DistributedDataStore,
+        n_items: int,
+    ) -> bool:
+        """Whether this round runs on the process backend.
+
+        Requires plain stores on both sides of the round: the read store
+        must be exportable to shared memory, and replicated/chaos stores
+        carry per-key failover state that must stay serial.
+        """
+        return (
+            self.backend == "process"
+            and n_items > 1
+            and self.config.n_machines > 1
+            and self.parallel_capable
+            and type(read_store) is DistributedDataStore
+            and type(next_store) is DistributedDataStore
+        )
 
     @property
     def batch_capable(self) -> bool:
@@ -460,7 +556,36 @@ class AMPCRuntime:
         assignment = self._assign(work, None)
         fan = self._fan
         results: Any = None
-        if fused:
+        executed = False
+        # Fused rounds in strict mode stay serial: a budget breach must
+        # raise at the exact op where the *global* cumulative count
+        # crosses the budget, which per-shard cumulative arrays cannot
+        # reproduce. Non-strict fused and all non-fused rounds shard.
+        if self._use_process_backend(
+            read_store, next_store, n_items
+        ) and not (fused and self.config.strict):
+            import repro.parallel.backend as _pbackend
+            from repro.parallel.pool import CallableShipError
+
+            try:
+                if fused:
+                    results, gctx = _pbackend.run_fused_round(
+                        self, read_store, next_store, work, assignment,
+                        worker,
+                    )
+                    ledger_contexts: list[Any] = gctx.ledgers()
+                else:
+                    results, contexts = _pbackend.run_block_round(
+                        self, read_store, next_store, work, assignment,
+                        worker,
+                    )
+                    ledger_contexts = list(contexts.values())
+                executed = True
+            except CallableShipError:
+                # Unshippable worker: run serially (bit-identical by
+                # construction; workers mutate no parent state).
+                self.parallel_fallbacks += 1
+        if fused and not executed:
             gctx = BatchRoundContext(
                 self.config, read_store, next_store, work, assignment,
                 fan
@@ -487,9 +612,9 @@ class AMPCRuntime:
                 # totals match the scalar path's accounting.
                 fan.on_machine_end(gctx)
             results = out
-            ledger_contexts: list[Any] = gctx.ledgers()
-        else:
-            contexts: dict[int, MachineContext] = {}
+            ledger_contexts = gctx.ledgers()
+        elif not executed:
+            contexts = {}
             out_arrays: list[np.ndarray] | None = None
             tuple_out = False
             silent_blocks = 0

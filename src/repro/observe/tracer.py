@@ -352,6 +352,13 @@ class Tracer(RuntimeObserver):
         span.dur_us = self._now_us() - span.ts_us
         span.attrs.update(_usage_attrs("reads", ctx.reads_used, reads0))
         span.attrs.update(_usage_attrs("writes", ctx.writes_used, writes0))
+        # Process-backend rounds tag each machine with the OS worker that
+        # executed it (repro.parallel). Span timing still reflects the
+        # parent's merge replay, not worker wall time — the tag is for
+        # placement diagnostics, not for profiling workers.
+        worker_id = getattr(ctx, "worker_id", None)
+        if worker_id is not None:
+            span.attrs["worker"] = int(worker_id)
         self._emit(span)
 
     # -- lifecycle ---------------------------------------------------------

@@ -1,0 +1,126 @@
+"""Multi-core execution backend for the AMPC simulator.
+
+The AMPC model is defined by many machines working concurrently against
+distributed data stores; this package makes the simulator execute that
+way. A persistent pool of forked OS workers (:mod:`repro.parallel.pool`)
+shards each round's machines; the sealed read store's columnar state is
+exported into POSIX shared memory (:mod:`repro.parallel.shm`) so workers
+serve adaptive reads from zero-copy numpy views; and the per-worker
+results, budget charges, write journals, and observer events are merged
+back in a fixed machine order (:mod:`repro.parallel.backend`) so that
+results, per-round cost ledgers, and trace digests are **bit-identical**
+to the serial path.
+
+Selecting the backend
+---------------------
+
+Per runtime::
+
+    rt = AMPCRuntime(config, backend="process", n_workers=4)
+
+or ambiently, for code that constructs runtimes internally (the verify
+sweep, the CLI, the algorithm entry points)::
+
+    with use_backend("process", n_workers=4):
+        result = repro.connectivity(graph, epsilon=0.5, seed=0)
+
+Determinism contract
+--------------------
+
+Machine assignment (splitmix64, seeded per round) is computed in the
+parent before sharding, so a machine's work is identical regardless of
+which worker executes it; worker merges happen in ascending machine-id
+order; integer counter reductions are order-independent sums. Chaos and
+MPC runtimes opt out (``parallel_capable`` is False) and run serially,
+so fault plans keep firing at identical operations.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Any, Iterator
+
+__all__ = [
+    "use_backend",
+    "default_backend",
+    "default_workers",
+    "autodetect_workers",
+    "BACKENDS",
+]
+
+BACKENDS = ("serial", "process")
+
+# Ambient backend selection consulted by AMPCRuntime.__init__ when no
+# explicit backend= argument is given. Kept here (stdlib-only module) so
+# repro.core.runtime can read it without an import cycle; the heavy
+# submodules (pool, shm, backend) import core and load lazily below.
+_DEFAULT_BACKEND = "serial"
+_DEFAULT_WORKERS: int | None = None
+
+
+def default_backend() -> str:
+    """The backend newly-constructed runtimes use (see :func:`use_backend`)."""
+    return _DEFAULT_BACKEND
+
+
+def default_workers() -> int | None:
+    """Ambient worker count (None = autodetect at first parallel round)."""
+    return _DEFAULT_WORKERS
+
+
+def autodetect_workers() -> int:
+    """Worker count when none was requested: one per core, capped at 8.
+
+    The cap reflects the sharding granularity (machines per round);
+    beyond 8 workers the merge constant dominates for the instance sizes
+    this simulator targets.
+    """
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+@contextlib.contextmanager
+def use_backend(backend: str, n_workers: int | None = None) -> Iterator[None]:
+    """Ambiently select the execution backend for runtimes constructed
+    inside the ``with`` block (and not given an explicit ``backend=``).
+
+    This is how the conformance sweep and the CLI run whole algorithms —
+    which build their runtimes internally — on the process backend.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    global _DEFAULT_BACKEND, _DEFAULT_WORKERS
+    prev = (_DEFAULT_BACKEND, _DEFAULT_WORKERS)
+    _DEFAULT_BACKEND = backend
+    _DEFAULT_WORKERS = n_workers
+    try:
+        yield
+    finally:
+        _DEFAULT_BACKEND, _DEFAULT_WORKERS = prev
+
+
+# Heavy submodule symbols, loaded on first touch to keep this package
+# importable from repro.core.runtime without a cycle.
+_LAZY = {
+    "WorkerPool": "pool",
+    "get_pool": "pool",
+    "shutdown_pool": "pool",
+    "CallableShipError": "pool",
+    "WorkerCrashError": "pool",
+    "encode_callable": "pool",
+    "decode_callable": "pool",
+    "ShmArena": "shm",
+    "export_store": "shm",
+    "attach_store": "shm",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(f"{__name__}.{module}"), name)

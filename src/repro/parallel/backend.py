@@ -1,0 +1,683 @@
+"""Sharded round execution with a deterministic journal-and-replay merge.
+
+How a parallel round runs
+-------------------------
+
+1. The parent computes the round's machine assignment (seeded hash — the
+   same placement the serial path uses), groups items by machine in the
+   serial visiting order (stable argsort), and cuts the group list into
+   contiguous shards of roughly equal item counts.
+2. The sealed read store is exported into shared memory
+   (:mod:`repro.parallel.shm`) and each shard ships to a pool worker
+   along with the encoded round worker and its work items.
+3. Each pool worker runs the *real* machine programs against a shadow
+   read store (zero-copy views of the parent's arrays) and a
+   :class:`_JournalStore` in place of the next store: writes are
+   validated exactly like the real store would, then journaled. Charged
+   reads are journaled too (:class:`~repro.core.hooks.OpRecorder`), into
+   the same per-machine op list, so the journal preserves the machine's
+   true read/write interleaving.
+4. The parent merges in ascending machine order — which is exactly the
+   serial execution order — replaying each machine's journal: observer
+   hooks fire through the real :class:`~repro.core.hooks.ObserverFan`,
+   writes apply through the *real* next store (firing its store hooks and
+   advancing its counters naturally), and shadow-store read counters
+   merge back as integer deltas.
+
+Because machine placement, per-machine op order, merge order, and every
+counter reduction are independent of which OS worker ran which shard,
+results, per-round cost ledgers, and trace digests are bit-identical to
+the serial backend. The one documented divergence is the *error* path:
+when a worker raises (strict-mode budget breach, protocol violation),
+the parent re-raises the lowest-machine error like the serial path, but
+the abandoned next store holds no partial writes (serially it would).
+
+Replayed per-op hooks observe the context's wiring and identity exactly
+as the serial path; budget counters are finalized before
+``on_machine_end`` fires (the point where the tracer and metrics snapshot
+usage), not incremented per-op during replay.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Callable, Hashable, Sequence
+
+import numpy as np
+
+from repro.core.cost import merge_shard_counters
+from repro.core.dds import DistributedDataStore, value_words
+from repro.core.errors import RoundProtocolError, ValueSizeError
+from repro.core.hooks import OpRecorder
+from repro.core.machine import MachineContext
+
+from .pool import CallableShipError, decode_callable, encode_callable, get_pool
+from .shm import ShmArena, attach_store, export_store
+
+__all__ = [
+    "run_scalar_round",
+    "run_block_round",
+    "run_fused_round",
+    "TASKS",
+]
+
+
+class _JournalStore:
+    """Worker-side stand-in for the round's next store.
+
+    Validates writes exactly like :class:`DistributedDataStore` (so
+    model violations raise in the worker, at the op that caused them,
+    with the serial path's messages) and appends them to the machine's
+    op journal instead of storing. The parent applies the journal to the
+    real next store during the merge. Arrays are copied at journal time
+    — the real store copies on append, and workers may reuse buffers.
+    """
+
+    __slots__ = ("max_words", "ops")
+
+    sealed = False
+
+    def __init__(self, max_words: int, ops: list) -> None:
+        self.max_words = max_words
+        self.ops = ops
+
+    def write(self, key: Hashable, value: Any) -> None:
+        if value_words(key) > self.max_words:
+            raise ValueSizeError(f"key exceeds {self.max_words} words: {key!r}")
+        if value_words(value) > self.max_words:
+            raise ValueSizeError(
+                f"value exceeds {self.max_words} words: {value!r}"
+            )
+        self.ops.append(("w", key, value))
+
+    def write_array(
+        self, namespace: str, ids: np.ndarray, values: np.ndarray
+    ) -> None:
+        if not isinstance(namespace, str):
+            raise TypeError(
+                f"write_array namespaces must be str, got {type(namespace).__name__}"
+            )
+        ids = np.array(ids, dtype=np.int64, copy=True)
+        values = np.array(values, copy=True)
+        if ids.ndim != 1:
+            raise ValueError(f"ids must be 1-D, got shape {ids.shape}")
+        if values.ndim not in (1, 2) or len(values) != ids.size:
+            raise ValueError(
+                f"values must be 1-D or 2-D with {ids.size} rows, "
+                f"got shape {values.shape}"
+            )
+        width = 1 if values.ndim == 1 else values.shape[1]
+        if 2 > self.max_words:
+            raise ValueSizeError(
+                f"key exceeds {self.max_words} words: ({namespace!r}, id)"
+            )
+        if width > self.max_words:
+            raise ValueSizeError(
+                f"values exceed {self.max_words} words: width {width}"
+            )
+        self.ops.append(("wa", namespace, ids, values))
+
+
+# ---------------------------------------------------------------------------
+# worker-side tasks (run in pool processes; see pool.TASKS dispatch)
+# ---------------------------------------------------------------------------
+
+
+def _task_machine_shard(payload: dict) -> dict:
+    """Run a contiguous range of machines' programs against the shadow
+    store; journal their ops; ship results + counters back."""
+    store, handles = attach_store(payload["store"])
+    try:
+        worker = decode_callable(payload["worker"])
+        config = payload["config"]
+        record_reads = payload["record_reads"]
+        scalar_mode = payload["mode"] == "scalar"
+        machine_records = []
+        for mid, items in payload["machines"]:
+            ops: list = []
+            journal = _JournalStore(store.max_words, ops)
+            ctx = MachineContext(mid, config, store, journal)
+            if record_reads:
+                recorder = OpRecorder(ops)
+                ctx.observer = recorder
+                ctx.batch_observer = recorder
+            if scalar_mode:
+                outs: Any = []
+                for item in items:
+                    out = worker(ctx, item)
+                    outs.append(out)
+                    if out is not None:
+                        ctx._charge_write(1)
+            else:
+                out = worker(ctx, items)
+                if out is None:
+                    outs = None
+                else:
+                    cols = [
+                        np.asarray(c)
+                        for c in (out if isinstance(out, tuple) else (out,))
+                    ]
+                    for col in cols:
+                        if len(col) != items.size:
+                            raise RoundProtocolError(
+                                f"round_batch worker returned {len(col)} rows "
+                                f"for a block of {items.size} items"
+                            )
+                    outs = (isinstance(out, tuple), cols)
+                    ctx._charge_write(items.size)
+            machine_records.append(
+                {
+                    "mid": mid,
+                    "ops": ops,
+                    "outs": outs,
+                    "reads": ctx.reads_used,
+                    "writes": ctx.writes_used,
+                    "rv": ctx.read_violation,
+                    "wv": ctx.write_violation,
+                }
+            )
+        return {
+            "machines": machine_records,
+            "n_reads": store.n_reads,
+            "server_reads": (
+                store._server_reads if store._route_reads else None
+            ),
+        }
+    finally:
+        handles.close()
+
+
+def _task_fused_shard(payload: dict) -> dict:
+    """Run the fused worker over a contiguous item range; journal its
+    batch ops; ship the per-machine budget arrays and output columns."""
+    from repro.core.runtime import BatchRoundContext
+
+    store, handles = attach_store(payload["store"])
+    try:
+        worker = decode_callable(payload["worker"])
+        work = payload["work"]
+        ops: list = []
+        journal = _JournalStore(store.max_words, ops)
+        gctx = BatchRoundContext(
+            payload["config"],
+            store,
+            journal,
+            work,
+            payload["assignment"],
+            OpRecorder(ops) if payload["record_reads"] else None,
+        )
+        out = worker(gctx) if work.size else None
+        if out is None:
+            outs = None
+        else:
+            cols = [
+                np.asarray(c)
+                for c in (out if isinstance(out, tuple) else (out,))
+            ]
+            outs = (isinstance(out, tuple), cols)
+            # Row-count validation happens parent-side against the full
+            # item count (the serial path's error message); charging the
+            # publication writes here keeps the shard's budget arrays
+            # complete for the counter merge.
+            gctx.charge_publications()
+        return {
+            "ops": ops,
+            "outs": outs,
+            "reads_used": gctx.reads_used,
+            "writes_used": gctx.writes_used,
+            "n_reads": store.n_reads,
+            "server_reads": (
+                store._server_reads if store._route_reads else None
+            ),
+        }
+    finally:
+        handles.close()
+
+
+#: Task registry dispatched by name in pool workers (only payloads cross
+#: the pipe for framework code).
+TASKS: dict[str, Callable[[dict], dict]] = {
+    "machine_shard": _task_machine_shard,
+    "fused_shard": _task_fused_shard,
+}
+
+
+# ---------------------------------------------------------------------------
+# parent-side sharding, dispatch, and deterministic merge
+# ---------------------------------------------------------------------------
+
+
+def _record_reads(runtime: Any) -> bool:
+    """Whether workers must journal read events for observer replay."""
+    fan = runtime._fan
+    return fan is not None and (
+        fan.any_machine_scalar_hooks
+        or fan.any_machine_batch_hooks
+        or fan.any_store_hooks
+    )
+
+
+def _dumps(payload: dict) -> bytes:
+    """Pre-pickle a shard payload in the parent, so unpicklable work
+    items surface as a serial fallback instead of a broken pipe."""
+    try:
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise CallableShipError(
+            f"round payload could not be shipped to the process backend: {exc}"
+        ) from exc
+
+
+def _machine_groups(
+    assignment: np.ndarray,
+) -> list[tuple[int, np.ndarray]]:
+    """(machine_id, item_indices) groups in the serial visiting order:
+    ascending machine id, items in work order within each machine."""
+    order = np.argsort(assignment, kind="stable")
+    sorted_assign = assignment[order]
+    cuts = np.flatnonzero(np.diff(sorted_assign)) + 1
+    starts = np.concatenate(([0], cuts))
+    ends = np.concatenate((cuts, [order.size]))
+    return [
+        (int(sorted_assign[s]), order[s:e]) for s, e in zip(starts, ends)
+    ]
+
+
+def _split_contiguous(weights: Sequence[int], n_shards: int) -> list[tuple[int, int]]:
+    """Cut ``range(len(weights))`` into <= n_shards contiguous, nonempty
+    spans of roughly equal total weight (greedy prefix walk)."""
+    n = len(weights)
+    n_shards = max(1, min(n_shards, n))
+    total = float(sum(weights))
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    left = n_shards
+    remaining = total
+    while left > 0:
+        # Every shard still to come must get at least one group.
+        max_end = n - (left - 1)
+        target = remaining / left
+        end = start + 1
+        acc = weights[start]
+        while end < max_end and acc < target:
+            acc += weights[end]
+            end += 1
+        bounds.append((start, end))
+        remaining -= acc
+        start = end
+        left -= 1
+        if start >= n:
+            break
+    return bounds
+
+
+def _even_ranges(n_items: int, n_shards: int) -> list[tuple[int, int]]:
+    """<= n_shards contiguous nonempty item ranges covering ``n_items``."""
+    n_shards = max(1, min(n_shards, n_items))
+    base, extra = divmod(n_items, n_shards)
+    bounds = []
+    start = 0
+    for shard in range(n_shards):
+        size = base + (1 if shard < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def _merge_store_reads(read_store: DistributedDataStore, res: dict) -> None:
+    """Fold a shard's shadow-store read deltas into the real read store."""
+    read_store.n_reads += res["n_reads"]
+    server_reads = res["server_reads"]
+    if server_reads is not None and read_store._route_reads:
+        read_store._server_reads += server_reads
+
+
+def _replay_ops(
+    fan: Any,
+    ctx: Any,
+    read_store: DistributedDataStore,
+    next_store: DistributedDataStore,
+    ops: list,
+) -> None:
+    """Fire a machine's journaled ops through the real fan and stores,
+    in the exact order the machine issued them."""
+    scalar_hooks = fan is not None and fan.any_machine_scalar_hooks
+    batch_hooks = fan is not None and fan.any_machine_batch_hooks
+    store_hooks = fan is not None and fan.any_store_hooks
+    for op in ops:
+        kind = op[0]
+        if kind == "w":
+            if scalar_hooks:
+                fan.on_machine_write(ctx, op[1])
+            next_store.write(op[1], op[2])
+        elif kind == "wa":
+            if batch_hooks:
+                fan.on_machine_write_batch(ctx, op[1], op[2])
+            next_store.write_array(op[1], op[2], op[3])
+        elif kind == "r":
+            if scalar_hooks:
+                fan.on_machine_read(ctx, op[1])
+            if store_hooks:
+                fan.on_store_read(read_store, op[1])
+        else:  # "rb"
+            if batch_hooks:
+                fan.on_machine_read_batch(ctx, op[1], op[2])
+            if store_hooks:
+                fan.on_store_read_batch(read_store, op[1], op[2])
+
+
+def _replay_machine(
+    runtime: Any,
+    read_store: DistributedDataStore,
+    next_store: DistributedDataStore,
+    mrec: dict,
+    worker_idx: int,
+) -> MachineContext:
+    """Rebuild one machine's round against the real stores: start hook,
+    journaled ops, shipped counters, end hook."""
+    fan = runtime._fan
+    ctx = MachineContext(mrec["mid"], runtime.config, read_store, next_store)
+    if fan is not None:
+        if fan.any_machine_scalar_hooks:
+            ctx.observer = fan
+        if fan.any_machine_batch_hooks:
+            ctx.batch_observer = fan
+    ctx.worker_id = worker_idx
+    if fan is not None:
+        fan.on_machine_start(ctx)
+    _replay_ops(fan, ctx, read_store, next_store, mrec["ops"])
+    ctx.reads_used = mrec["reads"]
+    ctx.writes_used = mrec["writes"]
+    ctx.read_violation = mrec["rv"]
+    ctx.write_violation = mrec["wv"]
+    if fan is not None:
+        fan.on_machine_end(ctx)
+    return ctx
+
+
+def _dispatch_shards(
+    runtime: Any,
+    read_store: DistributedDataStore,
+    task_name: str,
+    build_payload: Callable[[dict, tuple[int, int]], dict],
+    bounds: list[tuple[int, int]],
+) -> tuple[list[dict], int]:
+    """Export the store, ship one payload per shard, collect results.
+
+    Returns ``(shard_results, pool_workers)``. The shm arena lives
+    exactly as long as the workers need it — unlinked on every exit
+    path, including worker exceptions.
+    """
+    pool = get_pool(runtime.resolved_workers())
+    with ShmArena() as arena:
+        export = export_store(read_store, arena)
+        blobs = [_dumps(build_payload(export, span)) for span in bounds]
+        shard_results = pool.run_tasks(task_name, blobs)
+    return shard_results, pool.n_workers
+
+
+def run_scalar_round(
+    runtime: Any,
+    read_store: DistributedDataStore,
+    next_store: DistributedDataStore,
+    work: Sequence[Any],
+    worker: Callable[..., Any],
+    assignment: np.ndarray,
+    results: list[Any],
+    contexts: dict[int, MachineContext],
+) -> None:
+    """Process-backend execution of :meth:`AMPCRuntime.round`'s
+    work/worker path. Fills ``results`` and ``contexts`` in place.
+
+    Raises :class:`CallableShipError` when the worker or its items
+    cannot be shipped; the runtime falls back to the serial loop.
+    """
+    encoded = encode_callable(worker)
+    record_reads = _record_reads(runtime)
+    groups = _machine_groups(assignment)
+    bounds = _split_contiguous(
+        [idx.size for _, idx in groups], runtime.resolved_workers()
+    )
+
+    def build_payload(export: dict, span: tuple[int, int]) -> dict:
+        s, e = span
+        return {
+            "store": export,
+            "config": runtime.config,
+            "worker": encoded,
+            "record_reads": record_reads,
+            "mode": "scalar",
+            "machines": [
+                (mid, [work[int(i)] for i in idx]) for mid, idx in groups[s:e]
+            ],
+        }
+
+    shard_results, pool_workers = _dispatch_shards(
+        runtime, read_store, "machine_shard", build_payload, bounds
+    )
+    for shard_idx, (span, res) in enumerate(zip(bounds, shard_results)):
+        _merge_store_reads(read_store, res)
+        worker_idx = shard_idx % pool_workers
+        s, e = span
+        for (mid, idx), mrec in zip(groups[s:e], res["machines"]):
+            ctx = _replay_machine(
+                runtime, read_store, next_store, mrec, worker_idx
+            )
+            contexts[mid] = ctx
+            for i, out in zip(idx, mrec["outs"]):
+                results[int(i)] = out
+
+
+def run_block_round(
+    runtime: Any,
+    read_store: DistributedDataStore,
+    next_store: DistributedDataStore,
+    work: np.ndarray,
+    assignment: np.ndarray,
+    worker: Callable[..., Any],
+) -> tuple[Any, dict[int, MachineContext]]:
+    """Process-backend execution of the non-fused ``round_batch`` path.
+
+    Returns ``(results, contexts)`` with the serial path's scatter,
+    dtype-from-first-block, and all-or-none semantics.
+    """
+    encoded = encode_callable(worker)
+    record_reads = _record_reads(runtime)
+    groups = _machine_groups(assignment)
+    bounds = _split_contiguous(
+        [idx.size for _, idx in groups], runtime.resolved_workers()
+    )
+    n_items = work.size
+
+    def build_payload(export: dict, span: tuple[int, int]) -> dict:
+        s, e = span
+        return {
+            "store": export,
+            "config": runtime.config,
+            "worker": encoded,
+            "record_reads": record_reads,
+            "mode": "block",
+            "machines": [(mid, work[idx]) for mid, idx in groups[s:e]],
+        }
+
+    shard_results, pool_workers = _dispatch_shards(
+        runtime, read_store, "machine_shard", build_payload, bounds
+    )
+    contexts: dict[int, MachineContext] = {}
+    out_arrays: list[np.ndarray] | None = None
+    tuple_out = False
+    silent_blocks = 0
+    for shard_idx, (span, res) in enumerate(zip(bounds, shard_results)):
+        _merge_store_reads(read_store, res)
+        worker_idx = shard_idx % pool_workers
+        s, e = span
+        for (mid, idx), mrec in zip(groups[s:e], res["machines"]):
+            ctx = _replay_machine(
+                runtime, read_store, next_store, mrec, worker_idx
+            )
+            contexts[mid] = ctx
+            outs = mrec["outs"]
+            if outs is None:
+                silent_blocks += 1
+                continue
+            is_tuple, cols = outs
+            if out_arrays is None:
+                tuple_out = is_tuple
+                out_arrays = [
+                    np.empty((n_items,) + col.shape[1:], dtype=col.dtype)
+                    for col in cols
+                ]
+            for dst, col in zip(out_arrays, cols):
+                dst[idx] = col
+    results: Any = None
+    if out_arrays is not None:
+        if silent_blocks:
+            raise RoundProtocolError(
+                "round_batch workers must return outputs for every "
+                "block or for none"
+            )
+        results = tuple(out_arrays) if tuple_out else out_arrays[0]
+    return results, contexts
+
+
+def run_fused_round(
+    runtime: Any,
+    read_store: DistributedDataStore,
+    next_store: DistributedDataStore,
+    work: np.ndarray,
+    assignment: np.ndarray,
+    worker: Callable[..., Any],
+) -> tuple[Any, Any]:
+    """Process-backend execution of the fused ``round_batch`` path.
+
+    Shards are contiguous *item* ranges; every shard runs the same fused
+    program over its slice, so the per-shard batch-op streams are
+    positionally aligned slices of the serial op stream. The merge
+    re-concatenates each position's arrays in shard order, recovering
+    the serial event granularity exactly. Data-dependent control flow
+    that diverges across shards is detected (kind/namespace mismatch at
+    a stream position) and rejected with a pointer at the serial
+    backend. Returns ``(results, gctx)``.
+    """
+    from repro.core.runtime import BatchRoundContext
+
+    encoded = encode_callable(worker)
+    record_reads = _record_reads(runtime)
+    fan = runtime._fan
+    n_items = work.size
+    bounds = _even_ranges(n_items, runtime.resolved_workers())
+
+    def build_payload(export: dict, span: tuple[int, int]) -> dict:
+        s, e = span
+        return {
+            "store": export,
+            "config": runtime.config,
+            "worker": encoded,
+            "record_reads": record_reads,
+            "work": work[s:e],
+            "assignment": assignment[s:e],
+        }
+
+    shard_results, _ = _dispatch_shards(
+        runtime, read_store, "fused_shard", build_payload, bounds
+    )
+    for res in shard_results:
+        _merge_store_reads(read_store, res)
+    reads, writes, read_over, write_over = merge_shard_counters(
+        [(res["reads_used"], res["writes_used"]) for res in shard_results],
+        runtime.config.read_budget,
+        runtime.config.write_budget,
+    )
+
+    gctx = BatchRoundContext(
+        runtime.config,
+        read_store,
+        next_store,
+        work,
+        assignment,
+        fan if fan is not None and fan.any_machine_batch_hooks else None,
+    )
+    if fan is not None:
+        fan.on_machine_start(gctx)
+    _replay_fused_ops(
+        fan, gctx, read_store, next_store, [res["ops"] for res in shard_results]
+    )
+
+    outs = [res["outs"] for res in shard_results]
+    results: Any = None
+    if any(o is not None for o in outs):
+        first = next(o for o in outs if o is not None)
+        n_cols = len(first[1])
+        if any(o is None or len(o[1]) != n_cols for o in outs):
+            raise RoundProtocolError(
+                "fused round_batch worker diverged across shards (some "
+                "returned output columns, some did not); run this round "
+                "with backend='serial'"
+            )
+        tuple_out = first[0]
+        cols = [
+            np.concatenate([o[1][c] for o in outs]) for c in range(n_cols)
+        ]
+        for col in cols:
+            if len(col) != n_items:
+                raise RoundProtocolError(
+                    f"fused round_batch worker returned {len(col)} "
+                    f"rows for {n_items} work items"
+                )
+        results = tuple(cols) if tuple_out else cols[0]
+
+    gctx.reads_used[:] = reads
+    gctx.writes_used[:] = writes
+    gctx._read_over[:] = read_over
+    gctx._write_over[:] = write_over
+    if fan is not None:
+        fan.on_machine_end(gctx)
+    return results, gctx
+
+
+def _replay_fused_ops(
+    fan: Any,
+    gctx: Any,
+    read_store: DistributedDataStore,
+    next_store: DistributedDataStore,
+    shard_ops: list[list],
+) -> None:
+    """Merge positionally-aligned shard op streams into serial-granularity
+    events: one hook dispatch / one store write per original batch op,
+    with each op's arrays re-concatenated in shard (= item) order."""
+    batch_hooks = fan is not None and fan.any_machine_batch_hooks
+    store_hooks = fan is not None and fan.any_store_hooks
+    depth = max((len(ops) for ops in shard_ops), default=0)
+    for position in range(depth):
+        live = [ops[position] for ops in shard_ops if len(ops) > position]
+        kind, namespace = live[0][0], live[0][1]
+        for op in live[1:]:
+            if op[0] != kind or op[1] != namespace:
+                raise RoundProtocolError(
+                    "fused round_batch worker diverged across process-"
+                    "backend shards (data-dependent op streams); run this "
+                    "round with backend='serial'"
+                )
+        ids = (
+            np.concatenate([op[2] for op in live])
+            if len(live) > 1
+            else live[0][2]
+        )
+        if kind == "wa":
+            values = (
+                np.concatenate([op[3] for op in live])
+                if len(live) > 1
+                else live[0][3]
+            )
+            if batch_hooks:
+                fan.on_machine_write_batch(gctx, namespace, ids)
+            next_store.write_array(namespace, ids, values)
+        elif kind == "rb":
+            if batch_hooks:
+                fan.on_machine_read_batch(gctx, namespace, ids)
+            if store_hooks:
+                fan.on_store_read_batch(read_store, namespace, ids)
+        else:
+            raise RoundProtocolError(
+                f"unexpected scalar op {kind!r} in a fused round journal"
+            )

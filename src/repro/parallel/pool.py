@@ -1,0 +1,293 @@
+"""Persistent fork-based worker pool with closure-capable task shipping.
+
+One pipe per worker, one in-flight task per worker, tasks dispatched by
+name from a registry in :mod:`repro.parallel.backend` (so only payloads
+cross the pipe, never code objects for the framework itself). Round
+*worker callables*, however, are frequently local closures — MIS's
+truncated-query worker, connectivity's CSR-capturing batch worker — which
+plain pickle refuses; :func:`encode_callable` falls back to a
+marshal-of-code encoding that reconstructs the function in the child
+against its defining module's globals, with pickled defaults and closure
+cell values. When even that fails, :class:`CallableShipError` tells the
+runtime to fall back to the serial path for that round.
+"""
+
+from __future__ import annotations
+
+import atexit
+import importlib
+import marshal
+import multiprocessing
+import pickle
+import sys
+import traceback
+import types
+from typing import Any, Callable
+
+__all__ = [
+    "CallableShipError",
+    "WorkerCrashError",
+    "encode_callable",
+    "decode_callable",
+    "WorkerPool",
+    "get_pool",
+    "shutdown_pool",
+]
+
+
+class CallableShipError(RuntimeError):
+    """A round worker (or its payload) cannot be shipped to pool workers;
+    the runtime catches this and falls back to the serial path."""
+
+
+class WorkerCrashError(RuntimeError):
+    """A pool worker process died before returning its task result."""
+
+
+def encode_callable(fn: Callable[..., Any]) -> tuple[str, Any]:
+    """Encode a callable for reconstruction in a pool worker.
+
+    Module-level functions go through pickle; local closures/lambdas use
+    the marshal fallback. Raises :class:`CallableShipError` when neither
+    works (e.g. a closure over an unpicklable object).
+    """
+    try:
+        return ("pickle", pickle.dumps(fn, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        pass
+    try:
+        code = fn.__code__
+        cells = tuple(cell.cell_contents for cell in (fn.__closure__ or ()))
+        return (
+            "marshal",
+            (
+                marshal.dumps(code),
+                fn.__module__,
+                fn.__name__,
+                pickle.dumps(fn.__defaults__, protocol=pickle.HIGHEST_PROTOCOL),
+                pickle.dumps(cells, protocol=pickle.HIGHEST_PROTOCOL),
+            ),
+        )
+    except Exception as exc:
+        raise CallableShipError(
+            f"cannot ship worker callable {fn!r} to the process backend: {exc}"
+        ) from exc
+
+
+def decode_callable(encoded: tuple[str, Any]) -> Callable[..., Any]:
+    """Inverse of :func:`encode_callable` (runs in the pool worker)."""
+    kind, payload = encoded
+    if kind == "pickle":
+        return pickle.loads(payload)
+    code_bytes, module_name, name, defaults_bytes, cells_bytes = payload
+    code = marshal.loads(code_bytes)
+    module = sys.modules.get(module_name)
+    if module is None:
+        module = importlib.import_module(module_name)
+    cell_values = pickle.loads(cells_bytes)
+    closure = tuple(types.CellType(v) for v in cell_values) or None
+    return types.FunctionType(
+        code, module.__dict__, name, pickle.loads(defaults_bytes), closure
+    )
+
+
+def _ship_exception(exc: BaseException) -> tuple:
+    etype = type(exc)
+    try:
+        args = pickle.dumps(exc.args, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        args = pickle.dumps((str(exc),))
+    return ("err", etype.__module__, etype.__qualname__, args,
+            traceback.format_exc())
+
+
+def _rebuild_exception(info: tuple) -> BaseException:
+    _, module_name, qualname, args_bytes, tb_text = info
+    try:
+        args = pickle.loads(args_bytes)
+        obj: Any = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+        try:
+            exc = obj(*args)
+        except Exception:
+            # Exception classes whose __init__ reshapes args (e.g. a
+            # formatted message): bypass __init__, keep the args.
+            exc = obj.__new__(obj)
+            exc.args = args
+    except Exception:
+        exc = WorkerCrashError(
+            f"worker task failed with unreconstructable "
+            f"{module_name}.{qualname}"
+        )
+    try:
+        exc.add_note("pool worker traceback:\n" + tb_text)
+    except Exception:
+        pass
+    return exc
+
+
+def _worker_main(conn: Any) -> None:
+    from .shm import disable_worker_shm_tracking
+
+    disable_worker_shm_tracking()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if message is None:
+            break
+        task_name, payload_blob = message
+        try:
+            from . import backend as _backend
+
+            task = _backend.TASKS[task_name]
+            out: tuple = ("ok", task(pickle.loads(payload_blob)))
+        except Exception as exc:
+            out = _ship_exception(exc)
+        try:
+            conn.send(out)
+        except Exception as exc:
+            # An unpicklable task *result* must not break the pipe
+            # protocol; ship it as a CallableShipError so the parent
+            # falls back to the serial path (workers mutate no parent
+            # state, so re-running the round serially is safe).
+            try:
+                conn.send(
+                    _ship_exception(
+                        CallableShipError(
+                            f"task result could not be shipped back: {exc}"
+                        )
+                    )
+                )
+            except Exception:
+                break
+    try:
+        conn.close()
+    except Exception:
+        pass
+
+
+class WorkerPool:
+    """Fixed set of forked workers, one duplex pipe each.
+
+    Fork (not spawn): workers inherit the loaded module graph, so a task
+    only ships its payload. The pool is persistent — created once, reused
+    by every parallel round — which is what makes per-round dispatch
+    cheap enough to shard small rounds.
+    """
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        ctx = multiprocessing.get_context("fork")
+        self.n_workers = n_workers
+        self.broken = False
+        self._conns = []
+        self._procs = []
+        for _ in range(n_workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_main, args=(child_conn,), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    def run_tasks(self, task_name: str, payload_blobs: list[bytes]) -> list[Any]:
+        """Run pre-pickled payloads across the workers; results in order.
+
+        Shard i goes to worker ``i % n_workers``; dispatch proceeds in
+        waves of one task per worker. If any task raised, the exception
+        of the *lowest shard index* is re-raised (shards are ordered by
+        ascending machine range, so this matches the serial path's
+        first-machine-wins error ordering).
+        """
+        results: list[Any] = [None] * len(payload_blobs)
+        errors: list[tuple[int, tuple]] = []
+        by_worker: list[list[int]] = [[] for _ in range(self.n_workers)]
+        for index in range(len(payload_blobs)):
+            by_worker[index % self.n_workers].append(index)
+        wave = 0
+        while True:
+            active: list[tuple[int, int]] = []
+            for worker_idx, indices in enumerate(by_worker):
+                if wave < len(indices):
+                    index = indices[wave]
+                    try:
+                        self._conns[worker_idx].send(
+                            (task_name, payload_blobs[index])
+                        )
+                    except (OSError, BrokenPipeError) as exc:
+                        self.broken = True
+                        raise WorkerCrashError(
+                            f"pool worker {worker_idx} is gone"
+                        ) from exc
+                    active.append((worker_idx, index))
+            if not active:
+                break
+            for worker_idx, index in active:
+                try:
+                    reply = self._conns[worker_idx].recv()
+                except (EOFError, OSError) as exc:
+                    self.broken = True
+                    raise WorkerCrashError(
+                        f"pool worker {worker_idx} died mid-task"
+                    ) from exc
+                if reply[0] == "ok":
+                    results[index] = reply[1]
+                else:
+                    errors.append((index, reply))
+            wave += 1
+        if errors:
+            errors.sort(key=lambda pair: pair[0])
+            raise _rebuild_exception(errors[0][1])
+        return results
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2)
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        self._conns = []
+        self._procs = []
+        self.broken = True
+
+
+_POOL: WorkerPool | None = None
+
+
+def get_pool(n_workers: int) -> WorkerPool:
+    """The shared persistent pool, (re)built on size change or breakage."""
+    global _POOL
+    if _POOL is not None and (_POOL.broken or _POOL.n_workers != n_workers):
+        _POOL.close()
+        _POOL = None
+    if _POOL is None:
+        _POOL = WorkerPool(n_workers)
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Terminate the shared pool (idempotent; re-created on next use)."""
+    global _POOL
+    if _POOL is not None:
+        _POOL.close()
+        _POOL = None
+
+
+atexit.register(shutdown_pool)

@@ -1,0 +1,237 @@
+"""Shared-memory export / attach of sealed DDS stores.
+
+The parent owns the lifecycle: an :class:`ShmArena` creates one POSIX
+shared-memory segment per column array of the round's read store, the
+workers attach zero-copy numpy views over those segments, and the arena
+unlinks everything in a ``finally`` around the round — covering normal
+completion, worker exceptions, chaos-induced aborts, and
+KeyboardInterrupt. Workers never create or unlink segments, only attach
+and close, so a crashed worker cannot leak ``/dev/shm`` entries.
+
+Only the columnar state travels through shared memory (that is the
+graph-sized data); the scalar ``_data`` dict — used by scalar-key
+algorithms like MIS — is pickled once into a shared blob so the parent
+pays serialization once, not once per worker.
+"""
+
+from __future__ import annotations
+
+import pickle
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any
+
+import numpy as np
+
+from repro.core.dds import DistributedDataStore, _Column
+
+
+class StoreExportError(TypeError):
+    """The store cannot be exported (e.g. replicated/chaos store)."""
+
+
+def disable_worker_shm_tracking() -> None:
+    """Stop the resource tracker from tracking attaches in this process.
+
+    On Python <= 3.12 merely *attaching* a segment registers it with the
+    (fork-inherited, shared) resource tracker. Workers never create or
+    unlink segments — the parent's arena owns the lifecycle — so any
+    worker-side register/unregister traffic corrupts the tracker's
+    per-name cache (the unlink from the owning parent then logs a
+    KeyError). Called once at worker startup; only affects that process.
+    """
+
+    original = resource_tracker.register
+
+    def register(name: str, rtype: str) -> None:
+        if rtype != "shared_memory":
+            original(name, rtype)
+
+    resource_tracker.register = register  # type: ignore[assignment]
+
+
+class ShmArena:
+    """Parent-side owner of one parallel round's shared-memory segments.
+
+    Use as a context manager (or call :meth:`close` in a ``finally``):
+    every segment created through :meth:`share_array` / :meth:`share_bytes`
+    is closed *and unlinked* on exit, on every exit path.
+    """
+
+    __slots__ = ("_segments", "closed")
+
+    def __init__(self) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+        self.closed = False
+
+    def share_array(self, array: np.ndarray) -> dict:
+        """Copy ``array`` into a fresh segment; returns a picklable
+        descriptor :func:`attached` workers turn back into a view.
+
+        Zero-size and object-dtype arrays are shipped inline (a segment
+        cannot hold them / adds nothing).
+        """
+        arr = np.ascontiguousarray(array)
+        if arr.nbytes == 0 or arr.dtype.hasobject:
+            return {"inline": arr}
+        segment = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+        self._segments.append(segment)
+        view: np.ndarray = np.ndarray(arr.shape, dtype=arr.dtype, buffer=segment.buf)
+        view[...] = arr
+        return {"name": segment.name, "shape": arr.shape, "dtype": arr.dtype.str}
+
+    def share_bytes(self, blob: bytes) -> dict:
+        """Place an opaque byte blob in a segment (inline when empty)."""
+        if not blob:
+            return {"inline_bytes": b""}
+        segment = shared_memory.SharedMemory(create=True, size=len(blob))
+        self._segments.append(segment)
+        segment.buf[: len(blob)] = blob
+        return {"name": segment.name, "nbytes": len(blob)}
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        for segment in self._segments:
+            try:
+                segment.close()
+            except Exception:
+                pass
+            try:
+                segment.unlink()
+            except Exception:
+                pass
+        self._segments.clear()
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class AttachedSegments:
+    """Worker-side handle set keeping attached segments' buffers alive.
+
+    Numpy views into a segment are only valid while the SharedMemory
+    object is open; a task holds one of these for its whole execution and
+    closes it in a ``finally`` (attach-side close only — never unlink).
+    """
+
+    __slots__ = ("_segments",)
+
+    def __init__(self) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+
+    def array(self, descriptor: dict) -> np.ndarray:
+        inline = descriptor.get("inline")
+        if inline is not None:
+            return inline
+        segment = shared_memory.SharedMemory(name=descriptor["name"])
+        self._segments.append(segment)
+        return np.ndarray(
+            descriptor["shape"],
+            dtype=np.dtype(descriptor["dtype"]),
+            buffer=segment.buf,
+        )
+
+    def blob(self, descriptor: dict) -> Any:
+        """A buffer over the blob segment (or the inline bytes)."""
+        inline = descriptor.get("inline_bytes")
+        if inline is not None:
+            return inline
+        segment = shared_memory.SharedMemory(name=descriptor["name"])
+        self._segments.append(segment)
+        return segment.buf[: descriptor["nbytes"]]
+
+    def close(self) -> None:
+        for segment in self._segments:
+            try:
+                segment.close()
+            except Exception:
+                pass
+        self._segments.clear()
+
+
+def export_store(store: DistributedDataStore, arena: ShmArena) -> dict:
+    """Picklable descriptor of a sealed read store, column arrays in shm.
+
+    Column indexes (stable sort order, sorted ids) are built here, once,
+    in the parent — workers share the one index instead of re-sorting per
+    process. Raises :class:`StoreExportError` for store subclasses
+    (replicated / chaos stores have per-key failover state that must stay
+    serial).
+    """
+    if type(store) is not DistributedDataStore:
+        raise StoreExportError(
+            f"cannot export {type(store).__name__} to the process backend; "
+            f"only plain DistributedDataStore rounds shard"
+        )
+    columns = {}
+    for namespace, column in store._columns.items():
+        width, dtype, ids, values, order, sorted_ids, n_distinct = (
+            column.share_parts()
+        )
+        columns[namespace] = {
+            "width": width,
+            "dtype": np.dtype(dtype).str,
+            "ids": arena.share_array(ids),
+            "values": arena.share_array(values),
+            "order": arena.share_array(order),
+            "sorted_ids": arena.share_array(sorted_ids),
+            "n_distinct": n_distinct,
+        }
+    blob = (
+        pickle.dumps(store._data, protocol=pickle.HIGHEST_PROTOCOL)
+        if store._data
+        else b""
+    )
+    return {
+        "round_index": store.round_index,
+        "n_servers": store.n_servers,
+        "seed": store.seed,
+        "max_words": store.max_words,
+        "track_contention": store.track_contention,
+        "data": arena.share_bytes(blob),
+        "columns": columns,
+    }
+
+
+def attach_store(
+    export: dict,
+) -> tuple[DistributedDataStore, AttachedSegments]:
+    """Worker-side reconstruction of an exported store as a sealed shadow.
+
+    The shadow's read counters start at zero, so after the task runs they
+    hold exactly the deltas (``n_reads``, per-server read loads) the
+    parent merges back. Caller must ``close()`` the returned handles when
+    done with the store.
+    """
+    handles = AttachedSegments()
+    try:
+        columns = {}
+        for namespace, desc in export["columns"].items():
+            columns[namespace] = _Column.from_shared_parts(
+                desc["width"],
+                np.dtype(desc["dtype"]),
+                handles.array(desc["ids"]),
+                handles.array(desc["values"]),
+                handles.array(desc["order"]),
+                handles.array(desc["sorted_ids"]),
+                desc["n_distinct"],
+            )
+        raw = handles.blob(export["data"])
+        data = pickle.loads(raw) if len(raw) else {}
+        store = DistributedDataStore.attach_shadow(
+            round_index=export["round_index"],
+            n_servers=export["n_servers"],
+            seed=export["seed"],
+            max_words=export["max_words"],
+            track_contention=export["track_contention"],
+            data=data,
+            columns=columns,
+        )
+        return store, handles
+    except Exception:
+        handles.close()
+        raise

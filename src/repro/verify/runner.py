@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.chaos import FaultPlan
 from repro.graph import generators
 from repro.graph.graph import Graph
+from repro.parallel import BACKENDS, use_backend
 
 from .invariants import InvariantSuite
 from .oracles import CASES, AlgorithmCase, Workload
@@ -235,10 +236,12 @@ class CellRecord:
     invariant_violations: list[dict] = field(default_factory=list)
     deterministic: bool | None = None
     chaos_identical: bool | None = None
+    backend_identical: bool | None = None
     rounds: int | None = None
     error: str | None = None
     duration_s: float = 0.0
     vectorized: bool = False
+    backend: str = "serial"
 
     @property
     def ok(self) -> bool:
@@ -254,6 +257,11 @@ class CellRecord:
             reasons.append("outputs differ between identical runs")
         if self.chaos_identical is False:
             reasons.append("chaos run is not bit-identical to fault-free run")
+        if self.backend_identical is False:
+            reasons.append(
+                "process backend is not bit-identical to serial "
+                "(results or per-round ledgers differ)"
+            )
         if self.error:
             reasons.append(f"exception: {self.error.splitlines()[-1]}")
         return reasons
@@ -271,10 +279,12 @@ class CellRecord:
             "invariant_violations": self.invariant_violations,
             "deterministic": self.deterministic,
             "chaos_identical": self.chaos_identical,
+            "backend_identical": self.backend_identical,
             "rounds": self.rounds,
             "error": self.error,
             "duration_s": round(self.duration_s, 4),
             "vectorized": self.vectorized,
+            "backend": self.backend,
         }
 
 
@@ -366,17 +376,21 @@ def _run_cell(
     balance_slack: float,
     chaos: bool,
     vectorized: bool = False,
+    backend: str = "serial",
+    workers: int | None = None,
 ) -> CellRecord:
     workload = make_workload(case, family, n, seed)
     wn, wm = workload.size
     use_vectorized = vectorized and case.run_vectorized is not None
     run = case.run_vectorized if use_vectorized else case.run
     record = CellRecord(algorithm=case.name, family=family, seed=seed,
-                        n=wn, m=wm, vectorized=use_vectorized)
+                        n=wn, m=wm, vectorized=use_vectorized,
+                        backend=backend)
     start = time.perf_counter()
     try:
-        with InvariantSuite(balance_slack=balance_slack) as suite:
-            result = run(workload, seed)
+        with use_backend(backend, workers):
+            with InvariantSuite(balance_slack=balance_slack) as suite:
+                result = run(workload, seed)
         record.invariant_violations = [
             {"invariant": v.invariant, "message": v.message, "tag": v.tag}
             for v in suite.violations
@@ -392,12 +406,26 @@ def _run_cell(
         # Seed-determinism: the same cell twice must agree bit for bit,
         # including the cost ledger (wall time excluded).
         rerun_workload = make_workload(case, family, n, seed)
-        rerun = run(rerun_workload, seed)
+        with use_backend(backend, workers):
+            rerun = run(rerun_workload, seed)
         record.deterministic = (
             case.digest(result) == case.digest(rerun)
             and _summary_without_walltime(report)
             == _summary_without_walltime(case.report_of(rerun))
         )
+
+        # Cross-backend oracle: a process-backend cell must be
+        # bit-identical to a serial twin — same results AND the same
+        # cost ledger (wall time excluded).
+        if backend != "serial":
+            twin_workload = make_workload(case, family, n, seed)
+            with use_backend("serial", None):
+                twin = run(twin_workload, seed)
+            record.backend_identical = (
+                case.digest(result) == case.digest(twin)
+                and _summary_without_walltime(report)
+                == _summary_without_walltime(case.report_of(twin))
+            )
 
         if chaos and case.chaos_run is not None:
             plan = default_fault_plan(DEFAULT_CHAOS_PLAN["fault_seed"] + seed)
@@ -425,6 +453,8 @@ def verify_sweep(
     smoke: bool = False,
     chaos: bool = False,
     vectorized: bool = False,
+    backend: str = "serial",
+    workers: int | None = None,
     balance_slack: float = 4.0,
     progress: Callable[[CellRecord], None] | None = None,
 ) -> ConformanceReport:
@@ -444,9 +474,18 @@ def verify_sweep(
             simulator; oracles, invariants, and the seed-determinism
             matrix apply unchanged (the batch path must satisfy the same
             contract). Cases without a vectorized variant run scalar.
+        backend: execution backend for every cell (``"serial"`` or
+            ``"process"``). With ``"process"``, each cell additionally
+            runs a serial twin and requires bit-identical results and
+            per-round ledgers (``backend_identical``).
+        workers: worker count for the process backend (default:
+            autodetect).
         balance_slack: constant factor granted over the Lemma 2.1 bound.
         progress: optional callback invoked with each finished cell.
     """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; "
+                         f"expected one of {BACKENDS}")
     wanted = list(algorithms) if algorithms else list(CASES)
     unknown = [name for name in wanted if name not in CASES]
     if unknown:
@@ -472,7 +511,8 @@ def verify_sweep(
                 record = _run_cell(
                     case, family, n, seed,
                     balance_slack=balance_slack, chaos=chaos,
-                    vectorized=vectorized,
+                    vectorized=vectorized, backend=backend,
+                    workers=workers,
                 )
                 records.append(record)
                 if progress is not None:
@@ -486,6 +526,8 @@ def verify_sweep(
         "smoke": smoke,
         "chaos": chaos,
         "vectorized": vectorized,
+        "backend": backend,
+        "workers": workers,
         "balance_slack": balance_slack,
     }
     return ConformanceReport(records=records, settings=settings)

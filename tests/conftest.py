@@ -2,11 +2,57 @@
 
 from __future__ import annotations
 
+import signal
+
 import numpy as np
 import pytest
 
 from repro.core import AMPCConfig, AMPCRuntime
 from repro.graph import generators
+
+# Hard wall-clock ceiling for @pytest.mark.parallel tests: a wedged
+# worker (deadlocked pipe, orphaned pool) must fail the test, not hang
+# the suite. pytest-timeout is used when installed; otherwise we arm
+# SIGALRM ourselves (main thread, POSIX — fine for this suite).
+PARALLEL_TEST_TIMEOUT_S = 120
+
+try:  # pragma: no cover - presence probe
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+
+def pytest_collection_modifyitems(config, items):
+    if not _HAVE_PYTEST_TIMEOUT:
+        return
+    for item in items:
+        if item.get_closest_marker("parallel") is not None:
+            item.add_marker(pytest.mark.timeout(PARALLEL_TEST_TIMEOUT_S))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if (_HAVE_PYTEST_TIMEOUT
+            or item.get_closest_marker("parallel") is None
+            or not hasattr(signal, "SIGALRM")):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"parallel test exceeded {PARALLEL_TEST_TIMEOUT_S}s "
+            f"(wedged worker pool?)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.alarm(PARALLEL_TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

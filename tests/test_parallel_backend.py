@@ -1,0 +1,290 @@
+"""The multi-core process backend (:mod:`repro.parallel`).
+
+Every test here asserts the backend's central contract: results AND
+per-round cost ledgers are bit-identical to the serial path. The module
+is ``parallel``-marked (hard per-test timeout via tests/conftest.py) and
+wrapped in a /dev/shm leak check — a shared-memory segment that survives
+a test is a failure even if the answers match.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import AMPCConfig, AMPCRuntime
+from repro.core.chaos import ChaosRuntime, FaultPlan
+from repro.core.errors import BudgetExceededError
+from repro.graph import generators
+from repro.parallel import autodetect_workers, use_backend
+from repro.verify.runner import _run_cell, _summary_without_walltime
+from repro.verify.oracles import CASES
+
+pytestmark = pytest.mark.parallel
+
+# Satellite: worker-count autodetect with single-core skip — tests that
+# check genuine multi-worker placement are meaningless (and skipped) on
+# a single-core host; the bit-identity tests below run everywhere.
+multicore = pytest.mark.skipif(
+    autodetect_workers() < 2,
+    reason="single-core host: autodetected worker count < 2",
+)
+
+
+@pytest.fixture(autouse=True)
+def shm_leak_check():
+    """Fail any test that leaks a POSIX shared-memory segment."""
+    if not os.path.isdir("/dev/shm"):
+        yield  # non-Linux: nothing to scan
+        return
+    before = set(os.listdir("/dev/shm"))
+    yield
+    leaked = set(os.listdir("/dev/shm")) - before
+    assert not leaked, f"shared-memory segments leaked: {sorted(leaked)}"
+
+
+def _ledger(report):
+    return _summary_without_walltime(report)
+
+
+def _run_both(fn):
+    """Run ``fn()`` serially and under the process backend (2 workers)."""
+    serial = fn()
+    with use_backend("process", 2):
+        process = fn()
+    return serial, process
+
+
+# -- end-to-end algorithm parity -------------------------------------------
+
+
+def test_connectivity_bit_identical():
+    g = generators.erdos_renyi_gnm(300, 450, rng=5)
+    serial, process = _run_both(lambda: repro.connectivity(g, seed=3))
+    assert np.array_equal(serial.labels, process.labels)
+    assert _ledger(serial.report) == _ledger(process.report)
+
+
+@pytest.mark.parametrize("vectorized", [False, True])
+def test_list_ranking_bit_identical(vectorized):
+    succ = generators.linked_list(250, rng=7)
+    serial, process = _run_both(
+        lambda: repro.list_ranking(succ, seed=2, vectorized=vectorized)
+    )
+    assert np.array_equal(serial.ranks, process.ranks)
+    assert _ledger(serial.report) == _ledger(process.report)
+
+
+def test_mis_bit_identical():
+    g = generators.barabasi_albert(200, 3, rng=11)
+    serial, process = _run_both(
+        lambda: repro.maximal_independent_set(g, seed=1)
+    )
+    assert np.array_equal(serial.in_mis, process.in_mis)
+    assert _ledger(serial.report) == _ledger(process.report)
+
+
+def test_trace_spans_tagged_with_worker():
+    from repro.observe import TracingSession
+
+    g = generators.erdos_renyi_gnm(200, 300, rng=1)
+    with use_backend("process", 2):
+        with TracingSession(detail="machine") as session:
+            repro.connectivity(g, seed=0)
+    workers = {e.attrs["worker"] for e in session.events
+               if e.attrs and "worker" in e.attrs}
+    assert workers, "no machine span carried a worker tag"
+    assert all(0 <= w < 2 for w in workers)
+
+
+@multicore
+def test_shards_spread_across_workers():
+    from repro.observe import TracingSession
+
+    g = generators.erdos_renyi_gnm(400, 800, rng=2)
+    with use_backend("process", 2):
+        with TracingSession(detail="machine") as session:
+            repro.connectivity(g, seed=0)
+    workers = {e.attrs["worker"] for e in session.events
+               if e.attrs and "worker" in e.attrs}
+    assert len(workers) >= 2
+
+
+# -- runtime-level behaviour -----------------------------------------------
+
+
+def test_unknown_backend_rejected():
+    config = AMPCConfig(epsilon=0.5, space=64, n_machines=8, seed=7)
+    with pytest.raises(ValueError, match="unknown backend"):
+        AMPCRuntime(config, backend="threads")
+
+
+def test_fallback_on_unshippable_result(small_config):
+    """A worker output that cannot be pickled falls back to serial."""
+    runtime = AMPCRuntime(small_config, backend="process", n_workers=2)
+    runtime.bootstrap(("x", i) for i in range(16))
+
+    def worker(ctx, item):
+        return lambda: item  # unpicklable result
+
+    results = runtime.round(list(range(16)), worker).results
+    assert runtime.parallel_fallbacks == 1
+    assert [r() for r in results] == list(range(16))
+
+
+def test_strict_budget_error_parity():
+    def run():
+        config = AMPCConfig(epsilon=0.5, space=8, n_machines=4, seed=3,
+                            strict=True)
+        runtime = AMPCRuntime(config)
+        runtime.bootstrap((("v", i), i) for i in range(300))
+
+        def hungry(ctx, item):
+            for i in range(300):  # read budget is 32 * 8 = 256
+                ctx.read(("v", i))
+            return item
+
+        runtime.round(list(range(16)), hungry)
+
+    with pytest.raises(BudgetExceededError) as serial_err:
+        run()
+    with use_backend("process", 2):
+        with pytest.raises(BudgetExceededError) as process_err:
+            run()
+    assert serial_err.value.args == process_err.value.args
+
+
+def test_chaos_runtime_stays_serial_and_identical():
+    """Chaos runs opt out of sharding but stay bit-identical."""
+    g = generators.erdos_renyi_gnm(150, 220, rng=9)
+    config = AMPCConfig.for_input(g.n + g.m, seed=4, replication_factor=2)
+    plan = FaultPlan.machine_crashes(0.1, seed=1)
+
+    from repro.algorithms.connectivity import connectivity
+
+    base = connectivity(g, runtime=ChaosRuntime(config, plan=plan))
+    with use_backend("process", 2):
+        chaos_runtime = ChaosRuntime(config, plan=plan)
+        assert chaos_runtime.backend == "process"
+        assert not chaos_runtime.parallel_capable
+        under = connectivity(g, runtime=chaos_runtime)
+    assert np.array_equal(base.labels, under.labels)
+    assert _ledger(base.report) == _ledger(under.report)
+
+
+# -- conformance-harness integration ---------------------------------------
+
+
+def test_verify_cell_backend_oracle():
+    record = _run_cell(CASES["connectivity"], "er", 48, 0,
+                       balance_slack=4.0, chaos=False,
+                       backend="process", workers=2)
+    assert record.status == "ok", record.error
+    assert record.backend == "process"
+    assert record.backend_identical is True
+    assert record.to_dict()["backend_identical"] is True
+
+
+def test_verify_sweep_rejects_unknown_backend():
+    from repro.verify.runner import verify_sweep
+
+    with pytest.raises(ValueError, match="unknown backend"):
+        verify_sweep(backend="gpu")
+
+
+# -- satellite: bounded _mix_part string cache -----------------------------
+
+
+def test_str_mix_cache_capped():
+    from repro.core import partition
+
+    partition._STR_MIX_CACHE.clear()
+    reference = partition._mix_part("probe-key")
+    for i in range(3 * partition._STR_MIX_CACHE_MAX):
+        partition._mix_part(f"churn-{i}")
+        assert len(partition._STR_MIX_CACHE) <= partition._STR_MIX_CACHE_MAX
+    # Eviction churn never changes the hash of a re-derived key.
+    assert partition._mix_part("probe-key") == reference
+
+
+def test_str_mix_cache_lru_keeps_hot_keys():
+    from repro.core import partition
+
+    partition._STR_MIX_CACHE.clear()
+    partition._mix_part("hot")
+    for i in range(partition._STR_MIX_CACHE_MAX - 1):
+        partition._mix_part(f"cold-{i}")
+        partition._mix_part("hot")  # refresh to MRU each round
+    partition._mix_part("evictor")  # cache full: evicts the LRU entry
+    assert "hot" in partition._STR_MIX_CACHE
+
+
+# -- satellite: Hypothesis cross-backend property tests --------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+
+from repro.verify import strategies  # noqa: E402
+
+_H_SETTINGS = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@settings(**_H_SETTINGS)
+@given(batch=strategies.id_batches(min_size=1, max_size=64),
+       seed=strategies.seeds())
+def test_dds_ops_backend_parity(batch, seed):
+    """Scalar + batch DDS traffic: results and ledgers match serially."""
+    namespace, ids, values = batch
+
+    def run():
+        config = AMPCConfig(epsilon=0.5, space=64, n_machines=8,
+                            seed=seed % 64)
+        runtime = AMPCRuntime(config)
+        runtime.bootstrap([("n", int(ids.size))])
+        runtime.round([0], lambda ctx, item: ctx.write(
+            "seeded", True) or ctx.read("n"))
+
+        def writer(ctx, item):
+            lo, hi = item
+            ctx.write_array(namespace, ids[lo:hi], values[lo:hi])
+            return hi - lo
+
+        n = ids.size
+        cuts = sorted({0, n // 3, 2 * n // 3, n})
+        blocks = [(cuts[i], cuts[i + 1]) for i in range(len(cuts) - 1)]
+        runtime.round(blocks, writer)
+
+        def reader(ctx, item):
+            lo, hi = item
+            got = ctx.read_array(namespace, ids[lo:hi])
+            ctx.write(("echo", lo), float(np.sum(got)))
+            return got
+
+        outs = runtime.round(blocks, reader).results
+        return ([np.asarray(o) for o in outs], runtime.report)
+
+    (serial_out, serial_rep) = run()
+    with use_backend("process", 2):
+        (process_out, process_rep) = run()
+    assert len(serial_out) == len(process_out)
+    for a, b in zip(serial_out, process_out):
+        np.testing.assert_array_equal(a, b)
+    assert _ledger(serial_rep) == _ledger(process_rep)
+
+
+@settings(**_H_SETTINGS)
+@given(succ=strategies.linked_lists(min_n=2, max_n=120),
+       seed=strategies.seeds(max_seed=100))
+def test_list_ranking_backend_parity(succ, seed):
+    serial, process = _run_both(
+        lambda: repro.list_ranking(succ, seed=seed)
+    )
+    assert np.array_equal(serial.ranks, process.ranks)
+    assert _ledger(serial.report) == _ledger(process.report)
