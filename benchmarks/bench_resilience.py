@@ -1,20 +1,30 @@
-"""Experiment R1 — recovery overhead vs fault rate (chaos layer).
+"""Experiments R1 and R2 — recovery overhead vs fault rate.
 
-Sweeps a composed fault plan (machine crashes + DDS server outages +
-transient read timeouts, replication factor 2) over increasing fault
-rates and runs connectivity, list ranking, and MIS under each plan.
-Every run must produce results *bit-identical* to the fault-free
-baseline — the paper's §2.1 fault-tolerance claim — while the ledger
-records what recovery cost. The sweep is emitted as JSON at session end
-(stdout, and to the file named by ``RESILIENCE_JSON`` if set).
+R1 (chaos layer): sweeps a composed *simulated* fault plan (machine
+crashes + DDS server outages + transient read timeouts, replication
+factor 2) over increasing fault rates and runs connectivity, list
+ranking, and MIS under each plan. Every run must produce results
+*bit-identical* to the fault-free baseline — the paper's §2.1
+fault-tolerance claim — while the ledger records what recovery cost.
+The sweep is emitted as JSON at session end (stdout, and to the file
+named by ``RESILIENCE_JSON`` if set).
 
-At ``rate`` the plan is: crash probability = rate, server outage
+At ``rate`` the R1 plan is: crash probability = rate, server outage
 probability = rate / 2, read timeout probability = rate / 10 — so the
 ISSUE's reference point (20% crash, 10% outage) is the rate = 0.2 row.
+
+R2 (process backend): the same question against *real* OS workers —
+pool processes SIGKILLed mid-task, replies dropped (supervisor deadline)
+and delayed — at increasing injection rates. The supervisor's respawn /
+retry / backoff machinery must deliver the bit-identical answer, and
+the ledger records retries, respawns, and recovery wall time. Run this
+module directly (``python benchmarks/bench_resilience.py``) to regenerate
+the checked-in ``benchmarks/BENCH_resilience.json`` from the R2 sweep.
 """
 
 import json
 import os
+import time
 
 import numpy as np
 import pytest
@@ -22,16 +32,25 @@ import pytest
 from repro.algorithms.connectivity import connectivity
 from repro.algorithms.list_ranking import list_ranking, sequential_list_ranks
 from repro.algorithms.mis import maximal_independent_set
-from repro.core.chaos import ChaosRuntime, FaultPlan
+from repro.core.chaos import ChaosRuntime, FaultPlan, ProcessFaultPlan
 from repro.core.config import AMPCConfig
 from repro.graph import generators
+from repro.parallel import (
+    RecoveryPolicy,
+    shutdown_pool,
+    use_backend,
+    use_process_faults,
+    use_recovery,
+)
 
 RATES = [0.0, 0.05, 0.1, 0.2, 0.3]
+PROC_RATES = [0.0, 0.05, 0.1, 0.2]
 REPLICATION = 2
 _N, _M = 600, 1500
 _LIST_N = 2048
 
 _sweep: list[dict] = []
+_proc_sweep: list[dict] = []
 
 _graph = generators.erdos_renyi_gnm(_N, _M, rng=7)
 _succ = generators.linked_list(_LIST_N, rng=7)
@@ -127,6 +146,81 @@ def test_mis_under_faults(benchmark, record, rate):
                   record, benchmark)
 
 
+# -- R2: real-process fault sweep (pool supervision) ------------------------
+
+
+def _proc_plan(rate: float) -> ProcessFaultPlan:
+    """Kill and delay at ``rate``, hang at ``rate / 5`` (each hang costs
+    a full task deadline, so it is the expensive fault kind)."""
+    return (
+        ProcessFaultPlan.kills(rate, seed=31)
+        | ProcessFaultPlan.delays(rate, delay_s=0.01, seed=31)
+        | ProcessFaultPlan.hangs(rate / 5, seed=31)
+    )
+
+
+_PROC_POLICY = RecoveryPolicy(task_deadline_s=0.3)
+
+
+def _run_proc_sweep_row(rate: float) -> dict:
+    """One R2 row: connectivity on the process backend under faults."""
+    baseline = connectivity(_graph, config=_config(_graph.n + _graph.m,
+                                                   replication=1))
+    began = time.perf_counter()
+    with use_process_faults(_proc_plan(rate)), use_recovery(_PROC_POLICY), \
+            use_backend("process", 2):
+        faulted = connectivity(_graph, config=_config(
+            _graph.n + _graph.m, replication=1))
+    wall_s = time.perf_counter() - began
+    identical = bool(np.array_equal(baseline.labels, faulted.labels))
+    summary = faulted.report.recovery_summary()
+    return {
+        "algorithm": "connectivity",
+        "fault_rate": rate,
+        "rounds": faulted.report.n_rounds,
+        "identical": identical,
+        "wall_s": round(wall_s, 4),
+        "task_retries": summary["task_retries"],
+        "worker_respawns": summary["worker_respawns"],
+        "hedges_won": summary["hedges_won"],
+        "hedges_lost": summary["hedges_lost"],
+        "recovery_wall_s": summary["recovery_wall_s"],
+    }
+
+
+@pytest.mark.faultproc
+@pytest.mark.parametrize("rate", PROC_RATES)
+def test_connectivity_under_process_faults(benchmark, record, rate):
+    row = benchmark.pedantic(lambda: _run_proc_sweep_row(rate),
+                             rounds=1, iterations=1)
+    assert row["identical"], "process-fault run diverged from serial"
+    _proc_sweep.append(row)
+    record(
+        "R2: process-fault recovery vs injection rate",
+        ["rate", "retries", "respawns", "hedges +/-", "recovery s",
+         "wall s"],
+        [rate, row["task_retries"], row["worker_respawns"],
+         f"{row['hedges_won']}/{row['hedges_lost']}",
+         row["recovery_wall_s"], row["wall_s"]],
+        fault_rate=rate,
+        worker_respawns=row["worker_respawns"],
+    )
+
+
+@pytest.mark.faultproc
+@pytest.mark.aggregate  # asserts over the full R2 sweep; skipped by --quick
+def test_process_sweep_recovers(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    shutdown_pool()
+    assert len(_proc_sweep) == len(PROC_RATES)
+    by_rate = {row["fault_rate"]: row for row in _proc_sweep}
+    assert by_rate[0.0]["task_retries"] == 0
+    assert by_rate[0.0]["worker_respawns"] == 0
+    top = by_rate[PROC_RATES[-1]]
+    assert top["task_retries"] > 0
+    assert top["worker_respawns"] > 0
+
+
 @pytest.mark.chaos
 @pytest.mark.aggregate  # asserts over the full sweep; skipped by --quick
 def test_emit_sweep_json(benchmark):
@@ -148,3 +242,40 @@ def test_emit_sweep_json(benchmark):
     if out_path:
         with open(out_path, "w") as fh:
             fh.write(payload + "\n")
+
+
+def main() -> None:
+    """Regenerate ``benchmarks/BENCH_resilience.json`` from the R2 sweep
+    (no pytest needed): real workers killed/hung/delayed at each rate,
+    bit-identity checked, recovery accounting recorded."""
+    rows = []
+    for rate in PROC_RATES:
+        row = _run_proc_sweep_row(rate)
+        status = "ok" if row["identical"] else "DIVERGED"
+        print(f"rate={rate:<5} [{status}] retries={row['task_retries']} "
+              f"respawns={row['worker_respawns']} "
+              f"recovery={row['recovery_wall_s']:.3f}s "
+              f"wall={row['wall_s']:.3f}s")
+        rows.append(row)
+    shutdown_pool()
+    if not all(r["identical"] for r in rows):
+        raise SystemExit("process-fault sweep diverged from serial")
+    out = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       "BENCH_resilience.json")
+    payload = {
+        "experiment": "R2-process-fault-sweep",
+        "workload": {"algorithm": "connectivity", "n": _N, "m": _M},
+        "workers": 2,
+        "plan": "kills(rate) | delays(rate, 0.01s) | hangs(rate/5)",
+        "policy": {"task_deadline_s": _PROC_POLICY.task_deadline_s,
+                   "max_task_retries": _PROC_POLICY.max_task_retries},
+        "rows": rows,
+    }
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,11 @@ _COLUMNS = (
     ("failov", "failover_reads"),
     ("waste", "wasted_reads"),
     ("restore", "checkpoint_restores"),
+    # Process-backend pool recovery (real workers killed/hung/hedged).
+    ("t.retry", "task_retries"),
+    ("respawn", "worker_respawns"),
+    ("hedge+", "hedges_won"),
+    ("hedge-", "hedges_lost"),
 )
 
 

@@ -10,8 +10,11 @@ Usage::
     python -m repro two-cycle cycles.txt
     python -m repro bc graph.txt              # bridges / articulation / 2ecc
     python -m repro chaos connectivity graph.txt --crash 0.2 --outage 0.1
+    python -m repro chaos connectivity graph.txt --backend process \
+        --kill-worker 0.1 --hang-worker 0.05 --delay-reply 0.1
     python -m repro verify --smoke [--chaos] [--vectorized] [--json report.json]
     python -m repro verify --smoke --backend process --workers 4
+    python -m repro verify --backend process --process-faults
     python -m repro trace connectivity [graph.txt] [--detail machine]
     python -m repro bench --quick
     python -m repro generate er 1000 3000 out.txt [--seed 0]
@@ -94,6 +97,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="straggler probability per machine per round")
     chaos.add_argument("--replication", type=int, default=2,
                        help="replicas per key-value pair (failover depth)")
+    chaos.add_argument("--kill-worker", type=float, default=0.0,
+                       metavar="P",
+                       help="real-process fault: SIGKILL a pool worker "
+                            "mid-task with probability P per shard "
+                            "(needs --backend process)")
+    chaos.add_argument("--hang-worker", type=float, default=0.0,
+                       metavar="P",
+                       help="real-process fault: worker computes but "
+                            "never replies (supervisor deadline fires)")
+    chaos.add_argument("--delay-reply", type=float, default=0.0,
+                       metavar="P",
+                       help="real-process fault: delay a worker's reply "
+                            "(straggler; may trigger hedging)")
+    chaos.add_argument("--fork-fail", type=float, default=0.0,
+                       metavar="P",
+                       help="real-process fault: respawn fork attempts "
+                            "fail with probability P")
+    add_backend(chaos)
     chaos.add_argument("--no-verify", action="store_true",
                        help="skip the fault-free reference run and the "
                             "bit-identity check")
@@ -126,6 +147,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run algorithms with a batch-engine variant "
                              "on the vectorized execution path (same "
                              "oracles, invariants, and ledger contract)")
+    verify.add_argument("--process-faults", action="store_true",
+                        help="arm the default real-process fault plan "
+                             "(kill/hang/delay workers) for every cell; "
+                             "requires --backend process — the serial "
+                             "twin stays fault-free and must still be "
+                             "bit-identical")
     add_backend(verify)
     verify.add_argument("--balance-slack", type=float, default=4.0,
                         help="constant factor over the Lemma 2.1 balance "
@@ -314,6 +341,11 @@ def _verify(args) -> int:
         print("families:  ", " ".join(family_names()))
         return 0
 
+    if args.process_faults and args.backend != "process":
+        print("--process-faults injects real worker faults and needs "
+              "--backend process", file=sys.stderr)
+        return 2
+
     # With `--json -` the report owns stdout; human lines go to stderr.
     human = sys.stderr if args.json == "-" else sys.stdout
 
@@ -333,6 +365,7 @@ def _verify(args) -> int:
         vectorized=args.vectorized,
         backend=args.backend,
         workers=args.workers,
+        process_faults=args.process_faults,
         balance_slack=args.balance_slack,
         progress=None if args.quiet else progress,
     )
@@ -370,10 +403,17 @@ def _process_smoke(human) -> bool:
     Runs connectivity, list-ranking, and MIS cells on the process
     backend (2 workers) and requires bit-identical results and
     per-round ledgers against their serial twins (the
-    ``backend_identical`` oracle in :func:`verify_sweep`'s cells).
+    ``backend_identical`` oracle in :func:`verify_sweep`'s cells),
+    then one worker-crash-recovery cell with the default real-process
+    fault plan armed (SIGKILL/hang/delay at 10% each).
     """
+    from repro.parallel import RecoveryPolicy, use_recovery
     from repro.verify.oracles import CASES
-    from repro.verify.runner import SMOKE_SIZE, _run_cell
+    from repro.verify.runner import (
+        SMOKE_SIZE,
+        _run_cell,
+        default_process_fault_plan,
+    )
 
     ok = True
     for name, family in (("connectivity", "er"),
@@ -391,6 +431,27 @@ def _process_smoke(human) -> bool:
         if record.error:
             print(f"    process backend error: {record.error}",
                   file=human)
+
+    # Worker-crash-recovery cell: workers are really SIGKILLed, hung,
+    # and delayed mid-round; the supervisor must recover every shard and
+    # the answer must still be bit-identical to the fault-free serial
+    # twin. The tight deadline turns dropped replies into fast respawns.
+    case = CASES["connectivity"]
+    with use_recovery(RecoveryPolicy(task_deadline_s=10.0)):
+        record = _run_cell(
+            case, "er", SMOKE_SIZE, 0,
+            balance_slack=4.0, chaos=False,
+            backend="process", workers=2,
+            process_faults=default_process_fault_plan(3),
+        )
+    cell_ok = record.ok and record.backend_identical is True
+    ok = ok and cell_ok
+    print(f"  [{'ok ' if cell_ok else 'FAIL'}] worker-crash recovery: "
+          f"connectivity er n={record.n} (kill/hang/delay 10%) "
+          f"bit-identical={record.backend_identical}", file=human)
+    if record.error:
+        print(f"    worker-crash recovery error: {record.error}",
+              file=human)
     return ok
 
 
@@ -600,7 +661,7 @@ def _chaos(args) -> int:
     from repro.algorithms.connectivity import connectivity
     from repro.algorithms.mis import maximal_independent_set
     from repro.analysis import render_recovery_table
-    from repro.core.chaos import ChaosRuntime, FaultPlan
+    from repro.core.chaos import ChaosRuntime, FaultPlan, ProcessFaultPlan
     from repro.core.config import AMPCConfig
     from repro.graph import files
 
@@ -613,18 +674,41 @@ def _chaos(args) -> int:
         seed=args.seed,
         replication_factor=args.replication,
     )
+    process_rates = (args.kill_worker, args.hang_worker,
+                     args.delay_reply, args.fork_fail)
+    process = None
+    if any(process_rates):
+        if args.backend != "process":
+            print("--kill-worker/--hang-worker/--delay-reply/--fork-fail "
+                  "inject real process faults and need --backend process",
+                  file=sys.stderr)
+            return 2
+        process = ProcessFaultPlan(
+            seed=args.fault_seed,
+            kill_probability=args.kill_worker,
+            hang_probability=args.hang_worker,
+            delay_probability=args.delay_reply,
+            fork_failure_probability=args.fork_fail,
+        )
     plan = FaultPlan(
         seed=args.fault_seed,
         machine_crash_probability=args.crash,
         server_outage_probability=args.outage,
         read_timeout_probability=args.timeout,
         straggler_probability=args.straggler,
+        process=process,
     )
     print(f"fault plan: crash={args.crash} outage={args.outage} "
           f"timeout={args.timeout} straggler={args.straggler} "
           f"replication={config.replication_factor} seed={args.fault_seed}")
+    if process is not None:
+        print(f"process faults: kill={args.kill_worker} "
+              f"hang={args.hang_worker} delay={args.delay_reply} "
+              f"fork-fail={args.fork_fail} "
+              f"(backend={args.backend}, workers={args.workers or 'auto'})")
 
-    runtime = ChaosRuntime(config, plan=plan)
+    runtime = ChaosRuntime(config, plan=plan, backend=args.backend,
+                           n_workers=args.workers)
     if args.algorithm == "connectivity":
         res = connectivity(graph, runtime=runtime)
         print(f"components: {res.n_components} "

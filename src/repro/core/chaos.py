@@ -47,6 +47,8 @@ from .runtime import AMPCRuntime, RoundResult
 
 __all__ = [
     "FaultPlan",
+    "ProcessFaultPlan",
+    "BoundProcessFaults",
     "RetryPolicy",
     "ChaosSession",
     "ChaosMixin",
@@ -62,6 +64,8 @@ _SALT_OUTAGE = 0x0D1E
 _SALT_CRASH = 0xC4A5
 _SALT_TIMEOUT = 0x7136
 _SALT_STRAGGLER = 0x57A6
+_SALT_PROC = 0x9B0C
+_SALT_FORK = 0xF08C
 
 
 def _combine(p: float, q: float) -> float:
@@ -113,6 +117,185 @@ class RetryPolicy:
 
 
 @dataclass(frozen=True)
+class ProcessFaultPlan:
+    """Real process-level faults the worker pool injects under test.
+
+    Unlike the *simulated* faults of :class:`FaultPlan` (which perturb
+    the AMPC model inside one interpreter), these faults hit the actual
+    OS processes of the ``backend="process"`` pool: a worker SIGKILLs
+    itself mid-task, computes but never replies (the parent sees a
+    hang), delays its reply, or the respawn fork fails. The pool's
+    supervisor (:mod:`repro.parallel.pool`) must recover from every one
+    of them with results and ledgers bit-identical to serial.
+
+    All draws are deterministic in ``(seed, round, task, attempt)`` —
+    the parent decides, the directive rides along with the dispatch — so
+    a fault schedule replays exactly. With ``first_attempt_only`` (the
+    default) a fault fires only on a task's first dispatch, which
+    guarantees every retry converges; set it to ``False`` to exercise
+    retry exhaustion and the serial-fallback path.
+
+    Arm a plan either ambiently, for runs that construct their runtimes
+    internally::
+
+        with use_backend("process", 2), use_process_faults(plan):
+            repro.connectivity(graph, seed=0)
+
+    or through a chaos runtime: ``FaultPlan.process_faults(plan)``.
+    """
+
+    seed: int = 0
+    kill_probability: float = 0.0
+    hang_probability: float = 0.0
+    delay_probability: float = 0.0
+    delay_s: float = 0.02
+    fork_failure_probability: float = 0.0
+    first_attempt_only: bool = True
+
+    def __post_init__(self) -> None:
+        for name in (
+            "kill_probability",
+            "hang_probability",
+            "delay_probability",
+            "fork_failure_probability",
+        ):
+            p = getattr(self, name)
+            if not (0.0 <= p <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def kills(cls, probability: float, *, seed: int = 0) -> "ProcessFaultPlan":
+        """Plan that SIGKILLs workers mid-task."""
+        return cls(seed=seed, kill_probability=probability)
+
+    @classmethod
+    def hangs(cls, probability: float, *, seed: int = 0) -> "ProcessFaultPlan":
+        """Plan that drops replies (the parent observes a hung worker)."""
+        return cls(seed=seed, hang_probability=probability)
+
+    @classmethod
+    def delays(
+        cls, probability: float, delay_s: float = 0.02, *, seed: int = 0
+    ) -> "ProcessFaultPlan":
+        """Plan that delays replies (stragglers; hedging territory)."""
+        return cls(seed=seed, delay_probability=probability, delay_s=delay_s)
+
+    @classmethod
+    def fork_failures(
+        cls, probability: float, *, seed: int = 0
+    ) -> "ProcessFaultPlan":
+        """Plan that fails the first fork of a worker respawn."""
+        return cls(seed=seed, fork_failure_probability=probability)
+
+    # -- composition -------------------------------------------------------
+
+    def compose(self, other: "ProcessFaultPlan") -> "ProcessFaultPlan":
+        """Combine two plans (probabilities OR as independent events)."""
+        seed = (
+            self.seed
+            if other.seed == self.seed
+            else splitmix64(self.seed ^ splitmix64(other.seed)) & 0x7FFFFFFF
+        )
+        return replace(
+            self,
+            seed=seed,
+            kill_probability=_combine(
+                self.kill_probability, other.kill_probability
+            ),
+            hang_probability=_combine(
+                self.hang_probability, other.hang_probability
+            ),
+            delay_probability=_combine(
+                self.delay_probability, other.delay_probability
+            ),
+            delay_s=max(self.delay_s, other.delay_s),
+            fork_failure_probability=_combine(
+                self.fork_failure_probability, other.fork_failure_probability
+            ),
+            first_attempt_only=(
+                self.first_attempt_only and other.first_attempt_only
+            ),
+        )
+
+    def __or__(self, other: "ProcessFaultPlan") -> "ProcessFaultPlan":
+        return self.compose(other)
+
+    def with_seed(self, seed: int) -> "ProcessFaultPlan":
+        return replace(self, seed=seed)
+
+    @property
+    def is_null(self) -> bool:
+        return (
+            self.kill_probability == 0.0
+            and self.hang_probability == 0.0
+            and self.delay_probability == 0.0
+            and self.fork_failure_probability == 0.0
+        )
+
+    # -- draws (parent side; the pool consumes the bound form) -------------
+
+    def rng(self, *salts: int) -> np.random.Generator:
+        return np.random.default_rng(np.random.SeedSequence((self.seed, *salts)))
+
+    def directive_for(
+        self, round_index: int, task_index: int, attempt: int
+    ) -> tuple | None:
+        """The fault directive (or None) for one dispatch of one shard."""
+        if self.is_null:
+            return None
+        if attempt > 0 and self.first_attempt_only:
+            return None
+        rng = self.rng(_SALT_PROC, round_index, task_index, attempt)
+        if rng.random() < self.kill_probability:
+            return ("kill",)
+        if rng.random() < self.hang_probability:
+            return ("drop",)
+        if rng.random() < self.delay_probability:
+            return ("delay", self.delay_s)
+        return None
+
+    def fork_fails(
+        self, round_index: int, worker_idx: int, respawn_seq: int,
+        spawn_attempt: int,
+    ) -> bool:
+        """Whether one fork attempt of one respawn fails (first attempt
+        only, so a respawn retry always converges)."""
+        if spawn_attempt > 0 or self.fork_failure_probability <= 0.0:
+            return False
+        rng = self.rng(_SALT_FORK, round_index, worker_idx, respawn_seq)
+        return bool(rng.random() < self.fork_failure_probability)
+
+    def bind(self, round_index: int) -> "BoundProcessFaults":
+        """The per-round view the pool's supervisor consumes."""
+        return BoundProcessFaults(self, round_index)
+
+
+class BoundProcessFaults:
+    """A :class:`ProcessFaultPlan` fixed to one logical round — the
+    duck-typed ``faults`` argument of ``WorkerPool.run_tasks``."""
+
+    __slots__ = ("plan", "round_index")
+
+    def __init__(self, plan: ProcessFaultPlan, round_index: int) -> None:
+        self.plan = plan
+        self.round_index = round_index
+
+    def directive_for(self, task_index: int, attempt: int) -> tuple | None:
+        return self.plan.directive_for(self.round_index, task_index, attempt)
+
+    def fork_fails(
+        self, worker_idx: int, respawn_seq: int, spawn_attempt: int
+    ) -> bool:
+        return self.plan.fork_fails(
+            self.round_index, worker_idx, respawn_seq, spawn_attempt
+        )
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """What fails, how often, and how recovery is paced — deterministically.
 
@@ -142,6 +325,10 @@ class FaultPlan:
         straggler_delay_s: delay a straggler adds.
         max_machine_retries: replacement machines per work item.
         retry: the client-side :class:`RetryPolicy`.
+        process: optional :class:`ProcessFaultPlan` of *real* OS-level
+            faults, honored by the worker pool when the runtime executes
+            on ``backend="process"`` (ignored on the serial path, where
+            there are no processes to kill).
     """
 
     seed: int = 0
@@ -152,6 +339,7 @@ class FaultPlan:
     straggler_delay_s: float = 0.005
     max_machine_retries: int = 16
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    process: ProcessFaultPlan | None = None
 
     def __post_init__(self) -> None:
         for name in (
@@ -202,6 +390,18 @@ class FaultPlan:
             straggler_delay_s=delay_s,
         )
 
+    @classmethod
+    def process_faults(
+        cls, process: ProcessFaultPlan, *, seed: int = 0
+    ) -> "FaultPlan":
+        """Plan with only real process-level faults (pool-injected).
+
+        Such a plan has nothing to simulate in-process, so a runtime
+        armed with it keeps plain round stores and — uniquely among
+        fault plans — stays :attr:`ChaosMixin.parallel_capable`.
+        """
+        return cls(seed=seed, process=process)
+
     # -- composition -------------------------------------------------------
 
     def compose(self, other: "FaultPlan") -> "FaultPlan":
@@ -238,6 +438,13 @@ class FaultPlan:
                 self.max_machine_retries, other.max_machine_retries
             ),
             retry=retry,
+            process=(
+                self.process
+                if other.process is None
+                else other.process
+                if self.process is None
+                else self.process.compose(other.process)
+            ),
         )
 
     def __or__(self, other: "FaultPlan") -> "FaultPlan":
@@ -250,6 +457,19 @@ class FaultPlan:
     @property
     def is_null(self) -> bool:
         """True if the plan injects nothing (armed runtime == plain run)."""
+        return self.simulated_is_null and (
+            self.process is None or self.process.is_null
+        )
+
+    @property
+    def simulated_is_null(self) -> bool:
+        """True if no *simulated* fault can fire (process faults aside).
+
+        Simulated faults must execute serially (crash RNGs advance in
+        machine order, replicated stores track per-key failover), so
+        this is exactly the condition under which a chaos runtime stays
+        :attr:`ChaosMixin.parallel_capable` and keeps plain stores.
+        """
         return (
             self.machine_crash_probability == 0.0
             and self.server_outage_probability == 0.0
@@ -443,25 +663,40 @@ class ChaosMixin:
       :class:`~repro.core.cost.RoundStats` / ``RunReport.recovery_summary()``.
     """
 
-    # Chaos rounds never shard over the process backend: the crash RNG
-    # advances in machine execution order and replicated stores carry
-    # per-key failover state, both of which must replay serially for
-    # fault plans to fire at identical operations. (The transactional
-    # machine context already fails AMPCRuntime.parallel_capable's
-    # check; this class attribute shadows the property so the intent
-    # survives any future context refactor.)
-    parallel_capable = False
-
     def __init__(
         self, config: AMPCConfig, *args, plan: FaultPlan | None = None, **kwargs
     ) -> None:
         super().__init__(config, *args, **kwargs)
         self.plan = FaultPlan() if plan is None else plan
         self.session = ChaosSession(self.plan)
+        if self.plan.process is not None:
+            # Real process-level faults ride the pool's dispatch path;
+            # a plan on the runtime overrides the ambient selection.
+            self.process_fault_plan = self.plan.process
+
+    @property
+    def parallel_capable(self) -> bool:
+        """Whether this chaos runtime's rounds may shard over the
+        process backend.
+
+        Rounds with *simulated* faults never shard: the crash RNG
+        advances in machine execution order and replicated stores carry
+        per-key failover state, both of which must replay serially for
+        fault plans to fire at identical operations. Plans injecting
+        only *process-level* faults (worker kills/hangs/delayed replies,
+        fork failures) have nothing to simulate in-process — the pool's
+        supervisor recovers them — so those runs shard normally.
+        """
+        return self.plan.simulated_is_null
 
     # -- store construction ------------------------------------------------
 
     def _build_store(self, round_index: int) -> DistributedDataStore:
+        if self.plan.simulated_is_null:
+            # No outage/timeout can fire: keep plain stores, which have
+            # no failover state to drive and are exactly what the
+            # shared-memory export (hence the process backend) accepts.
+            return super()._build_store(round_index)
         return ReplicatedDataStore(
             round_index=round_index,
             n_servers=self.config.n_machines,
@@ -534,16 +769,23 @@ class ChaosMixin:
             )
             crash_rng = plan.rng(_SALT_CRASH, logical_round, attempt)
             kw = dict(kwargs)
-            wrapped_worker = (
-                self._with_crash_recovery(worker, crash_rng, per_item=True)
-                if worker is not None
-                else None
-            )
-            per_machine = kw.get("per_machine")
-            if per_machine is not None:
-                kw["per_machine"] = self._with_crash_recovery(
-                    per_machine, crash_rng, per_item=False
-                )
+            wrapped_worker = worker
+            # Zero-crash plans skip the crash wrapper entirely: nothing
+            # can fire, the wrapper's dice are consumed nowhere else,
+            # and plain (non-transactional) contexts — the kind pool
+            # workers build when such a round shards — have no crash_at
+            # slot for it to poke. Buffered writes still flush via the
+            # runtime's round-end commit.
+            if plan.machine_crash_probability > 0.0:
+                if worker is not None:
+                    wrapped_worker = self._with_crash_recovery(
+                        worker, crash_rng, per_item=True
+                    )
+                per_machine = kw.get("per_machine")
+                if per_machine is not None:
+                    kw["per_machine"] = self._with_crash_recovery(
+                        per_machine, crash_rng, per_item=False
+                    )
             started = time.perf_counter()
             try:
                 result = super().round(work, wrapped_worker, **kw)

@@ -99,6 +99,7 @@ class AMPCRuntime:
         *,
         backend: str | None = None,
         n_workers: int | None = None,
+        recovery: Any | None = None,
     ) -> None:
         self.config = config
         self.report = RunReport()
@@ -130,6 +131,19 @@ class AMPCRuntime:
         # because their worker/payload could not be shipped to pool
         # workers. Diagnostic only — fallback rounds are bit-identical.
         self.parallel_fallbacks = 0
+        # How the pool recovers worker failures (a RecoveryPolicy from
+        # repro.parallel.pool; None = the pool's default), the ambient
+        # process-fault plan under test (None = no injection), and the
+        # rounds where recovery gave up and execution degraded to the
+        # serial path (a subset of parallel_fallbacks).
+        self.recovery_policy = (
+            recovery if recovery is not None else _parallel.default_recovery()
+        )
+        self.process_fault_plan = _parallel.default_process_faults()
+        self.recovery_fallbacks = 0
+        # PoolRecovery tallies from this round's dispatches (including
+        # failed ones), folded into the round's RoundStats by _record.
+        self._pending_recovery: list[Any] = []
         # Invariant observers (repro.verify): globally-installed observers
         # are picked up at construction; more can be attached per instance.
         self.observers: list[Any] = list(_GLOBAL_OBSERVERS)
@@ -344,7 +358,10 @@ class AMPCRuntime:
                     read_store, next_store, len(work)
                 ):
                     import repro.parallel.backend as _pbackend
-                    from repro.parallel.pool import CallableShipError
+                    from repro.parallel.pool import (
+                        CallableShipError,
+                        WorkerPoolRecoveryError,
+                    )
 
                     try:
                         _pbackend.run_scalar_round(
@@ -357,6 +374,15 @@ class AMPCRuntime:
                         # round serially (bit-identical by construction;
                         # workers mutate no parent state before raising).
                         self.parallel_fallbacks += 1
+                    except WorkerPoolRecoveryError:
+                        # Supervised recovery gave up (retries exhausted,
+                        # respawn impossible): degrade gracefully to the
+                        # serial path — equally safe, since no parent
+                        # state was mutated. The failed attempt's
+                        # recovery tally was already queued for this
+                        # round's ledger by the dispatcher.
+                        self.parallel_fallbacks += 1
+                        self.recovery_fallbacks += 1
                 if not executed:
                     # Group by machine so each machine's items run
                     # consecutively against one shared read cache, matching
@@ -565,7 +591,10 @@ class AMPCRuntime:
             read_store, next_store, n_items
         ) and not (fused and self.config.strict):
             import repro.parallel.backend as _pbackend
-            from repro.parallel.pool import CallableShipError
+            from repro.parallel.pool import (
+                CallableShipError,
+                WorkerPoolRecoveryError,
+            )
 
             try:
                 if fused:
@@ -585,6 +614,12 @@ class AMPCRuntime:
                 # Unshippable worker: run serially (bit-identical by
                 # construction; workers mutate no parent state).
                 self.parallel_fallbacks += 1
+            except WorkerPoolRecoveryError:
+                # Recovery gave up: degrade to the serial path (safe —
+                # no parent state was mutated); the failed attempt's
+                # tally was already queued by the dispatcher.
+                self.parallel_fallbacks += 1
+                self.recovery_fallbacks += 1
         if fused and not executed:
             gctx = BatchRoundContext(
                 self.config, read_store, next_store, work, assignment,
@@ -817,8 +852,27 @@ class AMPCRuntime:
             max_server_load=read_store.max_server_load(),
             wall_time_s=wall,
         )
+        if self._pending_recovery:
+            # Pool-supervision recovery (respawns, retries, hedges) from
+            # this round's dispatches — including a failed attempt that
+            # degraded to serial. Folded in *before* report.add so
+            # on_round_end observers (metrics, tracer) see it; none of
+            # these fields enter summary()/digests, so bit-identity with
+            # the serial path is preserved by construction.
+            for rec in self._pending_recovery:
+                stats.task_retries += rec.task_retries
+                stats.worker_respawns += rec.worker_respawns
+                stats.hedges_won += rec.hedges_won
+                stats.hedges_lost += rec.hedges_lost
+                stats.recovery_wall_s += rec.recovery_wall_s
+            self._pending_recovery.clear()
         self.report.add(stats)
         return stats
+
+    def _note_recovery(self, recovery: Any) -> None:
+        """Queue a pool ``PoolRecovery`` tally for this round's stats."""
+        if recovery is not None and recovery.any:
+            self._pending_recovery.append(recovery)
 
 
 class BatchRoundContext:

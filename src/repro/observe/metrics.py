@@ -249,7 +249,9 @@ class MetricsObserver(RuntimeObserver):
     Gauges: ``model.max_server_load``, ``model.max_machine_reads``.
 
     Histograms: ``round.wall_s`` (latency), ``round.reads`` /
-    ``round.writes`` (per-round communication), ``server.contention``
+    ``round.writes`` (per-round communication), ``recovery.latency_s``
+    (per-round wall time the pool spent respawning / backing off — only
+    rounds with nonzero recovery work are observed), ``server.contention``
     (per-server read loads of every round store, Lemma 2.1's quantity —
     recorded live at round end, requires ``config.track_contention``).
     """
@@ -326,10 +328,15 @@ class MetricsObserver(RuntimeObserver):
                 max_reads.set_max(stats.max_machine_reads)
                 for field in ("crashes", "server_outages", "stragglers",
                               "retry_reads", "failover_reads",
-                              "wasted_reads", "checkpoint_restores"):
+                              "wasted_reads", "checkpoint_restores",
+                              "task_retries", "worker_respawns",
+                              "hedges_won", "hedges_lost"):
                     value = getattr(stats, field, 0)
                     if value:
                         reg.counter(f"recovery.{field}").inc(value)
+                recovery_wall = getattr(stats, "recovery_wall_s", 0.0)
+                if recovery_wall:
+                    reg.histogram("recovery.latency_s").observe(recovery_wall)
         # Batch-vs-scalar split: every batch element is charged exactly
         # like one scalar op, so scalar = ledger total − batch elements.
         # Batch counters are live observations and may include replayed

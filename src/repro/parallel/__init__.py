@@ -30,9 +30,15 @@ Determinism contract
 Machine assignment (splitmix64, seeded per round) is computed in the
 parent before sharding, so a machine's work is identical regardless of
 which worker executes it; worker merges happen in ascending machine-id
-order; integer counter reductions are order-independent sums. Chaos and
-MPC runtimes opt out (``parallel_capable`` is False) and run serially,
-so fault plans keep firing at identical operations.
+order; integer counter reductions are order-independent sums. MPC
+runtimes and chaos runtimes with *simulated* faults opt out
+(``parallel_capable`` is False) and run serially, so fault plans keep
+firing at identical operations; chaos plans injecting only real
+*process-level* faults (:class:`~repro.core.chaos.ProcessFaultPlan`)
+shard normally — the pool's supervisor (:mod:`repro.parallel.pool`)
+recovers crashed, hung, and straggling workers by respawn + shard
+re-execution, and merges exactly one winning reply per shard, keeping
+the bit-identity contract under every injected fault.
 """
 
 from __future__ import annotations
@@ -43,8 +49,12 @@ from typing import Any, Iterator
 
 __all__ = [
     "use_backend",
+    "use_process_faults",
+    "use_recovery",
     "default_backend",
     "default_workers",
+    "default_process_faults",
+    "default_recovery",
     "autodetect_workers",
     "BACKENDS",
 ]
@@ -55,8 +65,13 @@ BACKENDS = ("serial", "process")
 # explicit backend= argument is given. Kept here (stdlib-only module) so
 # repro.core.runtime can read it without an import cycle; the heavy
 # submodules (pool, shm, backend) import core and load lazily below.
+# The process-fault plan and recovery policy are held as opaque objects
+# for the same reason (their classes live in repro.core.chaos and
+# repro.parallel.pool respectively).
 _DEFAULT_BACKEND = "serial"
 _DEFAULT_WORKERS: int | None = None
+_DEFAULT_PROCESS_FAULTS: Any = None
+_DEFAULT_RECOVERY: Any = None
 
 
 def default_backend() -> str:
@@ -67,6 +82,17 @@ def default_backend() -> str:
 def default_workers() -> int | None:
     """Ambient worker count (None = autodetect at first parallel round)."""
     return _DEFAULT_WORKERS
+
+
+def default_process_faults() -> Any:
+    """Ambient :class:`~repro.core.chaos.ProcessFaultPlan` (or None)."""
+    return _DEFAULT_PROCESS_FAULTS
+
+
+def default_recovery() -> Any:
+    """Ambient :class:`~repro.parallel.pool.RecoveryPolicy` (or None =
+    the pool's built-in default)."""
+    return _DEFAULT_RECOVERY
 
 
 def autodetect_workers() -> int:
@@ -101,6 +127,39 @@ def use_backend(backend: str, n_workers: int | None = None) -> Iterator[None]:
         _DEFAULT_BACKEND, _DEFAULT_WORKERS = prev
 
 
+@contextlib.contextmanager
+def use_process_faults(plan: Any) -> Iterator[None]:
+    """Ambiently arm a :class:`~repro.core.chaos.ProcessFaultPlan` for
+    runtimes constructed inside the ``with`` block.
+
+    Only bites on ``backend="process"`` runs — there is no process to
+    kill on the serial path — which is exactly what the cross-backend
+    oracle exploits: the serial twin of a fault-injected process run is
+    automatically fault-free, and the two must still be bit-identical.
+    """
+    global _DEFAULT_PROCESS_FAULTS
+    prev = _DEFAULT_PROCESS_FAULTS
+    _DEFAULT_PROCESS_FAULTS = plan
+    try:
+        yield
+    finally:
+        _DEFAULT_PROCESS_FAULTS = prev
+
+
+@contextlib.contextmanager
+def use_recovery(policy: Any) -> Iterator[None]:
+    """Ambiently select the pool :class:`~repro.parallel.pool.RecoveryPolicy`
+    for runtimes constructed inside the ``with`` block (and not given an
+    explicit ``recovery=`` argument)."""
+    global _DEFAULT_RECOVERY
+    prev = _DEFAULT_RECOVERY
+    _DEFAULT_RECOVERY = policy
+    try:
+        yield
+    finally:
+        _DEFAULT_RECOVERY = prev
+
+
 # Heavy submodule symbols, loaded on first touch to keep this package
 # importable from repro.core.runtime without a cycle.
 _LAZY = {
@@ -109,11 +168,15 @@ _LAZY = {
     "shutdown_pool": "pool",
     "CallableShipError": "pool",
     "WorkerCrashError": "pool",
+    "WorkerPoolRecoveryError": "pool",
+    "RecoveryPolicy": "pool",
+    "PoolRecovery": "pool",
     "encode_callable": "pool",
     "decode_callable": "pool",
     "ShmArena": "shm",
     "export_store": "shm",
     "attach_store": "shm",
+    "scrub_arenas": "shm",
 }
 
 

@@ -51,7 +51,13 @@ from repro.core.errors import RoundProtocolError, ValueSizeError
 from repro.core.hooks import OpRecorder
 from repro.core.machine import MachineContext
 
-from .pool import CallableShipError, decode_callable, encode_callable, get_pool
+from .pool import (
+    CallableShipError,
+    WorkerPoolRecoveryError,
+    decode_callable,
+    encode_callable,
+    get_pool,
+)
 from .shm import ShmArena, attach_store, export_store
 
 __all__ = [
@@ -401,19 +407,42 @@ def _dispatch_shards(
     task_name: str,
     build_payload: Callable[[dict, tuple[int, int]], dict],
     bounds: list[tuple[int, int]],
-) -> tuple[list[dict], int]:
+) -> tuple[list[dict], list[int], int]:
     """Export the store, ship one payload per shard, collect results.
 
-    Returns ``(shard_results, pool_workers)``. The shm arena lives
-    exactly as long as the workers need it — unlinked on every exit
-    path, including worker exceptions.
+    Returns ``(shard_results, worker_of, pool_workers)`` where
+    ``worker_of[i]`` is the worker whose reply won shard ``i`` (under
+    retries or hedging that need not be ``i % n_workers``). The shm
+    arena lives exactly as long as the workers need it — unlinked on
+    every exit path, including worker exceptions and supervisor
+    recovery failures. Dispatch runs supervised: the pool honors the
+    runtime's ``recovery_policy`` and, when a ``process_fault_plan`` is
+    armed, injects that plan's real process faults; the recovery tally
+    (even of a failed attempt) is queued on the runtime for this
+    round's ledger.
     """
-    pool = get_pool(runtime.resolved_workers())
-    with ShmArena() as arena:
-        export = export_store(read_store, arena)
-        blobs = [_dumps(build_payload(export, span)) for span in bounds]
-        shard_results = pool.run_tasks(task_name, blobs)
-    return shard_results, pool.n_workers
+    pool = get_pool(
+        runtime.resolved_workers(),
+        getattr(runtime, "recovery_policy", None),
+    )
+    plan = getattr(runtime, "process_fault_plan", None)
+    faults = (
+        plan.bind(getattr(runtime, "_round_counter", 0))
+        if plan is not None and not plan.is_null
+        else None
+    )
+    try:
+        with ShmArena() as arena:
+            export = export_store(read_store, arena)
+            blobs = [_dumps(build_payload(export, span)) for span in bounds]
+            outcome = pool.run_tasks(task_name, blobs, faults=faults)
+    except WorkerPoolRecoveryError as exc:
+        if hasattr(runtime, "_note_recovery"):
+            runtime._note_recovery(exc.recovery)
+        raise
+    if hasattr(runtime, "_note_recovery"):
+        runtime._note_recovery(outcome.recovery)
+    return outcome.results, outcome.worker_of, pool.n_workers
 
 
 def run_scalar_round(
@@ -452,12 +481,12 @@ def run_scalar_round(
             ],
         }
 
-    shard_results, pool_workers = _dispatch_shards(
+    shard_results, worker_of, _ = _dispatch_shards(
         runtime, read_store, "machine_shard", build_payload, bounds
     )
     for shard_idx, (span, res) in enumerate(zip(bounds, shard_results)):
         _merge_store_reads(read_store, res)
-        worker_idx = shard_idx % pool_workers
+        worker_idx = worker_of[shard_idx]
         s, e = span
         for (mid, idx), mrec in zip(groups[s:e], res["machines"]):
             ctx = _replay_machine(
@@ -500,7 +529,7 @@ def run_block_round(
             "machines": [(mid, work[idx]) for mid, idx in groups[s:e]],
         }
 
-    shard_results, pool_workers = _dispatch_shards(
+    shard_results, worker_of, _ = _dispatch_shards(
         runtime, read_store, "machine_shard", build_payload, bounds
     )
     contexts: dict[int, MachineContext] = {}
@@ -509,7 +538,7 @@ def run_block_round(
     silent_blocks = 0
     for shard_idx, (span, res) in enumerate(zip(bounds, shard_results)):
         _merge_store_reads(read_store, res)
-        worker_idx = shard_idx % pool_workers
+        worker_idx = worker_of[shard_idx]
         s, e = span
         for (mid, idx), mrec in zip(groups[s:e], res["machines"]):
             ctx = _replay_machine(
@@ -578,7 +607,7 @@ def run_fused_round(
             "assignment": assignment[s:e],
         }
 
-    shard_results, _ = _dispatch_shards(
+    shard_results, _, _ = _dispatch_shards(
         runtime, read_store, "fused_shard", build_payload, bounds
     )
     for res in shard_results:

@@ -17,12 +17,33 @@ pays serialization once, not once per worker.
 from __future__ import annotations
 
 import pickle
+import weakref
 from multiprocessing import resource_tracker, shared_memory
 from typing import Any
 
 import numpy as np
 
 from repro.core.dds import DistributedDataStore, _Column
+
+# Every live arena, so pool teardown can scrub segments even if a round
+# was abandoned between arena creation and its ``finally`` (e.g. the
+# interpreter is exiting while a supervisor error unwinds). Weak refs:
+# the registry must never keep an arena (or its segments) alive.
+_ACTIVE_ARENAS: "weakref.WeakSet[ShmArena]" = weakref.WeakSet()
+
+
+def scrub_arenas() -> None:
+    """Close-and-unlink every still-open arena (idempotent, best-effort).
+
+    Called from :func:`repro.parallel.pool.shutdown_pool`: once the
+    workers are gone nothing can be attached to the segments, so any
+    arena still open is a leak in the making. A mid-round worker respawn
+    does *not* go through here — the dying worker's attach-side handles
+    are reclaimed by the kernel and the parent's arena keeps the
+    segments alive for the respawned worker to re-attach by name.
+    """
+    for arena in list(_ACTIVE_ARENAS):
+        arena.close()
 
 
 class StoreExportError(TypeError):
@@ -57,11 +78,12 @@ class ShmArena:
     is closed *and unlinked* on exit, on every exit path.
     """
 
-    __slots__ = ("_segments", "closed")
+    __slots__ = ("_segments", "closed", "__weakref__")
 
     def __init__(self) -> None:
         self._segments: list[shared_memory.SharedMemory] = []
         self.closed = False
+        _ACTIVE_ARENAS.add(self)
 
     def share_array(self, array: np.ndarray) -> dict:
         """Copy ``array`` into a fresh segment; returns a picklable

@@ -19,6 +19,7 @@ The result is a :class:`ConformanceReport` that serializes to JSON for CI.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import time
 import traceback
@@ -27,10 +28,10 @@ from typing import Any, Callable, Iterable
 
 import numpy as np
 
-from repro.core.chaos import FaultPlan
+from repro.core.chaos import FaultPlan, ProcessFaultPlan
 from repro.graph import generators
 from repro.graph.graph import Graph
-from repro.parallel import BACKENDS, use_backend
+from repro.parallel import BACKENDS, use_backend, use_process_faults
 
 from .invariants import InvariantSuite
 from .oracles import CASES, AlgorithmCase, Workload
@@ -242,6 +243,7 @@ class CellRecord:
     duration_s: float = 0.0
     vectorized: bool = False
     backend: str = "serial"
+    process_faults: bool = False
 
     @property
     def ok(self) -> bool:
@@ -285,6 +287,7 @@ class CellRecord:
             "duration_s": round(self.duration_s, 4),
             "vectorized": self.vectorized,
             "backend": self.backend,
+            "process_faults": self.process_faults,
         }
 
 
@@ -367,6 +370,21 @@ def default_fault_plan(seed: int = 1) -> FaultPlan:
     ).compose(FaultPlan.server_outages(DEFAULT_CHAOS_PLAN["outage"], seed=seed))
 
 
+def default_process_fault_plan(seed: int = 1) -> ProcessFaultPlan:
+    """The sweep's standard real-process fault plan.
+
+    10% of shard dispatches are SIGKILLed mid-task, 10% have their reply
+    dropped (the worker hangs from the supervisor's point of view), and
+    10% are delayed — each drawn independently, first attempt only, so
+    the pool's retry path always converges.
+    """
+    return (
+        ProcessFaultPlan.kills(0.1, seed=seed)
+        | ProcessFaultPlan.hangs(0.1, seed=seed)
+        | ProcessFaultPlan.delays(0.1, delay_s=0.02, seed=seed)
+    )
+
+
 def _run_cell(
     case: AlgorithmCase,
     family: str,
@@ -378,6 +396,7 @@ def _run_cell(
     vectorized: bool = False,
     backend: str = "serial",
     workers: int | None = None,
+    process_faults: ProcessFaultPlan | None = None,
 ) -> CellRecord:
     workload = make_workload(case, family, n, seed)
     wn, wm = workload.size
@@ -385,10 +404,21 @@ def _run_cell(
     run = case.run_vectorized if use_vectorized else case.run
     record = CellRecord(algorithm=case.name, family=family, seed=seed,
                         n=wn, m=wm, vectorized=use_vectorized,
-                        backend=backend)
+                        backend=backend,
+                        process_faults=process_faults is not None)
+    # Real-process faults are armed ambiently for the primary run and
+    # the determinism rerun; the serial twin below runs outside the
+    # context, so the cross-backend oracle compares a fault-injected
+    # process run against a fault-free serial run — the strongest form
+    # of the bit-identity contract.
+    def faulted():
+        if process_faults is not None:
+            return use_process_faults(process_faults)
+        return contextlib.nullcontext()
+
     start = time.perf_counter()
     try:
-        with use_backend(backend, workers):
+        with faulted(), use_backend(backend, workers):
             with InvariantSuite(balance_slack=balance_slack) as suite:
                 result = run(workload, seed)
         record.invariant_violations = [
@@ -406,7 +436,7 @@ def _run_cell(
         # Seed-determinism: the same cell twice must agree bit for bit,
         # including the cost ledger (wall time excluded).
         rerun_workload = make_workload(case, family, n, seed)
-        with use_backend(backend, workers):
+        with faulted(), use_backend(backend, workers):
             rerun = run(rerun_workload, seed)
         record.deterministic = (
             case.digest(result) == case.digest(rerun)
@@ -455,6 +485,7 @@ def verify_sweep(
     vectorized: bool = False,
     backend: str = "serial",
     workers: int | None = None,
+    process_faults: bool = False,
     balance_slack: float = 4.0,
     progress: Callable[[CellRecord], None] | None = None,
 ) -> ConformanceReport:
@@ -480,12 +511,23 @@ def verify_sweep(
             per-round ledgers (``backend_identical``).
         workers: worker count for the process backend (default:
             autodetect).
+        process_faults: arm :func:`default_process_fault_plan` (seeded
+            per cell) for every cell's primary run and determinism
+            rerun — workers are really SIGKILLed, hung, and delayed —
+            while the cross-backend serial twin stays fault-free. Only
+            meaningful with ``backend="process"``; raises otherwise.
         balance_slack: constant factor granted over the Lemma 2.1 bound.
         progress: optional callback invoked with each finished cell.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; "
                          f"expected one of {BACKENDS}")
+    if process_faults and backend != "process":
+        raise ValueError(
+            "process_faults=True requires backend='process' — real-process "
+            "fault injection has no process workers to target on the "
+            f"{backend!r} backend"
+        )
     wanted = list(algorithms) if algorithms else list(CASES)
     unknown = [name for name in wanted if name not in CASES]
     if unknown:
@@ -513,6 +555,10 @@ def verify_sweep(
                     balance_slack=balance_slack, chaos=chaos,
                     vectorized=vectorized, backend=backend,
                     workers=workers,
+                    process_faults=(
+                        default_process_fault_plan(seed + 1)
+                        if process_faults else None
+                    ),
                 )
                 records.append(record)
                 if progress is not None:
@@ -528,6 +574,7 @@ def verify_sweep(
         "vectorized": vectorized,
         "backend": backend,
         "workers": workers,
+        "process_faults": process_faults,
         "balance_slack": balance_slack,
     }
     return ConformanceReport(records=records, settings=settings)

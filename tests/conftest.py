@@ -10,11 +10,15 @@ import pytest
 from repro.core import AMPCConfig, AMPCRuntime
 from repro.graph import generators
 
-# Hard wall-clock ceiling for @pytest.mark.parallel tests: a wedged
-# worker (deadlocked pipe, orphaned pool) must fail the test, not hang
-# the suite. pytest-timeout is used when installed; otherwise we arm
-# SIGALRM ourselves (main thread, POSIX — fine for this suite).
+# Hard wall-clock ceiling for @pytest.mark.parallel and
+# @pytest.mark.faultproc tests: a wedged worker (deadlocked pipe,
+# orphaned pool, a SIGSTOPped process the supervisor failed to reap)
+# must fail the test, not hang the suite. pytest-timeout is used when
+# installed; otherwise we arm SIGALRM ourselves (main thread, POSIX —
+# fine for this suite).
 PARALLEL_TEST_TIMEOUT_S = 120
+
+_TIMEBOXED_MARKERS = ("parallel", "faultproc")
 
 try:  # pragma: no cover - presence probe
     import pytest_timeout  # noqa: F401
@@ -24,18 +28,23 @@ except ImportError:
     _HAVE_PYTEST_TIMEOUT = False
 
 
+def _timeboxed(item) -> bool:
+    return any(item.get_closest_marker(m) is not None
+               for m in _TIMEBOXED_MARKERS)
+
+
 def pytest_collection_modifyitems(config, items):
     if not _HAVE_PYTEST_TIMEOUT:
         return
     for item in items:
-        if item.get_closest_marker("parallel") is not None:
+        if _timeboxed(item):
             item.add_marker(pytest.mark.timeout(PARALLEL_TEST_TIMEOUT_S))
 
 
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):
     if (_HAVE_PYTEST_TIMEOUT
-            or item.get_closest_marker("parallel") is None
+            or not _timeboxed(item)
             or not hasattr(signal, "SIGALRM")):
         yield
         return
@@ -53,6 +62,26 @@ def pytest_runtest_call(item):
     finally:
         signal.alarm(0)
         signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture(autouse=True)
+def shm_leak_check(request):
+    """Fail any parallel/faultproc test that leaks a /dev/shm segment.
+
+    Armed only for pool-touching tests (marker-gated) — a shared-memory
+    segment that survives a test is a failure even when the answers
+    match, and doubly so under fault injection where a SIGKILLed worker
+    cannot run its own cleanup.
+    """
+    import os
+
+    if not _timeboxed(request.node) or not os.path.isdir("/dev/shm"):
+        yield  # unmarked test or non-Linux: nothing to scan
+        return
+    before = set(os.listdir("/dev/shm"))
+    yield
+    leaked = set(os.listdir("/dev/shm")) - before
+    assert not leaked, f"shared-memory segments leaked: {sorted(leaked)}"
 
 
 @pytest.fixture

@@ -9,8 +9,6 @@ a test is a failure even if the answers match.
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 import pytest
 
@@ -34,16 +32,8 @@ multicore = pytest.mark.skipif(
 )
 
 
-@pytest.fixture(autouse=True)
-def shm_leak_check():
-    """Fail any test that leaks a POSIX shared-memory segment."""
-    if not os.path.isdir("/dev/shm"):
-        yield  # non-Linux: nothing to scan
-        return
-    before = set(os.listdir("/dev/shm"))
-    yield
-    leaked = set(os.listdir("/dev/shm")) - before
-    assert not leaked, f"shared-memory segments leaked: {sorted(leaked)}"
+# The /dev/shm leak check is an autouse fixture in tests/conftest.py,
+# armed for every parallel/faultproc-marked test.
 
 
 def _ledger(report):

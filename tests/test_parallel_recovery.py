@@ -1,0 +1,332 @@
+"""Fault-tolerant supervision of the process backend (repro.parallel.pool).
+
+Real-process chaos: workers are genuinely SIGKILLed, SIGSTOPped, have
+their replies dropped or delayed, and their respawn forks made to fail —
+and every test still demands the backend's central contract: results and
+per-round cost ledgers bit-identical to the serial path, with the
+recovery work visible only in the (digest-excluded) recovery accounting.
+
+The module is ``faultproc``-marked: tests/conftest.py arms a hard
+per-test timeout (a supervisor that fails to deadline a hung worker must
+fail the test, not wedge the suite) and the /dev/shm leak check.
+"""
+
+from __future__ import annotations
+
+import pickle
+import signal
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import AMPCConfig, AMPCRuntime
+from repro.core.chaos import ChaosRuntime, FaultPlan, ProcessFaultPlan
+from repro.graph import generators
+from repro.parallel import (
+    RecoveryPolicy,
+    WorkerPool,
+    shutdown_pool,
+    use_backend,
+    use_process_faults,
+    use_recovery,
+)
+from repro.parallel import backend as _backend
+from repro.verify.runner import _summary_without_walltime
+
+pytestmark = pytest.mark.faultproc
+
+
+@pytest.fixture(autouse=True)
+def fresh_pool():
+    """Tear the shared pool down after every test.
+
+    Recovery tests install tight deadlines and fault plans on the shared
+    pool; a stale policy must not bleed into the next test (or module).
+    """
+    yield
+    shutdown_pool()
+
+
+def _ledger(report):
+    return _summary_without_walltime(report)
+
+
+# Worker-side tasks for direct-pool tests. Registered at module import,
+# i.e. before any test forks a pool — fork inheritance is what ships
+# them (pool workers resolve tasks by name from backend.TASKS).
+
+
+def _task_sleepy(payload: dict):
+    if payload.get("boom"):
+        raise ValueError(f"boom on {payload['v']}")
+    if payload.get("s"):
+        time.sleep(payload["s"])
+    return payload["v"]
+
+
+_backend.TASKS.setdefault("_test_sleepy", _task_sleepy)
+
+
+def _blob(v, s=0.0, boom=False) -> bytes:
+    return pickle.dumps({"v": v, "s": s, "boom": boom})
+
+
+class _ScriptedFaults:
+    """Duck-typed ``faults`` for WorkerPool.run_tasks: exact control of
+    which (task, attempt) gets which directive and which respawn forks
+    fail — no probability in sight."""
+
+    def __init__(self, directives=None, failing_forks=0):
+        self.directives = directives or {}
+        self.failing_forks = failing_forks
+
+    def directive_for(self, index: int, attempt: int):
+        return self.directives.get((index, attempt))
+
+    def fork_fails(self, worker_idx: int, respawn_seq: int,
+                   spawn_attempt: int) -> bool:
+        if self.failing_forks > 0 and spawn_attempt == 0:
+            self.failing_forks -= 1
+            return True
+        return False
+
+
+# -- end-to-end parity under injected process faults ------------------------
+
+
+def test_kill_fault_mid_round_parity():
+    """SIGKILLed workers mid-task: respawn + re-execute, bit-identical."""
+    g = generators.erdos_renyi_gnm(300, 450, rng=5)
+    serial = repro.connectivity(g, seed=3)
+    plan = ProcessFaultPlan.kills(0.3, seed=2)
+    with use_process_faults(plan), use_backend("process", 2):
+        faulted = repro.connectivity(g, seed=3)
+    assert np.array_equal(serial.labels, faulted.labels)
+    assert _ledger(serial.report) == _ledger(faulted.report)
+    assert faulted.report.worker_respawns > 0
+    assert faulted.report.task_retries > 0
+    # Recovery is visible in the accounting but excluded from digests:
+    # the ledger comparison above already proved summaries agree.
+    assert serial.report.worker_respawns == 0
+
+
+def test_hang_deadline_triggers_respawn():
+    """Dropped replies: the per-task deadline fires, never a wedge."""
+    succ = generators.linked_list(400, 3)
+    serial = repro.list_ranking(succ, seed=1)
+    plan = ProcessFaultPlan.hangs(0.15, seed=4)
+    policy = RecoveryPolicy(task_deadline_s=0.5)
+    with use_process_faults(plan), use_recovery(policy), \
+            use_backend("process", 2):
+        faulted = repro.list_ranking(succ, seed=1)
+    assert np.array_equal(serial.ranks, faulted.ranks)
+    assert _ledger(serial.report) == _ledger(faulted.report)
+    assert faulted.report.worker_respawns > 0
+
+
+def test_delay_fault_parity():
+    """Delayed replies (stragglers) change nothing but wall time."""
+    g = generators.barabasi_albert(200, 3, rng=11)
+    serial = repro.maximal_independent_set(g, seed=1)
+    plan = ProcessFaultPlan.delays(0.5, delay_s=0.05, seed=6)
+    with use_process_faults(plan), use_backend("process", 2):
+        faulted = repro.maximal_independent_set(g, seed=1)
+    assert np.array_equal(serial.in_mis, faulted.in_mis)
+    assert _ledger(serial.report) == _ledger(faulted.report)
+
+
+# -- supervisor behaviour, direct pool --------------------------------------
+
+
+def test_sigstop_hung_worker_deadlined_and_respawned():
+    """A genuinely stopped (not dead) worker: is_alive() stays True and
+    no sentinel fires — only the deadline can save the round."""
+    pool = WorkerPool(2, policy=RecoveryPolicy(task_deadline_s=0.5))
+    try:
+        import os
+
+        victim = pool._procs[0]
+        os.kill(victim.pid, signal.SIGSTOP)
+        outcome = pool.run_tasks("_test_sleepy",
+                                 [_blob(i) for i in range(4)])
+        assert outcome.results == [0, 1, 2, 3]
+        assert outcome.recovery.worker_respawns >= 1
+        assert outcome.recovery.task_retries >= 1
+        assert not victim.is_alive()  # respawn SIGKILLs the stopped twin
+    finally:
+        pool.close()
+
+
+def test_injected_fork_failure_is_retried():
+    """A failed respawn fork is retried (and counted), not fatal."""
+    pool = WorkerPool(2, policy=RecoveryPolicy(task_deadline_s=5.0))
+    try:
+        faults = _ScriptedFaults(directives={(0, 0): ("kill",)},
+                                 failing_forks=1)
+        outcome = pool.run_tasks("_test_sleepy",
+                                 [_blob(i) for i in range(4)],
+                                 faults=faults)
+        assert outcome.results == [0, 1, 2, 3]
+        assert outcome.recovery.fork_failures == 1
+        assert outcome.recovery.worker_respawns >= 1
+    finally:
+        pool.close()
+
+
+def test_hedge_duplicates_straggler_and_first_reply_wins():
+    """With hedging on, an idle worker races the straggling shard; the
+    winner is merged once, the loser's late reply is discarded."""
+    policy = RecoveryPolicy(hedge=True, hedge_after_s=0.2,
+                            hedge_ratio=2.0, task_deadline_s=30.0)
+    pool = WorkerPool(2, policy=policy)
+    try:
+        # Shard 1's first dispatch is delayed well past the hedge
+        # threshold; the hedge twin (attempt 1) runs undelayed.
+        faults = _ScriptedFaults(directives={(1, 0): ("delay", 2.0)})
+        outcome = pool.run_tasks("_test_sleepy",
+                                 [_blob(0), _blob(1)],
+                                 faults=faults)
+        assert outcome.results == [0, 1]
+        assert outcome.recovery.hedges_launched >= 1
+        assert outcome.recovery.hedges_won >= 1
+    finally:
+        pool.close()
+
+
+def test_error_stops_new_dispatch():
+    """An application error on the lowest shard aborts the round without
+    waiting out (or newly dispatching) higher-index slow shards."""
+    pool = WorkerPool(2)
+    try:
+        blobs = [_blob(0, boom=True)] + [_blob(i, s=2.0)
+                                         for i in range(1, 6)]
+        began = time.monotonic()
+        with pytest.raises(ValueError, match="boom on 0"):
+            pool.run_tasks("_test_sleepy", blobs)
+        elapsed = time.monotonic() - began
+        # Serial execution of the five 2s sleepers would take >= 10s;
+        # aborting after the first error must stay well under that.
+        assert elapsed < 8.0
+    finally:
+        pool.close()
+
+
+def test_close_escalates_to_kill_for_wedged_worker():
+    """close() must not leave a stopped worker behind: cooperative stop
+    and SIGTERM are both undeliverable, SIGKILL is not."""
+    import os
+
+    pool = WorkerPool(2)
+    victim = pool._procs[0]
+    os.kill(victim.pid, signal.SIGSTOP)
+    pool.close(timeout=0.2)
+    assert not victim.is_alive()
+    assert pool.broken
+
+
+def test_get_pool_survives_raising_close(monkeypatch):
+    """get_pool nulls the module slot before closing the stale pool, so
+    a close() that raises cannot wedge every future parallel round."""
+    from repro.parallel import pool as pool_mod
+
+    first = pool_mod.get_pool(2)
+    real_close = first.close
+
+    def exploding_close(timeout: float = 2.0) -> None:
+        real_close(timeout)  # actually release the workers (no leaks)
+        raise RuntimeError("injected close failure")
+
+    monkeypatch.setattr(first, "close", exploding_close)
+    try:
+        replacement = pool_mod.get_pool(3)  # size change forces rebuild
+        assert replacement is not first
+        assert replacement.n_workers == 3
+        outcome = replacement.run_tasks("_test_sleepy",
+                                        [_blob(i) for i in range(3)])
+        assert outcome.results == [0, 1, 2]
+    finally:
+        shutdown_pool()
+
+
+# -- retry exhaustion and graceful degradation ------------------------------
+
+
+def test_retry_exhaustion_falls_back_to_serial(small_config):
+    """Every dispatch hangs (first_attempt_only=False): retries exhaust,
+    the round degrades to the serial path, and the answer is still
+    correct — with the attempted recovery on the ledger."""
+    runtime = AMPCRuntime(small_config, backend="process", n_workers=2)
+    runtime.process_fault_plan = ProcessFaultPlan(
+        seed=9, hang_probability=1.0, first_attempt_only=False
+    )
+    runtime.recovery_policy = RecoveryPolicy(
+        task_deadline_s=0.3, max_task_retries=1
+    )
+    runtime.bootstrap((("x", i), i) for i in range(16))
+
+    def worker(ctx, item):
+        return ctx.read(("x", item)) + 1
+
+    results = runtime.round(list(range(16)), worker).results
+    assert results == [i + 1 for i in range(16)]
+    assert runtime.parallel_fallbacks == 1
+    assert runtime.recovery_fallbacks == 1
+    stats = runtime.report.rounds[-1]
+    assert stats.task_retries > 0
+    assert stats.worker_respawns > 0
+
+
+# -- chaos-plan integration --------------------------------------------------
+
+
+def test_process_only_chaos_plan_keeps_parallel_capable():
+    """A FaultPlan carrying only real process faults shards normally —
+    the blanket serial pin applies to *simulated* faults only."""
+    g = generators.erdos_renyi_gnm(250, 375, rng=8)
+    clean = repro.connectivity(g, seed=2)
+
+    config = AMPCConfig.for_input(g.n + g.m, epsilon=0.5, seed=2)
+    plan = FaultPlan.process_faults(ProcessFaultPlan.kills(0.2, seed=5))
+    rt = ChaosRuntime(config, plan=plan, backend="process", n_workers=2)
+    assert rt.parallel_capable
+    faulted = repro.connectivity(g, runtime=rt)
+    assert np.array_equal(clean.labels, faulted.labels)
+
+    # A simulated-fault plan still pins serial.
+    sim = ChaosRuntime(config, plan=FaultPlan.machine_crashes(0.1),
+                       backend="process", n_workers=2)
+    assert not sim.parallel_capable
+
+
+def test_single_fault_digest_property():
+    """Property sweep: one fault kind at a time, several seeds — the
+    process run's labels and ledger always match serial exactly."""
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    succ = generators.linked_list(80, 5)
+    serial = repro.list_ranking(succ, seed=0)
+    serial_ledger = _ledger(serial.report)
+
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(kind=st.sampled_from(["kill", "hang", "delay"]),
+           fault_seed=st.integers(min_value=0, max_value=2 ** 20))
+    def check(kind: str, fault_seed: int) -> None:
+        if kind == "kill":
+            plan = ProcessFaultPlan.kills(0.25, seed=fault_seed)
+        elif kind == "hang":
+            plan = ProcessFaultPlan.hangs(0.2, seed=fault_seed)
+        else:
+            plan = ProcessFaultPlan.delays(0.4, delay_s=0.01,
+                                           seed=fault_seed)
+        policy = RecoveryPolicy(task_deadline_s=0.5)
+        with use_process_faults(plan), use_recovery(policy), \
+                use_backend("process", 2):
+            faulted = repro.list_ranking(succ, seed=0)
+        assert np.array_equal(serial.ranks, faulted.ranks)
+        assert _ledger(faulted.report) == serial_ledger
+
+    check()
