@@ -91,10 +91,18 @@ def _is_clean(payload: dict) -> bool:
 
 
 def main(argv: list[str]) -> int:
+    import os
+
     out = argv[1] if len(argv) > 1 else "benchmarks/BENCH_observe.json"
-    for attempt in range(5):
-        payload = run_overhead_suite(n=3000, repeats=5)
-        if _is_clean(payload):
+    # REPRO_BENCH_QUICK (the uniform fast-mode switch; set by `repro
+    # perf regen --quick`): tiny workload, one attempt, no noise
+    # rejection — smoke-tests the regeneration pipeline, not a baseline
+    # worth checking in.
+    quick = bool(os.environ.get("REPRO_BENCH_QUICK"))
+    n, repeats, attempts = (600, 2, 1) if quick else (3000, 5, 5)
+    for attempt in range(attempts):
+        payload = run_overhead_suite(n=n, repeats=repeats)
+        if quick or _is_clean(payload):
             break
         print(f"attempt {attempt}: noisy sweep, retrying "
               f"(disabled/armed: "

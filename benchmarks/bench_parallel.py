@@ -188,9 +188,11 @@ def main() -> int:
     parser.add_argument("--out", default="benchmarks/BENCH_parallel.json")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--quick", action="store_true",
-                        help="tiny instances (smoke-test the sweep itself)")
+                        help="tiny instances (smoke-test the sweep itself; "
+                             "REPRO_BENCH_QUICK=1 implies this)")
     args = parser.parse_args()
-    sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    quick = args.quick or bool(os.environ.get("REPRO_BENCH_QUICK"))
+    sizes = QUICK_SIZES if quick else FULL_SIZES
     payload = sweep(sizes, args.repeats)
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2)

@@ -19,16 +19,28 @@ _TABLES: dict[str, list[list]] = defaultdict(list)
 _HEADERS: dict[str, list[str]] = {}
 
 
+def quick_mode() -> bool:
+    """The one fast-mode switch for everything benchmark-shaped.
+
+    ``REPRO_BENCH_QUICK=1`` (set by ``repro bench --quick`` and ``repro
+    perf regen --quick``) means: smallest parametrizations here, quick
+    sizes in the regeneration ``main()``s of bench modules that have
+    one, and tiny cell sizes in the ``repro.perf`` suite collector —
+    one switch, honored uniformly.
+    """
+    return bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+
 def pytest_collection_modifyitems(config, items):
-    """``REPRO_BENCH_QUICK=1`` (set by ``repro bench --quick``): keep
-    only the first parametrization of every benchmark function.
+    """Quick mode (see :func:`quick_mode`): keep only the first
+    parametrization of every benchmark function.
 
     Bench modules list their sweeps in ascending size, so the first
     collected item is the smallest instance — the quick sweep still
     executes every bench module end to end (and fails on exceptions)
     but finishes in seconds instead of minutes.
     """
-    if not os.environ.get("REPRO_BENCH_QUICK"):
+    if not quick_mode():
         return
     seen: set[tuple[str, str]] = set()
     keep, drop = [], []

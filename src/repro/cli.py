@@ -17,6 +17,11 @@ Usage::
     python -m repro verify --backend process --process-faults
     python -m repro trace connectivity [graph.txt] [--detail machine]
     python -m repro bench --quick
+    python -m repro perf collect --suite smoke
+    python -m repro perf check [--suite smoke] [--json -]
+    python -m repro perf baseline --suite smoke [--profile ID]
+    python -m repro perf report --suite smoke
+    python -m repro perf regen [--quick] [--only observe]
     python -m repro generate er 1000 3000 out.txt [--seed 0]
 
 Algorithm runs, traces, and verify sweeps accept ``--backend
@@ -216,6 +221,117 @@ def build_parser() -> argparse.ArgumentParser:
                        help="suppress the rendered timeline and metric "
                             "summary")
 
+    perf = sub.add_parser(
+        "perf",
+        help="perf-regression harness: collect timestamped profiles, pin "
+             "baselines, detect statistical degradations (exit 1), "
+             "regenerate the checked-in BENCH_*.json files",
+    )
+    perf_sub = perf.add_subparsers(dest="perf_cmd", required=True)
+
+    def add_store(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--store", default=".perf", metavar="DIR",
+                       help="profile store root (default .perf)")
+        p.add_argument("--suite", default="smoke",
+                       help="bench suite (default smoke; see "
+                            "`repro perf collect --list`)")
+
+    p_collect = perf_sub.add_parser(
+        "collect", help="run a bench suite and store a timestamped profile"
+    )
+    add_store(p_collect)
+    p_collect.add_argument("--repeats", type=int, default=5,
+                           help="samples per cell (default 5)")
+    p_collect.add_argument("--warmup", type=int, default=1,
+                           help="throwaway runs per cell (default 1)")
+    p_collect.add_argument("--quick", action="store_true",
+                           help="fast mode: tiny cell sizes (also "
+                                "enabled by REPRO_BENCH_QUICK=1)")
+    p_collect.add_argument("--label", default=None,
+                           help="free-form label stored in the profile")
+    p_collect.add_argument("--no-pin", action="store_true",
+                           help="never auto-pin this profile as the "
+                                "suite baseline (default: pin when the "
+                                "suite has no baseline yet)")
+    p_collect.add_argument("--list", action="store_true",
+                           help="list registered suites and cells, exit")
+
+    p_check = perf_sub.add_parser(
+        "check",
+        help="compare a candidate profile against the pinned baseline; "
+             "exit 1 on degradation, 2 on host-fingerprint mismatch",
+    )
+    add_store(p_check)
+    p_check.add_argument("--profile", default=None, metavar="ID",
+                         help="candidate profile id (default: latest "
+                              "stored profile of the suite)")
+    p_check.add_argument("--baseline", default=None, metavar="NAME",
+                         help="baseline name (default: the suite name)")
+    p_check.add_argument("--collect", action="store_true",
+                         help="measure a fresh candidate now instead of "
+                              "loading the latest stored profile")
+    p_check.add_argument("--repeats", type=int, default=5,
+                         help="samples per cell with --collect")
+    p_check.add_argument("--quick", action="store_true",
+                         help="fast mode with --collect")
+    p_check.add_argument("--threshold", type=float, default=0.05,
+                         help="relative median-shift that matters "
+                              "(default 0.05 = 5%%)")
+    p_check.add_argument("--alpha", type=float, default=0.01,
+                         help="Mann-Whitney significance level "
+                              "(default 0.01)")
+    p_check.add_argument("--allow-host-mismatch", action="store_true",
+                         help="compare despite mismatched host "
+                              "fingerprints (records warnings instead "
+                              "of refusing)")
+    p_check.add_argument("--json", metavar="PATH", default=None,
+                         help="write the JSON check report here "
+                              "('-' for stdout)")
+    p_check.add_argument("--observe-baseline", metavar="PATH",
+                         default=None,
+                         help="also run the observability overhead gate "
+                              "against this BENCH_observe.json baseline")
+
+    p_baseline = perf_sub.add_parser(
+        "baseline", help="pin, show, or list named baselines"
+    )
+    add_store(p_baseline)
+    p_baseline.add_argument("--profile", default=None, metavar="ID",
+                            help="profile to pin (default: latest stored "
+                                 "profile of the suite)")
+    p_baseline.add_argument("--name", default=None,
+                            help="baseline name (default: the suite name)")
+    p_baseline.add_argument("--note", default=None,
+                            help="free-form note stored with the pin")
+    p_baseline.add_argument("--show", action="store_true",
+                            help="print the current pins and exit "
+                                 "(no pinning)")
+
+    p_report = perf_sub.add_parser(
+        "report", help="per-cell median trajectory across stored profiles"
+    )
+    add_store(p_report)
+    p_report.add_argument("--limit", type=int, default=8,
+                          help="show at most the newest N profiles "
+                               "(default 8)")
+
+    p_regen = perf_sub.add_parser(
+        "regen",
+        help="regenerate the checked-in benchmarks/BENCH_*.json files "
+             "from their bench modules (one entry point for perf "
+             "history)",
+    )
+    p_regen.add_argument("--only", action="append", default=None,
+                         choices=["observe", "parallel", "simulator",
+                                  "resilience"],
+                         help="regenerate only this target (repeatable)")
+    p_regen.add_argument("--quick", action="store_true",
+                         help="smoke-test the regeneration pipeline with "
+                              "tiny sizes, writing into .perf/regen/ "
+                              "instead of overwriting benchmarks/")
+    p_regen.add_argument("--bench-dir", default="benchmarks", metavar="DIR",
+                         help="benchmark directory (default: benchmarks)")
+
     bench = sub.add_parser(
         "bench",
         help="run the benchmark suite under pytest (--quick for a tiny "
@@ -258,6 +374,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _trace(args)
     if args.command == "bench":
         return _bench(args)
+    if args.command == "perf":
+        return _perf(args)
     if args.command == "stats":
         from repro.graph import files, stats
 
@@ -332,6 +450,240 @@ def _bench(args) -> int:
     return proc.returncode
 
 
+def _perf(args) -> int:
+    """``repro perf collect|check|baseline|report|regen`` dispatch."""
+    handlers = {
+        "collect": _perf_collect,
+        "check": _perf_check,
+        "baseline": _perf_baseline,
+        "report": _perf_report,
+        "regen": _perf_regen,
+    }
+    return handlers[args.perf_cmd](args)
+
+
+def _perf_collect(args) -> int:
+    from repro.perf import ProfileStore, collect, suite_names, suite_specs
+
+    if args.list:
+        for suite in suite_names():
+            cells = " ".join(s.cell for s in suite_specs(suite))
+            print(f"{suite}: {cells}")
+        return 0
+    if args.suite not in suite_names():
+        print(f"unknown suite {args.suite!r}; registered: "
+              f"{' '.join(suite_names())}", file=sys.stderr)
+        return 2
+
+    quick = args.quick or None  # None -> honor REPRO_BENCH_QUICK
+    print(f"perf collect: suite={args.suite} repeats={args.repeats} "
+          f"warmup={args.warmup}")
+
+    def progress(cell: str, median_s: float) -> None:
+        print(f"  {cell}: median {median_s * 1e3:.1f}ms")
+
+    profile = collect(args.suite, repeats=args.repeats, warmup=args.warmup,
+                      quick=quick, label=args.label, progress=progress)
+    store = ProfileStore(args.store)
+    profile_id = store.save(profile)
+    print(f"stored profile {profile_id} "
+          f"(host_cores={profile.host['host_cores']}, "
+          f"commit={profile.host.get('commit')})")
+    if store.get_baseline(args.suite) is None and not args.no_pin:
+        store.set_baseline(args.suite, profile_id,
+                           note="auto-pinned by first collect")
+        print(f"pinned baseline {args.suite!r} -> {profile_id} "
+              f"(first profile of this suite)")
+    return 0
+
+
+def _perf_check(args) -> int:
+    from repro.perf import (
+        DetectorConfig,
+        HostMismatchError,
+        ProfileStore,
+        check_to_json,
+        collect,
+        compare_profiles,
+        observe_overhead_gate,
+        render_check,
+    )
+
+    human = sys.stderr if args.json == "-" else sys.stdout
+    store = ProfileStore(args.store)
+    baseline_name = args.baseline or args.suite
+    baseline = store.baseline_profile(baseline_name)
+    if baseline is None:
+        print(f"no baseline {baseline_name!r} pinned in {args.store} — "
+              f"run `repro perf collect --suite {args.suite}` then "
+              f"`repro perf baseline --suite {args.suite}`",
+              file=sys.stderr)
+        return 2
+
+    if args.collect:
+        candidate = collect(args.suite, repeats=args.repeats,
+                            quick=args.quick or None, label="check")
+        candidate.profile_id = "<fresh>"
+    elif args.profile is not None:
+        candidate = store.load(args.profile)
+    else:
+        latest = store.latest(args.suite)
+        if latest is None:
+            print(f"no stored profiles for suite {args.suite!r} in "
+                  f"{args.store}; run `repro perf collect` or pass "
+                  f"--collect", file=sys.stderr)
+            return 2
+        candidate = store.load(latest)
+
+    config = DetectorConfig(shift_threshold=args.threshold,
+                            alpha=args.alpha)
+    try:
+        result = compare_profiles(
+            baseline, candidate, config=config,
+            allow_host_mismatch=args.allow_host_mismatch,
+        )
+    except HostMismatchError as exc:
+        for problem in exc.problems:
+            print(f"host mismatch: {problem}", file=sys.stderr)
+        print("refusing to compare (use --allow-host-mismatch to "
+              "override); profiles are only comparable on the host "
+              "that produced the baseline", file=sys.stderr)
+        return 2
+
+    print(render_check(result), file=human)
+
+    gate_ok = True
+    if args.observe_baseline is not None:
+        gate = observe_overhead_gate(args.observe_baseline)
+        gate_ok = gate["ok"]
+        if gate["skipped"]:
+            print(f"observe overhead gate: skipped (no baseline at "
+                  f"{args.observe_baseline})", file=human)
+        else:
+            print(f"observe overhead gate: armed {gate['armed_pct']:+.1f}% "
+                  f"vs gate {gate['allowed_pct']:.1f}% "
+                  f"[{'ok' if gate_ok else 'FAIL'}]", file=human)
+            for problem in gate["problems"]:
+                print(f"  {problem}", file=human)
+
+    if args.json == "-":
+        print(check_to_json(result))
+    elif args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(check_to_json(result) + "\n")
+        print(f"wrote JSON check report -> {args.json}", file=human)
+
+    return 0 if (result.ok and gate_ok) else 1
+
+
+def _perf_baseline(args) -> int:
+    from repro.perf import ProfileStore
+
+    store = ProfileStore(args.store)
+    if args.show:
+        pins = store.baselines()
+        if not pins:
+            print(f"(no baselines pinned in {args.store})")
+        for name, pin in sorted(pins.items()):
+            print(f"{name}: {pin.profile} (pinned {pin.pinned_utc}"
+                  + (f", {pin.note}" if pin.note else "") + ")")
+        return 0
+    profile_id = args.profile or store.latest(args.suite)
+    if profile_id is None:
+        print(f"no stored profiles for suite {args.suite!r} in "
+              f"{args.store}; run `repro perf collect` first",
+              file=sys.stderr)
+        return 2
+    name = args.name or args.suite
+    try:
+        pin = store.set_baseline(name, profile_id, note=args.note)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"pinned baseline {name!r} -> {pin.profile}")
+    return 0
+
+
+def _perf_report(args) -> int:
+    from repro.perf import ProfileStore, render_history
+
+    store = ProfileStore(args.store)
+    ids = store.ids(args.suite)[-max(1, args.limit):]
+    if not ids:
+        print(f"(no stored profiles for suite {args.suite!r} in "
+              f"{args.store})")
+        return 0
+    pin = store.get_baseline(args.suite)
+    profiles = [store.load(profile_id) for profile_id in ids]
+    print(render_history(profiles,
+                         baseline_id=pin.profile if pin else None))
+    return 0
+
+
+def _perf_regen(args) -> int:
+    """Regenerate the checked-in BENCH_*.json files in one entry point.
+
+    Full mode overwrites the files under ``benchmarks/``; ``--quick``
+    smoke-tests each regeneration pipeline at tiny sizes into
+    ``.perf/regen/`` so nothing checked-in is clobbered with
+    quick-sized data.
+    """
+    import os
+    import subprocess
+
+    import repro
+
+    bench_dir = args.bench_dir
+    if not os.path.isdir(bench_dir):
+        print(f"benchmark directory not found: {bench_dir}",
+              file=sys.stderr)
+        return 2
+    out_dir = bench_dir if not args.quick else os.path.join(
+        ".perf", "regen")
+    os.makedirs(out_dir, exist_ok=True)
+
+    env = dict(os.environ)
+    pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__)))
+    env["PYTHONPATH"] = pkg_root + os.pathsep + env.get("PYTHONPATH", "")
+    if args.quick:
+        env["REPRO_BENCH_QUICK"] = "1"
+
+    def script(name: str) -> str:
+        return os.path.join(bench_dir, name)
+
+    targets = {
+        "observe": [sys.executable, script("bench_observe_overhead.py"),
+                    os.path.join(out_dir, "BENCH_observe.json")],
+        "parallel": [sys.executable, script("bench_parallel.py"),
+                     "--out", os.path.join(out_dir, "BENCH_parallel.json")]
+                    + (["--quick"] if args.quick else []),
+        "simulator": [sys.executable, script("bench_simulator_overhead.py"),
+                      os.path.join(out_dir, "BENCH_simulator.json")],
+        "resilience": [sys.executable, script("bench_resilience.py")],
+    }
+    wanted = args.only or list(targets)
+    if args.quick and "resilience" in wanted and args.only is None:
+        # bench_resilience writes next to its own file and has no quick
+        # knob; skip it in quick mode unless explicitly requested.
+        wanted = [t for t in wanted if t != "resilience"]
+        print("regen: skipping resilience in --quick mode (no quick "
+              "sizes; run without --quick or with --only resilience)")
+
+    failed = []
+    for target in wanted:
+        print(f"regen: {target} -> {' '.join(targets[target][1:])}")
+        proc = subprocess.run(targets[target], env=env)
+        if proc.returncode != 0:
+            failed.append(target)
+            print(f"regen: {target} FAILED (exit {proc.returncode})",
+                  file=sys.stderr)
+    if failed:
+        return 1
+    print(f"regen: {len(wanted)} target(s) ok -> {out_dir}/")
+    return 0
+
+
 def _verify(args) -> int:
     from repro.verify import case_names, verify_sweep
     from repro.verify.runner import family_names
@@ -388,13 +740,36 @@ def _verify(args) -> int:
 
     observe_ok = True
     backend_ok = True
+    perf_ok = True
     if args.smoke:
         observe_ok = _traced_smoke(args.observe_baseline, human)
         if args.backend == "serial":
             # The sweep above ran serial; add one process-backend cell
             # so smoke always exercises the cross-backend oracle.
             backend_ok = _process_smoke(human)
-    return 0 if (report.ok and observe_ok and backend_ok) else 1
+        perf_ok = _perf_smoke(human)
+    return 0 if (report.ok and observe_ok and backend_ok and perf_ok) else 1
+
+
+def _perf_smoke(human) -> bool:
+    """The perf-smoke cell of ``repro verify --smoke``.
+
+    Collects the smoke suite at tiny quick sizes into a temporary
+    profile store, pins the profile as its own baseline, and checks it
+    against that just-written baseline: every cell must classify as
+    no-change (identical samples), and the profile must conform to the
+    observe/export JSONL schema. No wall-clock thresholds — the cell
+    cannot flake on a loaded CI host.
+    """
+    from repro.verify.runner import perf_smoke_cell
+
+    outcome = perf_smoke_cell()
+    print(f"  [{'ok ' if outcome['ok'] else 'FAIL'}] perf smoke: "
+          f"collect+self-check, {outcome['cells']} cells no-change",
+          file=human)
+    for problem in outcome["problems"]:
+        print(f"    perf smoke problem: {problem}", file=human)
+    return outcome["ok"]
 
 
 def _process_smoke(human) -> bool:
@@ -461,14 +836,9 @@ def _traced_smoke(baseline_path: str, human) -> bool:
     Runs one connectivity cell inside a :class:`TracingSession`, checks
     the exported trace against the schema and the cost ledger, then
     guards the armed-overhead budget against the checked-in baseline
-    (``benchmarks/BENCH_observe.json``). Overhead is retried up to three
-    times and passes if ANY attempt lands under the gate: a real
-    regression (e.g. an observer leaking onto the per-op hot path) fails
-    every attempt, while CI-host noise does not survive a retry.
+    via :func:`repro.perf.observe_overhead_gate` (the same retry-
+    tolerant gate ``repro perf check --observe-baseline`` runs).
     """
-    import json
-    import os
-
     from repro.observe import (
         TracingSession,
         reconcile_metrics,
@@ -478,7 +848,7 @@ def _traced_smoke(baseline_path: str, human) -> bool:
         validate_chrome,
         validate_records,
     )
-    from repro.observe.overhead import ARMED_BUDGET_PCT, overhead_trial
+    from repro.perf import observe_overhead_gate
     from repro.verify.oracles import CASES
     from repro.verify.runner import make_workload
 
@@ -496,40 +866,15 @@ def _traced_smoke(baseline_path: str, human) -> bool:
           f"connectivity er n=300, {len(session.events)} events, "
           f"schema+ledger reconciled", file=human)
 
-    if os.path.exists(baseline_path):
-        with open(baseline_path, "r", encoding="utf-8") as fh:
-            baseline = json.load(fh)
-        base_pct = max(
-            t["armed_overhead_pct"] for t in baseline["trials"]
-        )
-        # Budget: baseline plus one full budget width of slack — shared
-        # CI hosts show double-digit-percent noise on sub-second runs,
-        # and the gate is for catastrophic regressions (a consumer
-        # re-enabling per-op dispatch costs >20%), not for tuning.
-        allowed = max(base_pct, 0.0) + ARMED_BUDGET_PCT
-        verdict = None
-        for attempt in range(3):
-            trial = overhead_trial(n=1500, repeats=3)
-            verdict = trial
-            if (trial["armed_overhead_pct"] <= allowed
-                    and trial["ledger_identical"]):
-                break
-        assert verdict is not None
-        armed = verdict["armed_overhead_pct"]
-        if not verdict["ledger_identical"]:
-            problems.append("traced run's ledger differs from unobserved")
-        if armed > allowed:
-            problems.append(
-                f"armed overhead {armed:.1f}% exceeds gate {allowed:.1f}% "
-                f"(baseline {base_pct:.1f}% + {ARMED_BUDGET_PCT}% slack) "
-                f"in 3/3 attempts"
-            )
-        print(f"  [{'ok ' if armed <= allowed else 'FAIL'}] observe "
-              f"overhead: armed {armed:+.1f}% vs gate {allowed:.1f}%",
-              file=human)
-    else:
+    gate = observe_overhead_gate(baseline_path)
+    if gate["skipped"]:
         print(f"  [skip] observe overhead gate: no baseline at "
               f"{baseline_path}", file=human)
+    else:
+        problems += gate["problems"]
+        print(f"  [{'ok ' if gate['ok'] else 'FAIL'}] observe "
+              f"overhead: armed {gate['armed_pct']:+.1f}% vs gate "
+              f"{gate['allowed_pct']:.1f}%", file=human)
 
     for p in problems:
         print(f"    traced smoke problem: {p}", file=human)

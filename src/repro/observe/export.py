@@ -26,6 +26,13 @@ read/write/round totals recoverable from a trace must be bit-identical
 to the :class:`~repro.core.cost.RunReport` of the traced run (rounds
 aborted by chaos recovery carry ``aborted: true`` and are excluded,
 matching the ledger's truncation).
+
+The JSONL record shape is also the interchange format of the perf
+harness: :mod:`repro.perf` profiles are a ``meta`` header plus one
+``span`` per timed sample (``cat="perf"``, ``dur_us`` = wall time).
+``"perf"`` is deliberately not in :data:`LEDGER_CATS`, so perf records
+never perturb ledger reconciliation, while :func:`validate_records`
+and :func:`read_jsonl` apply to profiles and traces alike.
 """
 
 from __future__ import annotations
@@ -73,6 +80,17 @@ def write_jsonl(events: Iterable[Event], path: str,
                 meta: dict[str, Any] | None = None) -> None:
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(to_jsonl(events, meta))
+
+
+def write_records(records: Iterable[dict[str, Any]], path: str) -> None:
+    """Write pre-built schema records (not Events) as JSONL.
+
+    Used by :mod:`repro.perf` for profiles; the inverse of
+    :func:`read_jsonl`.
+    """
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
 
 
 def read_jsonl(path: str) -> list[dict[str, Any]]:

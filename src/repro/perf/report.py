@@ -1,0 +1,107 @@
+"""Human- and machine-readable rendering of perf checks and history.
+
+``render_check`` turns a :class:`~repro.perf.detect.CheckResult` into
+the per-cell verdict table ``repro perf check`` prints; ``check_to_json``
+is the CI-consumable document (one ``json.dumps`` away from the
+``--json`` flag). ``render_history`` shows the trajectory of every cell
+across the stored profiles of a suite — the "did this PR move a hot
+path" question at a glance.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro.analysis import render_table
+
+from .detect import DEGRADATION, IMPROVEMENT, CheckResult
+from .store import Profile
+
+_MARKS = {DEGRADATION: "REGRESSED", IMPROVEMENT: "improved", "no-change": "ok"}
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def render_check(result: CheckResult) -> str:
+    """The per-cell verdict table plus a one-line summary."""
+    rows = []
+    for cell in result.cells:
+        agree = "+".join(
+            v.detector for v in cell.votes if v.direction == cell.verdict
+        ) if cell.verdict != "no-change" else "-"
+        rows.append([
+            cell.cell,
+            _fmt_s(cell.baseline_median_s),
+            _fmt_s(cell.candidate_median_s),
+            f"{cell.shift_pct:+.1f}%",
+            _MARKS.get(cell.verdict, cell.verdict),
+            agree,
+        ])
+    lines = [render_table(
+        ["cell", "baseline", "candidate", "shift", "verdict", "detectors"],
+        rows,
+    )] if rows else ["(no shared cells between baseline and candidate)"]
+
+    for cell in result.missing_cells:
+        lines.append(f"  note: cell {cell} is in the baseline only")
+    for cell in result.new_cells:
+        lines.append(f"  note: cell {cell} is new (no baseline history)")
+    for warning in result.host_warnings:
+        lines.append(f"  host warning: {warning}")
+
+    summary = result.summary()
+    lines.append(
+        f"check: {summary['cells']} cells, "
+        f"{summary['degradations']} degradations, "
+        f"{summary['improvements']} improvements "
+        f"(baseline {result.baseline_id or '?'} -> "
+        f"candidate {result.candidate_id or '?'})"
+    )
+    return "\n".join(lines)
+
+
+def check_to_json(result: CheckResult, indent: int | None = 2) -> str:
+    return json.dumps(result.to_dict(), indent=indent, sort_keys=True)
+
+
+def render_history(profiles: Iterable[Profile],
+                   baseline_id: str | None = None) -> str:
+    """Per-cell median trajectory across stored profiles, oldest first.
+
+    The pinned baseline's column is flagged with ``*`` so drift since
+    the pin is visible without running a check.
+    """
+    profiles = list(profiles)
+    if not profiles:
+        return "(no stored profiles)"
+    cells: list[str] = []
+    for profile in profiles:
+        for cell in profile.cells:
+            if cell not in cells:
+                cells.append(cell)
+    headers = ["cell"] + [
+        ("*" if p.profile_id == baseline_id else "")
+        + (p.profile_id or "?").split("-")[0]
+        for p in profiles
+    ]
+    rows = []
+    for cell in cells:
+        row: list[Any] = [cell]
+        for profile in profiles:
+            medians = profile.medians()
+            row.append(_fmt_s(medians[cell]) if cell in medians else "-")
+        rows.append(row)
+    meta = [
+        f"  {p.profile_id}: suite={p.suite} host_cores="
+        f"{p.host.get('host_cores', '?')} commit={p.host.get('commit')}"
+        + (" [baseline]" if p.profile_id == baseline_id else "")
+        for p in profiles
+    ]
+    return "\n".join([render_table(headers, rows), ""] + meta)

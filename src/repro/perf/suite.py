@@ -1,0 +1,269 @@
+"""Declarative bench-suite registry and the profile collector.
+
+A **suite** is a named list of :class:`BenchSpec` cells — the same
+workloads the ``benchmarks/bench_*.py`` sweeps measure, wrapped behind
+one uniform ``collect()`` API. Each spec builds its workload once
+(generation cost never contaminates the samples), runs ``warmup``
+throwaway iterations, then records ``repeats`` wall-clock samples.
+
+``collect()`` emits a :class:`~repro.perf.store.Profile` in the
+``observe/export.py`` JSONL schema, stamped with the host fingerprint
+(cores, machine, python, platform, commit) and the measurement
+methodology (repeats, warmup, statistic=median, timer) — the fields
+``repro perf check`` refuses to compare without.
+
+Fast mode: ``REPRO_BENCH_QUICK=1`` (the same switch ``repro bench
+--quick`` and the benchmark conftest honor) or ``quick=True`` shrinks
+every cell to its quick size, so CI smoke runs finish in seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+#: Registered suites: name -> list of (bench, params, quick-params).
+_SuiteEntry = tuple[str, dict[str, Any], dict[str, Any]]
+SUITES: dict[str, list[_SuiteEntry]] = {
+    # CI-sized: every cell is sub-second even scalar.
+    "smoke": [
+        ("connectivity", {"n": 240, "vectorized": False}, {"n": 96}),
+        ("connectivity", {"n": 240, "vectorized": True}, {"n": 96}),
+        ("list_ranking", {"n": 400}, {"n": 128}),
+        ("mis", {"n": 200}, {"n": 80}),
+    ],
+    # The Figure-1 workloads at bench sizes (minutes, for real tracking).
+    "full": [
+        ("connectivity", {"n": 3000, "vectorized": False}, {"n": 240}),
+        ("connectivity", {"n": 3000, "vectorized": True}, {"n": 240}),
+        ("list_ranking", {"n": 20000}, {"n": 400}),
+        ("mis", {"n": 2000}, {"n": 200}),
+        ("msf", {"n": 1500}, {"n": 160}),
+    ],
+}
+
+
+def suite_names() -> list[str]:
+    return list(SUITES)
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One suite cell: a bench name, its parameters, and a setup hook.
+
+    ``setup()`` builds the workload and returns the timed thunk; only
+    the thunk is measured.
+    """
+
+    bench: str
+    params: dict[str, Any]
+    setup: Callable[[], Callable[[], Any]]
+
+    @property
+    def cell(self) -> str:
+        inner = ",".join(f"{k}={self.params[k]}"
+                         for k in sorted(self.params))
+        return f"{self.bench}[{inner}]"
+
+
+def _setup(bench: str, params: dict[str, Any]) -> Callable[[], Any]:
+    """Build the workload for one cell and return its run thunk."""
+    import repro
+    from repro.graph import generators
+
+    n = int(params["n"])
+    if bench == "connectivity":
+        graph = generators.erdos_renyi_gnm(n, 2 * n, 0)
+        vectorized = bool(params.get("vectorized", False))
+        return lambda: repro.connectivity(graph, seed=1,
+                                          vectorized=vectorized)
+    if bench == "list_ranking":
+        succ = generators.linked_list(n, rng=0)
+        return lambda: repro.list_ranking(succ, seed=1, vectorized=True)
+    if bench == "mis":
+        graph = generators.erdos_renyi_gnm(n, 2 * n, 0)
+        return lambda: repro.maximal_independent_set(graph, seed=1)
+    if bench == "msf":
+        graph = generators.with_random_weights(
+            generators.erdos_renyi_gnm(n, 2 * n, 0), 7919
+        )
+        return lambda: repro.minimum_spanning_forest(graph, seed=1)
+    raise ValueError(f"unknown bench {bench!r}")
+
+
+def quick_mode(quick: bool | None = None) -> bool:
+    """Resolve the fast-mode flag (explicit argument beats the env)."""
+    if quick is not None:
+        return quick
+    return bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+
+def suite_specs(suite: str, *, quick: bool | None = None) -> list[BenchSpec]:
+    """The resolved cells of a suite (quick mode swaps in tiny sizes)."""
+    if suite not in SUITES:
+        raise ValueError(f"unknown suite {suite!r}; "
+                         f"registered: {sorted(SUITES)}")
+    use_quick = quick_mode(quick)
+    specs = []
+    for bench, params, quick_params in SUITES[suite]:
+        resolved = {**params, **quick_params} if use_quick else dict(params)
+        specs.append(BenchSpec(
+            bench=bench, params=resolved,
+            setup=lambda b=bench, p=resolved: _setup(b, p),
+        ))
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# host fingerprint
+# ---------------------------------------------------------------------------
+
+
+def _git_commit() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def host_fingerprint() -> dict[str, Any]:
+    """Where (and on what) a profile was measured."""
+    return {
+        "host_cores": os.cpu_count() or 1,
+        "machine": platform.machine(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "commit": _git_commit(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# the collector
+# ---------------------------------------------------------------------------
+
+
+def collect(
+    suite: str = "smoke",
+    *,
+    repeats: int = 5,
+    warmup: int = 1,
+    quick: bool | None = None,
+    label: str | None = None,
+    progress: Callable[[str, float], None] | None = None,
+):
+    """Run every cell of a suite and return the resulting Profile.
+
+    Every profile records the methodology fields the degradation
+    check refuses to compare without: ``repeats``, ``warmup``,
+    ``statistic="median"``, plus the full host fingerprint.
+    """
+    from .store import Profile
+
+    use_quick = quick_mode(quick)
+    specs = suite_specs(suite, quick=use_quick)
+    t0 = time.perf_counter()
+    cells: dict[str, dict[str, Any]] = {}
+    for spec in specs:
+        run = spec.setup()
+        for _ in range(max(0, warmup)):
+            run()
+        samples: list[float] = []
+        ts_us: list[float] = []
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            run()
+            samples.append(time.perf_counter() - start)
+            ts_us.append((start - t0) * 1e6)
+        cells[spec.cell] = {
+            "bench": spec.bench,
+            "params": spec.params,
+            "samples_s": samples,
+            "ts_us": ts_us,
+        }
+        if progress is not None:
+            import numpy as np
+
+            progress(spec.cell, float(np.median(samples)))
+    return Profile(
+        suite=suite,
+        host=host_fingerprint(),
+        methodology={
+            "repeats": max(1, repeats),
+            "warmup": max(0, warmup),
+            "statistic": "median",
+            "timer": "perf_counter",
+            "quick": use_quick,
+        },
+        cells=cells,
+        label=label,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the observability overhead gate (folded in from `repro verify --smoke`)
+# ---------------------------------------------------------------------------
+
+
+def observe_overhead_gate(
+    baseline_path: str,
+    *,
+    n: int = 1500,
+    repeats: int = 3,
+    attempts: int = 3,
+) -> dict[str, Any]:
+    """Armed-observability overhead vs. the checked-in baseline.
+
+    The retry-tolerant gate previously inlined in ``repro verify
+    --smoke``: overhead is measured up to ``attempts`` times and passes
+    if ANY attempt lands under ``max(baseline, 0) + ARMED_BUDGET_PCT``
+    — a real regression fails every attempt, CI-host noise does not
+    survive a retry. Returns ``{"skipped": True}`` when no baseline
+    file exists (the gate, not the schema checks, is what needs it).
+    """
+    from repro.observe.overhead import ARMED_BUDGET_PCT, overhead_trial
+
+    if not os.path.exists(baseline_path):
+        return {"skipped": True, "ok": True, "baseline_path": baseline_path,
+                "problems": []}
+    with open(baseline_path, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    base_pct = max(t["armed_overhead_pct"] for t in baseline["trials"])
+    # Baseline plus one full budget width of slack — shared CI hosts
+    # show double-digit-percent noise on sub-second runs; the gate is
+    # for catastrophic regressions (a consumer re-enabling per-op
+    # dispatch costs >20%), not for tuning.
+    allowed = max(base_pct, 0.0) + ARMED_BUDGET_PCT
+    trial: dict[str, Any] | None = None
+    for _ in range(max(1, attempts)):
+        trial = overhead_trial(n=n, repeats=repeats)
+        if (trial["armed_overhead_pct"] <= allowed
+                and trial["ledger_identical"]):
+            break
+    assert trial is not None
+    problems = []
+    if not trial["ledger_identical"]:
+        problems.append("traced run's ledger differs from unobserved")
+    if trial["armed_overhead_pct"] > allowed:
+        problems.append(
+            f"armed overhead {trial['armed_overhead_pct']:.1f}% exceeds "
+            f"gate {allowed:.1f}% (baseline {base_pct:.1f}% + "
+            f"{ARMED_BUDGET_PCT}% slack) in {attempts}/{attempts} attempts"
+        )
+    return {
+        "skipped": False,
+        "ok": not problems,
+        "baseline_path": baseline_path,
+        "baseline_pct": base_pct,
+        "allowed_pct": allowed,
+        "armed_pct": trial["armed_overhead_pct"],
+        "problems": problems,
+    }

@@ -474,6 +474,53 @@ def _run_cell(
     return record
 
 
+def perf_smoke_cell(store_root: str | None = None) -> dict:
+    """The ``perf-smoke`` cell of ``repro verify --smoke``.
+
+    Exercises the whole perf-regression pipeline without a single
+    flaky timing assertion: collect the smoke suite at tiny quick
+    sizes, save it into a (temporary, unless ``store_root`` is given)
+    profile store, pin it as the baseline, then ``check`` the profile
+    against the just-written baseline. Identical samples must classify
+    as no-change in every cell — a degradation here means the detectors
+    themselves broke, not that the host got slower. The profile's JSONL
+    records are also validated against the observe/export schema.
+
+    Returns ``{"ok": bool, "cells": int, "problems": [str, ...]}``.
+    """
+    import tempfile
+
+    from repro.observe.export import validate_records
+    from repro.perf import ProfileStore, collect, compare_profiles
+
+    problems: list[str] = []
+    with contextlib.ExitStack() as stack:
+        if store_root is None:
+            store_root = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-perf-smoke-")
+            )
+        profile = collect("smoke", repeats=3, warmup=1, quick=True,
+                          label="verify-smoke")
+        problems += [f"profile schema: {p}"
+                     for p in validate_records(profile.to_records())]
+        store = ProfileStore(store_root)
+        profile_id = store.save(profile)
+        store.set_baseline("smoke", profile_id, note="perf-smoke self-check")
+        baseline = store.baseline_profile("smoke")
+        candidate = store.load(profile_id)
+        result = compare_profiles(baseline, candidate)
+        for cell in result.cells:
+            if cell.verdict != "no-change":
+                problems.append(
+                    f"self-check cell {cell.cell} classified "
+                    f"{cell.verdict!r} against its own samples"
+                )
+        if not result.cells:
+            problems.append("self-check compared zero cells")
+        n_cells = len(result.cells)
+    return {"ok": not problems, "cells": n_cells, "problems": problems}
+
+
 def verify_sweep(
     *,
     algorithms: Iterable[str] | None = None,

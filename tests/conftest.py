@@ -10,15 +10,15 @@ import pytest
 from repro.core import AMPCConfig, AMPCRuntime
 from repro.graph import generators
 
-# Hard wall-clock ceiling for @pytest.mark.parallel and
-# @pytest.mark.faultproc tests: a wedged worker (deadlocked pipe,
-# orphaned pool, a SIGSTOPped process the supervisor failed to reap)
-# must fail the test, not hang the suite. pytest-timeout is used when
-# installed; otherwise we arm SIGALRM ourselves (main thread, POSIX —
-# fine for this suite).
+# Hard wall-clock ceiling for @pytest.mark.parallel,
+# @pytest.mark.faultproc, and @pytest.mark.perf tests: a wedged worker
+# (deadlocked pipe, orphaned pool, a SIGSTOPped process the supervisor
+# failed to reap) or a runaway bench collection must fail the test, not
+# hang the suite. pytest-timeout is used when installed; otherwise we
+# arm SIGALRM ourselves (main thread, POSIX — fine for this suite).
 PARALLEL_TEST_TIMEOUT_S = 120
 
-_TIMEBOXED_MARKERS = ("parallel", "faultproc")
+_TIMEBOXED_MARKERS = ("parallel", "faultproc", "perf")
 
 try:  # pragma: no cover - presence probe
     import pytest_timeout  # noqa: F401

@@ -1,0 +1,267 @@
+"""Property and unit tests for the perf degradation detectors.
+
+The two statistical contracts (ISSUE 7 satellites):
+
+* **false-positive bound** — resampling one distribution must not flag
+  a degradation: across a sweep of resampling seeds the flag rate stays
+  bounded (the detectors' job is to *not* fire on host noise);
+* **power** — an injected >=20% median slowdown over realistic (<=5%)
+  bench noise must be flagged, every time.
+
+Both are deterministic given the sample bytes: the bootstrap RNG is
+seeded from a hash of the samples, so re-running a check on the same
+profiles reproduces the identical verdict.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf import (
+    DEGRADATION,
+    IMPROVEMENT,
+    NO_CHANGE,
+    DetectorConfig,
+    best_of_k,
+    classify_cell,
+    compare_profiles,
+    fingerprint_problems,
+    mann_whitney,
+    median_shift,
+)
+from repro.perf.detect import HostMismatchError
+from repro.perf.store import Profile
+
+pytestmark = pytest.mark.perf
+
+
+def _profile(cells: dict[str, list[float]], *, suite: str = "smoke",
+             host: dict | None = None) -> Profile:
+    return Profile(
+        suite=suite,
+        host=host or {"host_cores": 4, "machine": "x86_64",
+                      "platform": "Linux-test", "python": "3.11.0",
+                      "commit": "abc1234"},
+        methodology={"repeats": 5, "warmup": 1, "statistic": "median",
+                     "timer": "perf_counter", "quick": False},
+        cells={
+            cell: {"bench": cell.split("[")[0], "params": {},
+                   "samples_s": samples,
+                   "ts_us": [float(i) for i in range(len(samples))]}
+            for cell, samples in cells.items()
+        },
+        created_utc="20260101T000000.000000Z",
+    )
+
+
+# ---------------------------------------------------------------------------
+# property: false-positive bound under a resampling seed sweep
+# ---------------------------------------------------------------------------
+
+
+@given(samples=st.lists(
+    st.floats(min_value=0.01, max_value=100.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=6, max_size=16,
+))
+@settings(max_examples=25, deadline=None)
+def test_resampling_does_not_flag_degradation(samples):
+    """Candidates resampled from the baseline itself stay unflagged.
+
+    Any single seed may produce an extreme resample, so the bound is on
+    the flag *rate* across a 20-seed sweep: at most 2/20 (the combined
+    vote is calibrated well below that in practice; the bound is the
+    contract).
+    """
+    base = np.asarray(samples, dtype=np.float64)
+    flags = 0
+    for seed in range(20):
+        rng = np.random.default_rng(seed)
+        candidate = rng.choice(base, size=base.size, replace=True)
+        if classify_cell("cell", base, candidate).verdict == DEGRADATION:
+            flags += 1
+    assert flags <= 2, f"{flags}/20 resampling seeds flagged degradation"
+
+
+# ---------------------------------------------------------------------------
+# property: power against an injected median slowdown
+# ---------------------------------------------------------------------------
+
+
+@given(
+    scale=st.floats(min_value=1e-3, max_value=10.0),
+    factor=st.floats(min_value=1.2, max_value=3.0),
+    n=st.integers(min_value=5, max_value=12),
+    noise_seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_injected_slowdown_is_flagged(scale, factor, n, noise_seed):
+    """A >=20% median slowdown over <=5% noise must classify degraded."""
+    rng = np.random.default_rng(noise_seed)
+    base = scale * (1.0 + rng.uniform(-0.05, 0.05, size=n))
+    cand = scale * factor * (1.0 + rng.uniform(-0.05, 0.05, size=n))
+    verdict = classify_cell("cell", base, cand)
+    assert verdict.verdict == DEGRADATION, (
+        f"{factor:.2f}x slowdown not flagged: "
+        f"{[(v.detector, v.direction) for v in verdict.votes]}"
+    )
+
+
+@given(
+    scale=st.floats(min_value=1e-3, max_value=10.0),
+    factor=st.floats(min_value=1.2, max_value=3.0),
+    n=st.integers(min_value=5, max_value=12),
+    noise_seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=20, deadline=None)
+def test_injected_speedup_is_flagged_improvement(scale, factor, n,
+                                                 noise_seed):
+    rng = np.random.default_rng(noise_seed)
+    base = scale * factor * (1.0 + rng.uniform(-0.05, 0.05, size=n))
+    cand = scale * (1.0 + rng.uniform(-0.05, 0.05, size=n))
+    assert classify_cell("cell", base, cand).verdict == IMPROVEMENT
+
+
+# ---------------------------------------------------------------------------
+# property: the verdict is a pure function of the profile bytes
+# ---------------------------------------------------------------------------
+
+
+@given(
+    samples=st.lists(
+        st.floats(min_value=0.01, max_value=100.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=4, max_size=12,
+    ),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=25, deadline=None)
+def test_classification_deterministic_in_profile_bytes(samples, seed):
+    base = np.asarray(samples, dtype=np.float64)
+    cand = np.random.default_rng(seed).permutation(base) * 1.3
+    first = classify_cell("cell", base, cand).to_dict()
+    second = classify_cell("cell", base, cand).to_dict()
+    assert first == second
+
+    profile_a = _profile({"cell": list(base)})
+    profile_b = _profile({"cell": list(cand)})
+    assert (compare_profiles(profile_a, profile_b).to_dict()
+            == compare_profiles(profile_a, profile_b).to_dict())
+
+
+# ---------------------------------------------------------------------------
+# individual detectors
+# ---------------------------------------------------------------------------
+
+
+def test_median_shift_directions():
+    base = [1.0, 1.01, 0.99, 1.0, 1.02]
+    assert median_shift(base, [2.0 * x for x in base]).direction == DEGRADATION
+    assert median_shift(base, [0.5 * x for x in base]).direction == IMPROVEMENT
+    assert median_shift(base, base).direction == NO_CHANGE
+
+
+def test_median_shift_small_shift_within_noise_is_no_change():
+    base = [1.0, 1.05, 0.95, 1.02, 0.98, 1.01]
+    cand = [x * 1.02 for x in base]  # 2% < 5% threshold
+    assert median_shift(base, cand).direction == NO_CHANGE
+
+
+def test_mann_whitney_separation_and_ties():
+    base = [1.0, 1.01, 1.02, 0.99, 0.98]
+    cand = [1.5, 1.51, 1.52, 1.49, 1.48]
+    assert mann_whitney(base, cand).direction == DEGRADATION
+    assert mann_whitney(cand, base).direction == IMPROVEMENT
+    tied = mann_whitney([1.0] * 5, [1.0] * 5)
+    assert tied.direction == NO_CHANGE
+    assert tied.detail["reason"] == "all samples tied"
+
+
+def test_mann_whitney_overlap_is_no_change():
+    base = [1.0, 2.0, 3.0, 4.0, 5.0]
+    cand = [1.5, 2.5, 3.5, 2.0, 4.0]
+    assert mann_whitney(base, cand).direction == NO_CHANGE
+
+
+def test_best_of_k_rules():
+    base = [1.0, 1.2, 1.1, 1.3]
+    assert best_of_k(base, [1.3, 1.4, 1.35, 1.5]).direction == DEGRADATION
+    assert best_of_k(base, [0.8, 1.4, 1.35, 1.5]).direction == IMPROVEMENT
+    assert best_of_k(base, [1.05, 1.4, 1.2, 1.3]).direction == NO_CHANGE
+    short = best_of_k([1.0, 1.1], [2.0, 2.1])
+    assert short.direction == NO_CHANGE  # below best_of sample floor
+
+
+def test_single_detector_is_not_enough():
+    """best-of-k alone (no median shift) must not fire the cell."""
+    base = [1.0, 2.0, 2.0, 2.0, 2.0, 2.0]
+    cand = [2.0, 2.0, 2.0, 2.0, 2.0, 2.0]  # lost the lucky fast run
+    cell = classify_cell("cell", base, cand)
+    assert best_of_k(base, cand).direction == DEGRADATION
+    assert cell.verdict == NO_CHANGE
+
+
+def test_insufficient_samples_is_no_change():
+    cell = classify_cell("cell", [1.0, 1.0], [9.0, 9.0])
+    assert cell.verdict == NO_CHANGE
+    assert cell.votes[0].detector == "sample_count"
+
+
+def test_detector_config_threshold_is_respected():
+    base = [1.0, 1.001, 0.999, 1.0, 1.0]
+    cand = [x * 1.10 for x in base]  # 10% shift
+    default = classify_cell("cell", base, cand)
+    assert default.verdict == DEGRADATION
+    loose = classify_cell("cell", base, cand,
+                          DetectorConfig(shift_threshold=0.25))
+    assert loose.verdict == NO_CHANGE
+
+
+# ---------------------------------------------------------------------------
+# profile-level comparison and the host-fingerprint refusal
+# ---------------------------------------------------------------------------
+
+
+def test_compare_profiles_cells_and_bookkeeping():
+    base = _profile({"a": [1.0, 1.01, 0.99, 1.0, 1.02],
+                     "gone": [1.0, 1.0, 1.0]})
+    cand = _profile({"a": [2.0, 2.02, 1.98, 2.0, 2.04],
+                     "new": [1.0, 1.0, 1.0]})
+    result = compare_profiles(base, cand)
+    assert [c.cell for c in result.degradations] == ["a"]
+    assert result.missing_cells == ["gone"]
+    assert result.new_cells == ["new"]
+    assert not result.ok
+    assert result.summary()["degradations"] == 1
+
+
+def test_mismatched_host_fingerprint_is_refused():
+    base = _profile({"a": [1.0, 1.0, 1.0]})
+    cand = _profile({"a": [1.0, 1.0, 1.0]},
+                    host={"host_cores": 8, "machine": "x86_64",
+                          "platform": "Linux-test", "python": "3.11.0",
+                          "commit": "abc1234"})
+    with pytest.raises(HostMismatchError, match="host_cores"):
+        compare_profiles(base, cand)
+    result = compare_profiles(base, cand, allow_host_mismatch=True)
+    assert result.ok
+    assert any("host_cores" in w for w in result.host_warnings)
+
+
+def test_missing_methodology_is_refused():
+    base = _profile({"a": [1.0, 1.0, 1.0]})
+    cand = _profile({"a": [1.0, 1.0, 1.0]})
+    cand.methodology = {}
+    with pytest.raises(HostMismatchError, match="methodology"):
+        compare_profiles(base, cand)
+
+
+def test_fingerprint_python_patch_versions_are_compatible():
+    a = {"host_cores": 4, "machine": "x86_64", "python": "3.11.2"}
+    b = {"host_cores": 4, "machine": "x86_64", "python": "3.11.9"}
+    assert fingerprint_problems(a, b) == []
+    b["python"] = "3.12.0"
+    assert fingerprint_problems(a, b) != []
