@@ -118,7 +118,93 @@ def _timed(fn, repeats: int) -> tuple[float, list[float], object]:
     return statistics.median(samples), samples, result
 
 
-def sweep(sizes: dict[str, int], repeats: int) -> dict:
+# Parent-side phase breakdown measured at commit 08a377c, immediately
+# before the bulk journal replay landed (same workload as
+# replay_merge_section's profile: connectivity n=2000 m=8000, process
+# backend, 2 workers, 1-core host). Kept as the before-side of the
+# replay-merge comparison; the after-side is re-measured on regen.
+PRE_BULK_REPLAY_PHASES = {
+    "total_s": 2.376,
+    "phases": {"other": 0.9183, "hash-partition": 0.6535,
+               "dds-serve": 0.625, "algorithm": 0.0752, "graph": 0.0533,
+               "parallel-merge": 0.0418, "runtime": 0.0072,
+               "primitives": 0.0015, "machine-exec": 0.0005},
+}
+
+
+def replay_merge_section(quick: bool, repeats: int) -> dict:
+    """Measure the parent-side journal-replay merge constant.
+
+    Two views: a microbench applying one machine's journaled scalar
+    writes through the pre-PR per-op ``write()`` loop vs the bulk
+    ``_apply_journal_writes`` path (layout/placement parity asserted
+    before timing), and an ``observe.profiler`` phase breakdown of a
+    process-backend connectivity run to set the merge against the whole
+    parent-side picture.
+    """
+    from repro.core.dds import DistributedDataStore
+    from repro.observe.profiler import RunProfiler
+
+    n_ops = 5_000 if quick else 50_000
+    entries = [(("lbl", i % (n_ops // 2)), (i, float(i)))
+               for i in range(n_ops)]
+
+    def fresh():
+        return DistributedDataStore(0, n_servers=64, seed=7,
+                                    track_contention=True)
+
+    def per_op():
+        store = fresh()
+        t0 = time.perf_counter()
+        for key, value in entries:
+            store.write(key, value)
+        return time.perf_counter() - t0, store
+
+    def bulk():
+        store = fresh()
+        t0 = time.perf_counter()
+        store._apply_journal_writes(entries)
+        return time.perf_counter() - t0, store
+
+    _, a = per_op()
+    _, b = bulk()
+    assert a.n_writes == b.n_writes
+    assert list(a.items()) == list(b.items())
+    assert np.array_equal(a.server_item_loads, b.server_item_loads)
+
+    per_op_s = statistics.median(per_op()[0] for _ in range(repeats))
+    bulk_s = statistics.median(bulk()[0] for _ in range(repeats))
+
+    n = 400 if quick else 2_000
+    g = generators.erdos_renyi_gnm(n, 4 * n, rng=7)
+    with use_backend("process", 2):
+        repro.connectivity(g, seed=1)  # pool + import warmup
+        with RunProfiler() as prof:
+            repro.connectivity(g, seed=1)
+    breakdown = prof.breakdown()
+
+    return {
+        "microbench": {
+            "description": "apply one machine's journaled scalar writes "
+                           "to the next-round store: pre-PR per-op "
+                           "write() loop vs bulk _apply_journal_writes",
+            "n_ops": n_ops,
+            "per_op_s": round(per_op_s, 4),
+            "bulk_s": round(bulk_s, 4),
+            "speedup": round(per_op_s / bulk_s, 2),
+        },
+        "phase_breakdown": {
+            "workload": f"connectivity n={n} m={4 * n}, "
+                        "process backend, 2 workers, parent-side cProfile",
+            "total_s": round(breakdown.total_s, 4),
+            "phases": {k: round(v, 4)
+                       for k, v in breakdown.phases.items()},
+        },
+        "pre_pr_phase_breakdown": PRE_BULK_REPLAY_PHASES,
+    }
+
+
+def sweep(sizes: dict[str, int], repeats: int, quick: bool = False) -> dict:
     host_cores = os.cpu_count() or 1
     series = []
     for algo, n in sizes.items():
@@ -180,6 +266,7 @@ def sweep(sizes: dict[str, int], repeats: int) -> dict:
             ),
         },
         "series": series,
+        "replay_merge": replay_merge_section(quick, repeats),
     }
 
 
@@ -193,7 +280,7 @@ def main() -> int:
     args = parser.parse_args()
     quick = args.quick or bool(os.environ.get("REPRO_BENCH_QUICK"))
     sizes = QUICK_SIZES if quick else FULL_SIZES
-    payload = sweep(sizes, args.repeats)
+    payload = sweep(sizes, args.repeats, quick=quick)
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")

@@ -16,6 +16,7 @@ pairs directly with ``time.perf_counter`` and emits the checked-in
 """
 
 import json
+import os
 import sys
 import time
 
@@ -196,7 +197,8 @@ def _best_of(fn, repeats: int = 3) -> float:
 
 
 def run_sweep(
-    *, dds_ops: int = 10_000, list_n: int = 100_000, repeats: int = 3
+    *, dds_ops: int = 10_000, list_n: int = 100_000, mis_n: int = 100_000,
+    msf_n: int = 100_000, repeats: int = 3
 ) -> dict:
     """Time each scalar hot path against its batched counterpart.
 
@@ -206,7 +208,17 @@ def run_sweep(
     reported speedups never compare diverging computations.
     """
     from repro.algorithms.list_ranking import list_ranking
-    from repro.graph.generators import linked_list
+    from repro.algorithms.mis import maximal_independent_set
+    from repro.algorithms.msf import minimum_spanning_forest
+    from repro.graph.generators import (
+        erdos_renyi_gnm,
+        linked_list,
+        with_random_weights,
+    )
+
+    def _round_ledger(report):
+        return [(s.tag, s.total_reads, s.total_writes)
+                for s in report.rounds]
 
     results: dict[str, dict] = {}
 
@@ -244,11 +256,8 @@ def run_sweep(
     ref = list_ranking(succ, seed=0)
     vec = list_ranking(succ, seed=0, vectorized=True)
     assert np.array_equal(ref.ranks, vec.ranks), "ranks diverge"
-    ledger = [(s.tag, s.total_reads, s.total_writes)
-              for s in ref.report.rounds]
-    vledger = [(s.tag, s.total_reads, s.total_writes)
-               for s in vec.report.rounds]
-    assert ledger == vledger, "cost ledgers diverge"
+    assert _round_ledger(ref.report) == _round_ledger(vec.report), \
+        "cost ledgers diverge"
     scalar_s = _best_of(lambda: list_ranking(succ, seed=0), 1)
     batched_s = _best_of(
         lambda: list_ranking(succ, seed=0, vectorized=True), 1
@@ -260,9 +269,46 @@ def run_sweep(
         "speedup": scalar_s / batched_s,
     }
 
+    # -- end-to-end MIS ----------------------------------------------------
+    g = erdos_renyi_gnm(mis_n, 2 * mis_n, rng=1)
+    ref = maximal_independent_set(g, seed=0)
+    vec = maximal_independent_set(g, seed=0, vectorized=True)
+    assert np.array_equal(ref.in_mis, vec.in_mis), "MIS sets diverge"
+    assert _round_ledger(ref.report) == _round_ledger(vec.report), \
+        "MIS cost ledgers diverge"
+    scalar_s = _best_of(lambda: maximal_independent_set(g, seed=0), 1)
+    batched_s = _best_of(
+        lambda: maximal_independent_set(g, seed=0, vectorized=True), 1
+    )
+    results["mis"] = {
+        "n": mis_n,
+        "scalar_s": scalar_s,
+        "batched_s": batched_s,
+        "speedup": scalar_s / batched_s,
+    }
+
+    # -- end-to-end MSF ----------------------------------------------------
+    wg = with_random_weights(erdos_renyi_gnm(msf_n, 2 * msf_n, rng=2), 3)
+    ref = minimum_spanning_forest(wg, seed=0)
+    vec = minimum_spanning_forest(wg, seed=0, vectorized=True)
+    assert np.array_equal(ref.edge_ids, vec.edge_ids), "forests diverge"
+    assert _round_ledger(ref.report) == _round_ledger(vec.report), \
+        "MSF cost ledgers diverge"
+    scalar_s = _best_of(lambda: minimum_spanning_forest(wg, seed=0), 1)
+    batched_s = _best_of(
+        lambda: minimum_spanning_forest(wg, seed=0, vectorized=True), 1
+    )
+    results["msf"] = {
+        "n": msf_n,
+        "scalar_s": scalar_s,
+        "batched_s": batched_s,
+        "speedup": scalar_s / batched_s,
+    }
+
     return {
         "benchmark": "bench_simulator_overhead.run_sweep",
         "settings": {"dds_ops": dds_ops, "list_n": list_n,
+                     "mis_n": mis_n, "msf_n": msf_n,
                      "repeats": repeats},
         "results": {
             name: {k: (round(v, 6) if isinstance(v, float) else v)
@@ -274,7 +320,13 @@ def run_sweep(
 
 def main(argv: list[str]) -> int:
     out = argv[1] if len(argv) > 1 else "benchmarks/BENCH_simulator.json"
-    payload = run_sweep()
+    if os.environ.get("REPRO_BENCH_QUICK"):
+        # `repro perf regen --quick` pipeline smoke test: tiny sizes so
+        # the run finishes in seconds (output goes to .perf/regen/).
+        payload = run_sweep(dds_ops=2_000, list_n=3_000, mis_n=1_500,
+                            msf_n=1_000, repeats=1)
+    else:
+        payload = run_sweep()
     with open(out, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")

@@ -11,6 +11,16 @@ is at most n^{iε/2} is settled, so O(1/ε) iterations settle everything.
 Because f(v, π) is a deterministic function of G and π, the output is
 *exactly* LFMIS(G, π) — tests verify equality with the sequential greedy,
 not merely maximality.
+
+``vectorized=True`` runs each iteration on the batch engine
+(:meth:`repro.core.runtime.AMPCRuntime.round_batch`): the alive-subgraph
+CSR is published columnarly (``setup_arrays``), each machine replays its
+block's truncated queries against local numpy arrays (charging the same
+distinct-key reads the scalar read cache would), and newly settled
+statuses are published with one ``write_array`` per machine. Both paths
+address the store with the same flat keys — ``("deg", v) -> (deg, base)``
+and ``("nb", flat_pos) -> (u, pi_u)`` — so results *and* per-round cost
+ledgers (including server placement) are bit-identical; tests enforce it.
 """
 
 from __future__ import annotations
@@ -72,6 +82,7 @@ def maximal_independent_set(
     query_cap: int | None = None,
     max_iterations: int | None = None,
     runtime: AMPCRuntime | None = None,
+    vectorized: bool = False,
 ) -> MISResult:
     """LFMIS over a random permutation in O(1/ε) rounds (Algorithm 4).
 
@@ -86,6 +97,10 @@ def maximal_independent_set(
         runtime: run on an existing runtime (shares its ledger) — e.g. a
             :class:`repro.core.chaos.ChaosRuntime` armed with a fault
             plan; the result must be identical to a fault-free run.
+        vectorized: run iterations on the batch engine — bit-identical
+            results and cost ledgers, minus the per-op interpreter tax.
+            Falls back to the scalar path when the runtime is not
+            ``batch_capable`` (chaos/MPC contexts).
     """
     n = graph.n
     if config is None:
@@ -119,6 +134,7 @@ def maximal_independent_set(
     settled_at = np.zeros(n, dtype=np.int64)
     total_calls = 0
     iterations = 0
+    use_batch = vectorized and runtime.batch_capable
 
     while True:
         alive = np.flatnonzero(status == _UNKNOWN).astype(np.int64)
@@ -133,7 +149,7 @@ def maximal_independent_set(
         indptr, indices = _filter_alive(sorted_csr, status)
         calls = _iteration(
             runtime, alive, indptr, indices, pi, status, query_cap,
-            tag=f"mis:{iterations}",
+            tag=f"mis:{iterations}", use_batch=use_batch,
         )
         total_calls += calls
         settled_at[(status != _UNKNOWN) & (settled_at == 0)] = iterations
@@ -160,53 +176,201 @@ def _iteration(
     cap: int,
     *,
     tag: str,
+    use_batch: bool = False,
 ) -> int:
-    """One Line-4 iteration: truncated queries for every unknown vertex."""
+    """One Line-4 iteration: truncated queries for every unknown vertex.
 
-    def setup():
-        # Remaining adjacency, π-sorted, with neighbor priorities inlined
-        # so the walker needs one read per scanned neighbor.
-        for idx, v in enumerate(alive.tolist()):
-            start, end = indptr[idx], indptr[idx + 1]
-            yield ("deg", v), int(end - start)
-            for i in range(end - start):
-                u = int(indices[start + i])
-                yield ("nb", v, i), (u, int(pi[u]))
+    Both paths publish the alive-subgraph adjacency under the same flat
+    keys — ``("deg", v) -> (deg, base)`` where ``base`` is v's row start
+    in the alive CSR, and ``("nb", base + i) -> (u, pi_u)`` — so key
+    placement (and hence ``max_server_load``) matches exactly between the
+    scalar and vectorized runs.
+    """
+    deg = np.diff(indptr)
+    base = indptr[:-1]
+    nb_pi = pi[indices]
 
-    def worker(ctx, item):
-        v, pi_v = item
-        settled = ctx.scratch.setdefault("settled", {})
-        calls = _Counter()
-        result = _truncated_query(ctx, v, pi_v, cap, settled, calls)
-        # Publish every status this machine newly determined; the driver
-        # merges them and prunes the graph for the next iteration.
-        fresh = ctx.scratch.setdefault("published", set())
-        for u, val in settled.items():
-            if u not in fresh:
-                fresh.add(u)
-                ctx.write(("settled", u), int(val))
-        return (calls.value, result)
+    if use_batch:
+        total = _iteration_batch(
+            runtime, alive, indptr, indices, pi, status, cap,
+            deg=deg, base=base, nb_pi=nb_pi, tag=tag,
+        )
+    else:
+        def setup():
+            # Remaining adjacency, π-sorted, with neighbor priorities
+            # inlined so the walker needs one read per scanned neighbor.
+            for v, dg, b in zip(alive.tolist(), deg.tolist(), base.tolist()):
+                yield ("deg", v), (dg, b)
+            for pos, (u, pu) in enumerate(
+                zip(indices.tolist(), nb_pi.tolist())
+            ):
+                yield ("nb", pos), (u, pu)
 
-    items = [(int(v), int(pi[v])) for v in alive.tolist()]
-    result = runtime.round(
-        items, worker, setup=setup(), tag=tag, item_key=lambda t: t[0]
-    )
+        def worker(ctx, v):
+            settled = ctx.scratch.setdefault("settled", {})
+            calls = _Counter()
+            result = _truncated_query(ctx, v, int(pi[v]), cap, settled, calls)
+            # Publish every status this machine newly determined; the
+            # driver merges them and prunes the graph for the next
+            # iteration.
+            fresh = ctx.scratch.setdefault("published", set())
+            for u, val in settled.items():
+                if u not in fresh:
+                    fresh.add(u)
+                    ctx.write(("settled", u), int(val))
+            return (calls.value, result)
 
-    for key, value in result.store.items():
-        if isinstance(key, tuple) and key[0] == "settled":
-            status[key[1]] = _IN if value else _OUT
+        result = runtime.round(alive.tolist(), worker, setup=setup(), tag=tag)
+        for key, value in result.store.items():
+            if isinstance(key, tuple) and key[0] == "settled":
+                status[key[1]] = _IN if value else _OUT
+        total = sum(c for c, _ in result.results)
+
     # A vertex adjacent to an in-MIS vertex is out even if no query touched
     # it (Algorithm 4 step 4a's neighbor removal): prune via the CSR.
-    in_now = np.flatnonzero(status == _IN)
-    alive_index = {int(v): i for i, v in enumerate(alive.tolist())}
-    for v in in_now.tolist():
-        i = alive_index.get(v)
-        if i is None:
-            continue
-        for u in indices[indptr[i]:indptr[i + 1]].tolist():
-            if status[u] == _UNKNOWN:
-                status[u] = _OUT
-    return sum(c for c, _ in result.results)
+    src = np.repeat(np.arange(alive.size, dtype=np.int64), deg)
+    touched = indices[(status[alive] == _IN)[src]]
+    touched = touched[status[touched] == _UNKNOWN]
+    status[touched] = _OUT
+    return total
+
+
+def _iteration_batch(
+    runtime: AMPCRuntime,
+    alive: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    pi: np.ndarray,
+    status: np.ndarray,
+    cap: int,
+    *,
+    deg: np.ndarray,
+    base: np.ndarray,
+    nb_pi: np.ndarray,
+    tag: str,
+) -> int:
+    """Batch-engine twin of the scalar iteration round.
+
+    Each machine replays its block's truncated queries against local
+    numpy views of the alive CSR, tracking exactly the distinct keys the
+    scalar path's read cache would have charged, then settles accounts
+    with one ``charge_read_array`` per namespace and one ``write_array``
+    for the published statuses (in scalar publication order).
+    """
+    n = status.size
+    row_of = np.full(n, -1, dtype=np.int64)
+    row_of[alive] = np.arange(alive.size, dtype=np.int64)
+
+    def batch_worker(ctx, block):
+        settled: dict[int, bool] = {}
+        seen_deg: set[int] = set()
+        seen_nb: set[int] = set()
+        deg_keys: list[int] = []
+        nb_keys: list[int] = []
+        pub_ids: list[int] = []
+        pub_vals: list[int] = []
+        out_calls = np.empty(block.size, dtype=np.int64)
+        out_res = np.empty(block.size, dtype=np.int64)
+
+        def settle(v: int, val: bool) -> None:
+            # Every settled entry is eventually published by the scalar
+            # worker's per-item sweep over the (insertion-ordered)
+            # settled dict, so appending here reproduces the scalar
+            # machine's exact write sequence.
+            settled[v] = val
+            pub_ids.append(v)
+            pub_vals.append(int(val))
+
+        def walk(root: int, pi_root: int, calls: _Counter) -> int:
+            # _truncated_query against local arrays; reads become
+            # seen-set bookkeeping with identical call/budget counting.
+            if root in settled:
+                return _IN if settled[root] else _OUT
+            stack: list[list[int]] = [[root, pi_root, 0, -1, -1]]
+            budget = cap
+            ret: bool | None = None
+            while stack:
+                frame = stack[-1]
+                v, pi_v, i, dg, b = frame
+                if dg == -1:
+                    budget -= 1
+                    calls.value += 1
+                    if budget < 0:
+                        return _UNKNOWN
+                    r = int(row_of[v])
+                    if r not in seen_deg:
+                        seen_deg.add(r)
+                        deg_keys.append(v)
+                    frame[3] = dg = int(deg[r])
+                    frame[4] = b = int(base[r])
+                    ret = None
+                if ret is not None:
+                    if ret is True:
+                        settle(v, False)
+                        stack.pop()
+                        ret = False
+                        continue
+                    ret = None
+                advanced = False
+                while i < dg:
+                    pos = b + i
+                    if pos not in seen_nb:
+                        seen_nb.add(pos)
+                        nb_keys.append(pos)
+                    u = int(indices[pos])
+                    pi_u = int(nb_pi[pos])
+                    if pi_u > pi_v:
+                        break
+                    frame[2] = i = i + 1
+                    known = settled.get(u)
+                    if known is True:
+                        settle(v, False)
+                        stack.pop()
+                        ret = False
+                        advanced = True
+                        break
+                    if known is False:
+                        continue
+                    stack.append([u, pi_u, 0, -1, -1])
+                    advanced = True
+                    break
+                if advanced:
+                    continue
+                settle(v, True)
+                stack.pop()
+                ret = True
+            return _IN if settled[root] else _OUT
+
+        for j, v in enumerate(block.tolist()):
+            calls = _Counter()
+            out_res[j] = walk(v, int(pi[v]), calls)
+            out_calls[j] = calls.value
+
+        ctx.charge_read_array("deg", np.asarray(deg_keys, dtype=np.int64))
+        ctx.charge_read_array("nb", np.asarray(nb_keys, dtype=np.int64))
+        if pub_ids:
+            ctx.write_array(
+                "settled",
+                np.asarray(pub_ids, dtype=np.int64),
+                np.asarray(pub_vals, dtype=np.int64),
+            )
+        return (out_calls, out_res)
+
+    setup_arrays = [
+        ("deg", alive, np.stack([deg, base], axis=1)),
+        (
+            "nb",
+            np.arange(indices.size, dtype=np.int64),
+            np.stack([indices, nb_pi], axis=1),
+        ),
+    ]
+    result = runtime.round_batch(
+        alive, batch_worker, setup_arrays=setup_arrays, tag=tag
+    )
+    ids, vals = result.store.read_namespace("settled")
+    status[ids] = np.where(vals != 0, _IN, _OUT).astype(np.int8)
+    calls_col, _res_col = result.results
+    return int(calls_col.sum())
 
 
 class _Counter:
@@ -234,20 +398,23 @@ def _truncated_query(
         return _IN if settled[root] else _OUT
 
     # Explicit stack to avoid Python recursion limits: frames are
-    # [vertex, pi_v, next_neighbor_index, degree]; degree = -1 until read.
-    stack: list[list[int]] = [[root, pi_root, 0, -1]]
+    # [vertex, pi_v, next_neighbor_index, degree, row_base];
+    # degree = -1 until the ("deg", v) -> (degree, base) pair is read.
+    stack: list[list[int]] = [[root, pi_root, 0, -1, -1]]
     budget = cap
     ret: bool | None = None  # child return value being propagated
 
     while stack:
         frame = stack[-1]
-        v, pi_v, i, deg = frame
+        v, pi_v, i, deg, b = frame
         if deg == -1:
             budget -= 1
             calls.value += 1
             if budget < 0:
                 return _UNKNOWN  # capacity exhausted (step 1 / 4d)
-            frame[3] = deg = ctx.read(("deg", v))
+            deg, b = ctx.read(("deg", v))
+            frame[3] = deg
+            frame[4] = b
             ret = None
         if ret is not None:
             # Returning from the recursive call on neighbor i-1 (step 4b).
@@ -259,7 +426,7 @@ def _truncated_query(
             ret = None
         advanced = False
         while i < deg:
-            entry = ctx.read(("nb", v, i))
+            entry = ctx.read(("nb", b + i))
             u, pi_u = entry
             if pi_u > pi_v:
                 break  # π-sorted: no earlier neighbors remain (4a)
@@ -273,7 +440,7 @@ def _truncated_query(
                 break
             if known is False:
                 continue  # u is out; it cannot block v
-            stack.append([u, pi_u, 0, -1])
+            stack.append([u, pi_u, 0, -1, -1])
             advanced = True
             break
         if advanced:

@@ -11,6 +11,16 @@ budget grows d → d^1.4 (Algorithm 9, Theorem 4).
 Edge identity is preserved through contractions with an explicit
 original-edge-id mapping (the paper's map M), so the output is a set of
 *input* edge ids whose weight sum tests verify against the sequential MSF.
+
+``vectorized=True`` runs each Prim round on the batch engine: the phase
+graph is published columnarly (``setup_arrays``), machines replay their
+blocks' heap-Prim walks against local CSR views (charging the same
+distinct-key reads the scalar read cache would), MSF edges and F_v
+members are published with one ``write_array`` per namespace, and leader
+election is a bincount/minimum.at pass over the published member columns.
+Both paths use the flat key scheme of
+:func:`repro.graph.io.encode_weighted_graph_flat`, so results *and*
+per-round cost ledgers (including server placement) are bit-identical.
 """
 
 from __future__ import annotations
@@ -25,7 +35,10 @@ from repro.core.config import AMPCConfig
 from repro.core.cost import RunReport
 from repro.core.runtime import AMPCRuntime
 from repro.graph.graph import WeightedGraph
-from repro.graph.io import encode_weighted_graph
+from repro.graph.io import (
+    encode_weighted_graph_arrays,
+    encode_weighted_graph_flat,
+)
 from repro.primitives.contraction import contract_weighted, resolve_pointers
 from repro.primitives.sampling import leader_probability
 
@@ -59,19 +72,39 @@ def minimum_spanning_forest(
     seed: int = 0,
     config: AMPCConfig | None = None,
     max_phases: int | None = None,
+    runtime: AMPCRuntime | None = None,
+    vectorized: bool = False,
 ) -> MSFResult:
     """Minimum spanning forest (paper Algorithm 9).
 
     Edge weights must be distinct (paper §7); ties are rejected — break
     them upstream with :func:`repro.graph.graph.total_order_key` semantics
     (e.g. via ``generators.with_random_weights``).
+
+    Args:
+        graph: weighted input graph (distinct weights).
+        epsilon: space exponent ε.
+        seed: reproducibility seed.
+        config: explicit deployment.
+        max_phases: safety cap on contraction phases.
+        runtime: run on an existing runtime (shares its ledger).
+        vectorized: run Prim rounds on the batch engine — bit-identical
+            results and cost ledgers, minus the per-op interpreter tax.
+            Falls back to the scalar path when the runtime is not
+            ``batch_capable``.
     """
     n = graph.n
     if config is None:
-        config = AMPCConfig.for_input(max(n + graph.m, 1), epsilon=epsilon, seed=seed)
+        config = (
+            runtime.config
+            if runtime is not None
+            else AMPCConfig.for_input(max(n + graph.m, 1), epsilon=epsilon,
+                                      seed=seed)
+        )
     if not graph.weights_distinct():
         raise ValueError("MSF requires distinct edge weights (paper §7)")
-    runtime = AMPCRuntime(config)
+    if runtime is None:
+        runtime = AMPCRuntime(config)
     if n == 0 or graph.m == 0:
         return MSFResult(
             edge_ids=np.zeros(0, np.int64), total_weight=0.0, phases=0,
@@ -96,6 +129,7 @@ def minimum_spanning_forest(
     )
     phases = 0
     budgets: list[float] = []
+    use_batch = vectorized and runtime.batch_capable
 
     while current.m > 0:
         phases += 1
@@ -114,17 +148,29 @@ def minimum_spanning_forest(
             break
 
         # Step 3a: MSFIncreaseDegree — one adaptive local-Prim round.
-        forests, msf_now = _msf_increase_degree(
-            current, int(round(d)), runtime, tag=f"prim:{phases}"
-        )
-        # Step 3b: commit the discovered MSF edges through the map M.
-        for j in msf_now:
-            committed.add(int(orig_eid[j]))
+        if use_batch:
+            msf_ids, fv_src, fv_dst, exhausted = _msf_increase_degree_batch(
+                current, int(round(d)), runtime, tag=f"prim:{phases}"
+            )
+            # Step 3b: commit the discovered MSF edges through the map M.
+            for j in np.unique(msf_ids).tolist():
+                committed.add(int(orig_eid[j]))
+        else:
+            forests, msf_now = _msf_increase_degree(
+                current, int(round(d)), runtime, tag=f"prim:{phases}"
+            )
+            for j in msf_now:
+                committed.add(int(orig_eid[j]))
 
         # Steps 3c/3d: leader sampling and contraction along F_v.
         p = leader_probability(current.n, d)
         is_leader = rng.random(current.n) < p
-        leader = _choose_leaders(current.n, forests, is_leader)
+        if use_batch:
+            leader = _choose_leaders_vec(
+                current.n, fv_src, fv_dst, exhausted, is_leader
+            )
+        else:
+            leader = _choose_leaders(current.n, forests, is_leader)
         root = resolve_pointers(leader, runtime, tag=f"resolve:{phases}")
         contracted, _new_of, _rep, kept = contract_weighted(
             current, root, runtime=None
@@ -166,12 +212,12 @@ def _msf_increase_degree(
 
         def push_edges(u: int) -> None:
             nonlocal reads
-            deg_u = ctx.read(("deg", u))
+            deg_u, b = ctx.read(("deg", u))
             reads += 1
             for i in range(deg_u):
                 if reads >= read_cap:
                     return
-                nbr, w, eid = ctx.read(("adjw", u, i))
+                nbr, w, eid = ctx.read(("adjw", b + i))
                 reads += 1
                 if nbr not in in_tree:
                     heapq.heappush(heap, (w, eid, nbr))
@@ -191,7 +237,7 @@ def _msf_increase_degree(
 
     result = runtime.round(
         list(range(graph.n)), worker,
-        setup=encode_weighted_graph(graph), tag=tag,
+        setup=encode_weighted_graph_flat(graph), tag=tag,
     )
     forests: dict[int, tuple[list[int], bool]] = {
         v: ([], bool(out[1])) for v, out in zip(range(graph.n), result.results)
@@ -205,6 +251,210 @@ def _msf_increase_degree(
         elif key[0] == "fv":
             forests[int(key[1])][0].append(int(value))
     return forests, msf_now
+
+
+def _msf_increase_degree_batch(
+    graph: WeightedGraph, d: int, runtime: AMPCRuntime, *, tag: str
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Batch-engine twin of :func:`_msf_increase_degree`.
+
+    Machines replay their blocks' heap-Prim walks against local CSR
+    views, tracking exactly the distinct keys the scalar read cache
+    would have charged, then settle accounts with one
+    ``charge_read_array`` per namespace and one ``write_array`` per
+    output namespace (rows in scalar publication order).
+
+    Returns ``(msf_ids, fv_src, fv_dst, exhausted)``: committed
+    current-graph edge ids (with cross-machine duplicates, like the
+    scalar store's buckets), the F_v member columns in global write
+    order, and the per-vertex exhausted flags.
+    """
+    read_cap = 4 * d * d
+    indptr, indices = graph.indptr, graph.indices
+    weights, eids = graph.weights, graph.edge_ids
+    deg = np.diff(indptr)
+    base = indptr[:-1]
+    # Pre-sort every CSR row by (weight, edge id) once per phase: the
+    # cursor-merge below then needs one heap entry per *row* instead of
+    # one per visited slot, while popping edges in exactly the scalar
+    # heap's (w, eid) order. sorted_pos[indptr[u]:indptr[u+1]] lists row
+    # u's slot positions cheapest-first.
+    rows = np.repeat(np.arange(graph.n, dtype=np.int64), deg)
+    sorted_pos = np.lexsort((eids, weights, rows))
+
+    deg_l = deg.tolist()
+    base_l = base.tolist()
+    indices_l = indices.tolist()
+    weights_l = weights.tolist()
+    eids_l = eids.tolist()
+    sorted_l = sorted_pos.tolist()
+
+    def batch_worker(ctx, block):
+        # Charged keys are reconstructed vectorially at machine end from
+        # the expansion log (exp_rows / visited ranges): np.unique's
+        # return_index gives each key's first touch, so the charged key
+        # order is the scalar read cache's charge order without any
+        # per-slot bookkeeping in the walk itself.
+        exp_rows: list[int] = []
+        vis_b: list[int] = []
+        vis_e: list[int] = []
+        tree_mask = np.zeros(graph.n, dtype=bool)
+        # elig[pos]: was slot pos's endpoint outside F_v when its row was
+        # expanded — i.e. would the scalar worker have heap-pushed it.
+        # Rows expand at most once per item, so per-expansion overwrites
+        # cannot leak across items.
+        elig = bytearray(indices.size)
+        elig_np = np.frombuffer(elig, dtype=np.uint8)
+        msf_out: list[int] = []
+        fv_src_out: list[int] = []
+        fv_dst_out: list[int] = []
+        sizes = np.empty(block.size, dtype=np.int64)
+        exh = np.empty(block.size, dtype=bool)
+
+        for j, v in enumerate(block.tolist()):
+            touched = [v]
+            tree_set = {v}
+            tree_mask[v] = True
+            tree_size = 1
+            # Cursor heap: (w, eid, nbr, row, cursor, pos) — compared on
+            # (w, eid) like the scalar heap (eids are unique). ``live``
+            # tracks the scalar heap's size: entries the scalar path
+            # would have pushed and not yet popped.
+            heap: list = []
+            live = 0
+            reads = 0
+
+            def expand(u: int) -> None:
+                nonlocal reads, live
+                exp_rows.append(u)
+                du = deg_l[u]
+                reads += 1
+                if reads >= read_cap:
+                    return
+                visited = du if du <= read_cap - reads else read_cap - reads
+                if not visited:
+                    return
+                b = base_l[u]
+                end = b + visited
+                vis_b.append(b)
+                vis_e.append(end)
+                reads += visited
+                if visited <= 48:
+                    ec = 0
+                    pos = b
+                    for x in indices_l[b:end]:
+                        e = x not in tree_set
+                        elig[pos] = e
+                        ec += e
+                        pos += 1
+                else:
+                    es = ~tree_mask[indices[b:end]]
+                    elig_np[b:end] = es
+                    ec = int(es.sum())
+                # A row that hits the read cap ends the walk before any
+                # of its edges can be popped: charge/count it (the
+                # scalar path pushed those edges) but skip its cursor.
+                if reads >= read_cap:
+                    return
+                live += ec
+                p = sorted_l[b]
+                heapq.heappush(
+                    heap, (weights_l[p], eids_l[p], indices_l[p], u, 0, p)
+                )
+
+            expand(v)
+            while live > 0 and tree_size < d and reads < read_cap:
+                _w, eid, nbr, u, k, pos = heapq.heappop(heap)
+                k += 1
+                if k < deg_l[u]:
+                    p = sorted_l[base_l[u] + k]
+                    heapq.heappush(
+                        heap,
+                        (weights_l[p], eids_l[p], indices_l[p], u, k, p),
+                    )
+                if elig[pos]:
+                    live -= 1
+                if nbr in tree_set:
+                    continue
+                tree_set.add(nbr)
+                tree_mask[nbr] = True
+                touched.append(nbr)
+                tree_size += 1
+                msf_out.append(eid)
+                fv_src_out.append(v)
+                fv_dst_out.append(nbr)
+                expand(nbr)
+            exh[j] = bool(live == 0 and reads < read_cap)
+            sizes[j] = tree_size
+            for t in touched:
+                tree_mask[t] = False
+
+        rows_arr = np.asarray(exp_rows, dtype=np.int64)
+        _, first = np.unique(rows_arr, return_index=True)
+        ctx.charge_read_array("deg", rows_arr[np.sort(first)])
+        if vis_b:
+            starts = np.asarray(vis_b, dtype=np.int64)
+            lengths = np.asarray(vis_e, dtype=np.int64) - starts
+            ends_cum = np.cumsum(lengths)
+            stream = (np.repeat(starts - (ends_cum - lengths), lengths)
+                      + np.arange(int(ends_cum[-1]), dtype=np.int64))
+            _, first = np.unique(stream, return_index=True)
+            adj_arr = stream[np.sort(first)]
+        else:
+            adj_arr = np.empty(0, dtype=np.int64)
+        ctx.charge_read_array("adjw", adj_arr)
+        if msf_out:
+            ids = np.asarray(msf_out, dtype=np.int64)
+            ctx.write_array("msf", ids, np.ones(ids.size, dtype=np.int64))
+        if fv_src_out:
+            ctx.write_array(
+                "fv",
+                np.asarray(fv_src_out, dtype=np.int64),
+                np.asarray(fv_dst_out, dtype=np.int64),
+            )
+        return (sizes, exh)
+
+    result = runtime.round_batch(
+        np.arange(graph.n, dtype=np.int64), batch_worker,
+        setup_arrays=encode_weighted_graph_arrays(graph), tag=tag,
+    )
+    _sizes, exhausted = result.results
+    msf_ids, _ones = result.store.read_namespace("msf")
+    fv_src, fv_dst = result.store.read_namespace("fv")
+    return msf_ids, fv_src, fv_dst, exhausted
+
+
+def _choose_leaders_vec(
+    n: int,
+    fv_src: np.ndarray,
+    fv_dst: np.ndarray,
+    exhausted: np.ndarray,
+    is_leader: np.ndarray,
+) -> np.ndarray:
+    """Vectorized :func:`_choose_leaders` over the published F_v columns.
+
+    ``fv_src[k] -> fv_dst[k]`` rows arrive in global write order, which
+    restricted to one source vertex is the scalar member order — so
+    "first leader member" is the minimum row position among a vertex's
+    leader members.
+    """
+    leader = np.arange(n, dtype=np.int64)
+    if fv_src.size == 0:
+        return leader
+    npos = fv_src.size
+    lmask = is_leader[fv_dst]
+    first_pos = np.full(n, npos, dtype=np.int64)
+    np.minimum.at(first_pos, fv_src[lmask], np.flatnonzero(lmask))
+    min_member = np.full(n, n, dtype=np.int64)
+    np.minimum.at(min_member, fv_src, fv_dst)
+    has_members = np.zeros(n, dtype=bool)
+    has_members[fv_src] = True
+    eligible = ~is_leader & has_members
+    by_leader = eligible & (first_pos < npos)
+    leader[by_leader] = fv_dst[first_pos[by_leader]]
+    by_min = eligible & (first_pos == npos) & exhausted
+    leader[by_min] = np.minimum(min_member[by_min], leader[by_min])
+    return leader
 
 
 def _choose_leaders(

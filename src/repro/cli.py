@@ -741,14 +741,40 @@ def _verify(args) -> int:
     observe_ok = True
     backend_ok = True
     perf_ok = True
+    vectorized_ok = True
     if args.smoke:
         observe_ok = _traced_smoke(args.observe_baseline, human)
         if args.backend == "serial":
             # The sweep above ran serial; add one process-backend cell
             # so smoke always exercises the cross-backend oracle.
             backend_ok = _process_smoke(human)
+        if not args.vectorized:
+            # The sweep above ran scalar; add one vectorized cell so
+            # smoke always exercises the batch engine's oracle too.
+            vectorized_ok = _vectorized_smoke(human)
         perf_ok = _perf_smoke(human)
-    return 0 if (report.ok and observe_ok and backend_ok and perf_ok) else 1
+    return 0 if (report.ok and observe_ok and backend_ok
+                 and vectorized_ok and perf_ok) else 1
+
+
+def _vectorized_smoke(human) -> bool:
+    """The vectorized smoke cell of ``repro verify --smoke``.
+
+    One MIS cell on the batch engine (`vectorized=True`): the
+    differential oracle against ``sequential_lfmis`` plus the usual
+    invariant observers must pass on the vectorized path.
+    """
+    from repro.verify.oracles import CASES
+    from repro.verify.runner import SMOKE_SIZE, _run_cell
+
+    record = _run_cell(CASES["mis"], "er", SMOKE_SIZE, 0,
+                       balance_slack=4.0, chaos=False, vectorized=True)
+    cell_ok = record.ok and record.vectorized
+    print(f"  [{'ok ' if cell_ok else 'FAIL'}] vectorized: "
+          f"mis er n={record.n} batch-engine path", file=human)
+    if record.error:
+        print(f"    vectorized smoke error: {record.error}", file=human)
+    return cell_ok
 
 
 def _perf_smoke(human) -> bool:

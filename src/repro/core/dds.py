@@ -416,6 +416,53 @@ class DistributedDataStore:
             count += 1
         return count
 
+    def _apply_journal_writes(self, entries: list) -> None:
+        """Bulk-apply journaled scalar writes from a process-backend shard.
+
+        Semantically identical to calling :meth:`write` on every
+        ``(key, value)`` entry in order — same duplicate-bucket layout,
+        same ``n_writes``, same per-server placement histogram — but with
+        one seal check for the whole run, no per-value size re-validation
+        (the worker-side journal store already validated every op against
+        the same ``max_words``), and placement grouped into one vectorized
+        hash sweep per ``(str, int)`` key namespace. Observer dispatch is
+        intentionally absent: the backend only takes this path when no
+        store observer is armed.
+        """
+        if self._sealed:
+            raise StoreSealedError(
+                f"store D_{self.round_index} is sealed; writes belong to the "
+                f"next round's store"
+            )
+        data = self._data
+        for key, value in entries:
+            existing = data.get(key)
+            if existing is None:
+                data[key] = value
+            elif isinstance(existing, _Bucket):
+                existing.values.append(value)
+            else:
+                data[key] = _Bucket([existing, value])
+        self.n_writes += len(entries)
+        if not self.track_contention:
+            return
+        by_ns: dict[str, list[int]] = {}
+        for key, _ in entries:
+            # Only exact (str, int) pairs share write_array's columnar
+            # hash; anything else (np ints, deeper tuples, scalars) keeps
+            # the per-key path so its histogram stays bit-identical.
+            if (
+                type(key) is tuple
+                and len(key) == 2
+                and type(key[0]) is str
+                and type(key[1]) is int
+            ):
+                by_ns.setdefault(key[0], []).append(key[1])
+            else:
+                self._place_write(key)
+        for namespace, ids in by_ns.items():
+            self._place_write_array(namespace, np.asarray(ids, dtype=np.int64))
+
     def write_array(
         self, namespace: str, ids: np.ndarray, values: np.ndarray
     ) -> None:

@@ -587,9 +587,12 @@ class AMPCRuntime:
         # raise at the exact op where the *global* cumulative count
         # crosses the budget, which per-shard cumulative arrays cannot
         # reproduce. Non-strict fused and all non-fused rounds shard.
-        if self._use_process_backend(
-            read_store, next_store, n_items
-        ) and not (fused and self.config.strict):
+        use_proc = self._use_process_backend(read_store, next_store, n_items)
+        if use_proc and fused and self.config.strict:
+            # Counted like every other serial degradation so operators
+            # can see a process-backend round that didn't shard.
+            self.parallel_fallbacks += 1
+        elif use_proc:
             import repro.parallel.backend as _pbackend
             from repro.parallel.pool import (
                 CallableShipError,

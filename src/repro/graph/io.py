@@ -6,6 +6,12 @@ key conventions shared between drivers and machine programs:
 * ``("deg", v) -> deg(v)`` and ``("adj", v, i) -> i-th neighbor`` for plain
   graphs (i is 0-based; neighbors in sorted order),
 * ``("adjw", v, i) -> (neighbor, weight, edge_id)`` for weighted graphs,
+* the *flat* weighted scheme used by the vectorized MSF path —
+  ``("deg", v) -> (deg(v), base_v)`` with ``base_v`` the row start in the
+  CSR, and ``("adjw", base_v + i) -> (neighbor, weight, edge_id)`` —
+  whose integer-only key columns make it expressible both as scalar pairs
+  (:func:`encode_weighted_graph_flat`) and as ``setup_arrays`` columns
+  (:func:`encode_weighted_graph_arrays`) with identical key placement,
 * ``("succ", v) / ("pred", v)`` for cycle and list pointer structures,
 * ``(name, v) -> value`` for driver-published per-vertex tables (sampled
   flags, statuses, priorities, ...).
@@ -47,6 +53,50 @@ def encode_weighted_graph(graph: WeightedGraph, prefix: str = "adjw") -> Pairs:
         for i in range(end - start):
             j = start + i
             yield (prefix, v, i), (int(indices[j]), float(weights[j]), int(eids[j]))
+
+
+def encode_weighted_graph_flat(
+    graph: WeightedGraph, prefix: str = "adjw"
+) -> Pairs:
+    """Flat-key weighted adjacency for the scalar path.
+
+    ``("deg", v) -> (deg, base)`` and ``(prefix, base + i) ->
+    (nbr, weight, edge_id)``: the key set (hence server placement) matches
+    :func:`encode_weighted_graph_arrays` exactly, so scalar and vectorized
+    MSF runs share one contention histogram.
+    """
+    indptr, indices = graph.indptr, graph.indices
+    weights, eids = graph.weights, graph.edge_ids
+    for v in range(graph.n):
+        start, end = int(indptr[v]), int(indptr[v + 1])
+        yield ("deg", v), (end - start, start)
+    for pos in range(indices.size):
+        yield (prefix, pos), (
+            int(indices[pos]), float(weights[pos]), int(eids[pos])
+        )
+
+
+def encode_weighted_graph_arrays(
+    graph: WeightedGraph, prefix: str = "adjw"
+) -> list[tuple[str, np.ndarray, np.ndarray]]:
+    """Columnar twin of :func:`encode_weighted_graph_flat` for
+    ``round_batch(setup_arrays=...)``: same keys, one bulk write per
+    namespace. The ``prefix`` values are float64 rows (nbr, weight,
+    edge_id); ids and edge ids are exact under 2**53."""
+    indptr = graph.indptr
+    deg_vals = np.stack([np.diff(indptr), indptr[:-1]], axis=1)
+    adj_vals = np.stack(
+        [
+            graph.indices.astype(np.float64),
+            graph.weights.astype(np.float64),
+            graph.edge_ids.astype(np.float64),
+        ],
+        axis=1,
+    )
+    return [
+        ("deg", np.arange(graph.n, dtype=np.int64), deg_vals),
+        (prefix, np.arange(graph.indices.size, dtype=np.int64), adj_vals),
+    ]
 
 
 def encode_cycle_pointers(graph: Graph) -> Pairs:

@@ -12,6 +12,7 @@ phase                   modules
 ``dds-serve``           ``core/dds.py`` (store reads/writes/contention)
 ``machine-exec``        ``core/machine.py`` (budget charging, caching)
 ``runtime``             ``core/runtime.py``, ``core/chaos.py`` (driver)
+``parallel-merge``      ``parallel/`` (shard dispatch, journal replay)
 ``primitives``          ``primitives/`` (charged MPC building blocks)
 ``algorithm``           ``algorithms/`` (the logic under study)
 ``graph``               ``graph/`` (generators, CSR, IO)
@@ -39,6 +40,7 @@ _PHASE_RULES: tuple[tuple[str, str], ...] = (
     ("repro/core/runtime", "runtime"),
     ("repro/core/chaos", "runtime"),
     ("repro/core/", "runtime"),
+    ("repro/parallel/", "parallel-merge"),
     ("repro/primitives/", "primitives"),
     ("repro/algorithms/", "algorithm"),
     ("repro/baselines/", "algorithm"),

@@ -39,6 +39,20 @@ shard normally — the pool's supervisor (:mod:`repro.parallel.pool`)
 recovers crashed, hung, and straggling workers by respawn + shard
 re-execution, and merges exactly one winning reply per shard, keeping
 the bit-identity contract under every injected fault.
+
+Merge cost
+----------
+
+The parent-side journal replay is the serial fraction of every sharded
+round. When no observer hooks are armed (the common case), the journal
+contains only writes and :mod:`repro.parallel.backend` applies them via
+the bulk columnar path — runs of scalar writes collapse into one
+``DistributedDataStore._apply_journal_writes`` call per run (single seal
+check, one placement hash sweep per namespace) and batch writes go
+straight through ``write_array``. Trace-replaying runs keep the per-op
+loop so hook dispatch order stays byte-for-byte serial. The measured
+constant is recorded in ``benchmarks/BENCH_parallel.json`` under
+``replay_merge``.
 """
 
 from __future__ import annotations

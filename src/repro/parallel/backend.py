@@ -350,6 +350,31 @@ def _replay_ops(
     scalar_hooks = fan is not None and fan.any_machine_scalar_hooks
     batch_hooks = fan is not None and fan.any_machine_batch_hooks
     store_hooks = fan is not None and fan.any_store_hooks
+    if (
+        not (scalar_hooks or batch_hooks or store_hooks)
+        and next_store.observer is None
+    ):
+        # Bulk columnar replay. With no hooks armed the journal is
+        # write-only (reads are journaled only when ``_record_reads``),
+        # so runs of scalar writes collapse into one bulk apply — one
+        # seal check, one dict sweep, one placement hash sweep per
+        # namespace — instead of a full ``write()`` call per op.
+        # Trace-replaying runs keep the per-op loop below: hook dispatch
+        # order is part of the bit-identity contract.
+        run: list = []
+        for op in ops:
+            kind = op[0]
+            if kind == "w":
+                run.append((op[1], op[2]))
+            elif kind == "wa":
+                if run:
+                    next_store._apply_journal_writes(run)
+                    run = []
+                next_store.write_array(op[1], op[2], op[3])
+            # "r"/"rb": nothing to replay without hooks.
+        if run:
+            next_store._apply_journal_writes(run)
+        return
     for op in ops:
         kind = op[0]
         if kind == "w":

@@ -35,15 +35,21 @@ SUITES: dict[str, list[_SuiteEntry]] = {
         ("connectivity", {"n": 240, "vectorized": False}, {"n": 96}),
         ("connectivity", {"n": 240, "vectorized": True}, {"n": 96}),
         ("list_ranking", {"n": 400}, {"n": 128}),
-        ("mis", {"n": 200}, {"n": 80}),
+        ("mis", {"n": 200, "vectorized": False}, {"n": 80}),
+        ("mis", {"n": 200, "vectorized": True}, {"n": 80}),
+        ("msf", {"n": 300, "vectorized": True}, {"n": 100}),
+        ("replay_merge", {"n": 400}, {"n": 160}),
     ],
     # The Figure-1 workloads at bench sizes (minutes, for real tracking).
     "full": [
         ("connectivity", {"n": 3000, "vectorized": False}, {"n": 240}),
         ("connectivity", {"n": 3000, "vectorized": True}, {"n": 240}),
         ("list_ranking", {"n": 20000}, {"n": 400}),
-        ("mis", {"n": 2000}, {"n": 200}),
-        ("msf", {"n": 1500}, {"n": 160}),
+        ("mis", {"n": 2000, "vectorized": False}, {"n": 200}),
+        ("mis", {"n": 2000, "vectorized": True}, {"n": 200}),
+        ("msf", {"n": 1500, "vectorized": False}, {"n": 160}),
+        ("msf", {"n": 1500, "vectorized": True}, {"n": 160}),
+        ("replay_merge", {"n": 4000}, {"n": 240}),
     ],
 }
 
@@ -87,12 +93,31 @@ def _setup(bench: str, params: dict[str, Any]) -> Callable[[], Any]:
         return lambda: repro.list_ranking(succ, seed=1, vectorized=True)
     if bench == "mis":
         graph = generators.erdos_renyi_gnm(n, 2 * n, 0)
-        return lambda: repro.maximal_independent_set(graph, seed=1)
+        vectorized = bool(params.get("vectorized", False))
+        return lambda: repro.maximal_independent_set(
+            graph, seed=1, vectorized=vectorized
+        )
     if bench == "msf":
         graph = generators.with_random_weights(
             generators.erdos_renyi_gnm(n, 2 * n, 0), 7919
         )
-        return lambda: repro.minimum_spanning_forest(graph, seed=1)
+        vectorized = bool(params.get("vectorized", False))
+        return lambda: repro.minimum_spanning_forest(
+            graph, seed=1, vectorized=vectorized
+        )
+    if bench == "replay_merge":
+        # Process-backend connectivity: the parent-side journal replay
+        # merge dominates on few-core hosts, so this cell tracks the
+        # merge constant `repro perf check` gates (ROADMAP item 3c).
+        import repro.parallel as parallel
+
+        graph = generators.erdos_renyi_gnm(n, 2 * n, 0)
+
+        def run_process():
+            with parallel.use_backend("process", n_workers=2):
+                return repro.connectivity(graph, seed=1)
+
+        return run_process
     raise ValueError(f"unknown bench {bench!r}")
 
 

@@ -283,6 +283,9 @@ register(AlgorithmCase(
     run=lambda w, seed: algorithms.maximal_independent_set(
         w.payload, seed=seed
     ),
+    run_vectorized=lambda w, seed: algorithms.maximal_independent_set(
+        w.payload, seed=seed, vectorized=True
+    ),
     oracle=_mis_oracle,
     digest=lambda res: _arr_digest(res.in_mis, res.pi),
     report_of=lambda res: res.report,
@@ -386,6 +389,9 @@ register(AlgorithmCase(
     families=("er", "power-law", "grid", "tree"),
     run=lambda w, seed: algorithms.minimum_spanning_forest(
         w.payload, seed=seed
+    ),
+    run_vectorized=lambda w, seed: algorithms.minimum_spanning_forest(
+        w.payload, seed=seed, vectorized=True
     ),
     oracle=_msf_oracle,
     digest=lambda res: _arr_digest(res.edge_ids),

@@ -34,7 +34,9 @@ __all__ = [
     "seeds",
     "trees",
     "two_cycle_instances",
+    "weighted_batches",
     "weighted_graphs",
+    "weighted_graphs_with_seed",
 ]
 
 
@@ -141,6 +143,39 @@ def weighted_graphs(
     """A graph with distinct random edge weights (MSF/affinity inputs)."""
     g = draw(graphs(min_n=min_n, max_n=max_n, families=families))
     return generators.with_random_weights(g, draw(seeds()))
+
+
+@st.composite
+def weighted_graphs_with_seed(
+    draw,
+    min_n: int = 1,
+    max_n: int = 60,
+    families: tuple[str, ...] = ("er", "power-law", "grid", "tree",
+                                 "forest", "cycles"),
+) -> tuple[WeightedGraph, int]:
+    """A weighted graph plus a deployment seed — the input of a full
+    batch-vs-scalar MSF parity cell (the weighted twin of the pairing
+    connectivity property tests draw)."""
+    g = draw(weighted_graphs(min_n=min_n, max_n=max_n, families=families))
+    return g, draw(seeds())
+
+
+@st.composite
+def weighted_batches(
+    draw,
+    min_size: int = 0,
+    max_size: int = 256,
+) -> tuple[str, np.ndarray, np.ndarray]:
+    """A ``(namespace, ids, values)`` triple with multi-word float rows —
+    the shape the flat weighted-graph encoding writes (``(nbr, weight,
+    edge_id)`` per adjacency slot) — for ``write_array`` properties."""
+    namespace = draw(st.sampled_from(["adjw", "deg", "fv", "msf"]))
+    ids = draw(id_arrays(min_size=min_size, max_size=max_size))
+    width = draw(st.integers(1, 3))
+    rng = np.random.default_rng(draw(seeds()))
+    nbr = rng.integers(0, 1 << 40, size=(ids.size, width)).astype(np.float64)
+    nbr[:, min(1, width - 1)] = rng.standard_normal(ids.size)
+    return namespace, ids, nbr if width > 1 else nbr[:, 0]
 
 
 @st.composite

@@ -139,6 +139,24 @@ class TestBatchStore:
         assert got.tolist() == pytest.approx(want)
         assert _store_state(scalar) == _store_state(batched)
 
+    @settings(max_examples=40, deadline=None)
+    @given(vst.weighted_batches(min_size=0, max_size=128),
+           vst.seeds(max_seed=50))
+    def test_weighted_batch_matches_scalar_store(self, batch, seed):
+        # Multi-word float rows — the shape the flat weighted-graph
+        # encoding writes — keep scalar/batch store-state parity.
+        namespace, ids, values = batch
+        scalar = self._scalar_twin(namespace, ids, values, seed=seed)
+        batched = DistributedDataStore(0, n_servers=16, seed=seed)
+        batched.write_array(namespace, ids, values)
+        assert _store_state(scalar) == _store_state(batched)
+        scalar.seal()
+        batched.seal()
+        got = batched.read_array(namespace, ids)
+        # Exact equality: both paths store the same float64 bits.
+        want = [scalar.get((namespace, int(i))) for i in ids]
+        assert got.tolist() == want
+
     def test_read_array_missing_ids_fill_and_found(self):
         store = DistributedDataStore(0, n_servers=8, seed=1)
         store.write_array("x", np.array([1, 3], dtype=np.int64),
@@ -388,6 +406,59 @@ class TestAlgorithmParity:
         assert a.n_components == b.n_components
         assert _ledger(a.report) == _ledger(b.report)
 
+    @pytest.mark.parametrize("n,m,seed", [
+        (60, 180, 0), (250, 1000, 3), (900, 3600, 5),
+    ])
+    def test_mis(self, n, m, seed):
+        from repro.algorithms.mis import (
+            maximal_independent_set,
+            sequential_lfmis,
+        )
+
+        g = generators.erdos_renyi_gnm(n, m, rng=seed)
+        a = maximal_independent_set(g, seed=seed)
+        b = maximal_independent_set(g, seed=seed, vectorized=True)
+        assert np.array_equal(a.in_mis, b.in_mis)
+        assert np.array_equal(a.settled_at, b.settled_at)
+        assert a.iterations == b.iterations
+        assert a.total_query_calls == b.total_query_calls
+        assert np.array_equal(b.in_mis, sequential_lfmis(g, b.pi))
+        assert _ledger(a.report) == _ledger(b.report)
+
+    @pytest.mark.parametrize("n,m,seed", [
+        (80, 200, 1), (300, 1500, 4), (1000, 4000, 7),
+    ])
+    def test_msf(self, n, m, seed):
+        from repro.algorithms.msf import (
+            minimum_spanning_forest,
+            sequential_msf_ids,
+        )
+
+        g = generators.with_random_weights(
+            generators.erdos_renyi_gnm(n, m, rng=seed), rng=seed + 1
+        )
+        a = minimum_spanning_forest(g, seed=seed)
+        b = minimum_spanning_forest(g, seed=seed, vectorized=True)
+        assert np.array_equal(a.edge_ids, b.edge_ids)
+        assert a.total_weight == b.total_weight
+        assert a.phases == b.phases
+        assert a.budgets == b.budgets
+        assert np.array_equal(b.edge_ids, sequential_msf_ids(g))
+        assert _ledger(a.report) == _ledger(b.report)
+
+    @settings(max_examples=15, deadline=None)
+    @given(vst.weighted_graphs_with_seed(min_n=2, max_n=40,
+                                         families=("er", "grid", "tree")))
+    def test_msf_batch_vs_scalar_property(self, case):
+        from repro.algorithms.msf import minimum_spanning_forest
+
+        g, seed = case
+        a = minimum_spanning_forest(g, seed=seed)
+        b = minimum_spanning_forest(g, seed=seed, vectorized=True)
+        assert np.array_equal(a.edge_ids, b.edge_ids)
+        assert a.phases == b.phases
+        assert _ledger(a.report) == _ledger(b.report)
+
     def test_shrink_and_fill_back(self):
         succ = generators.linked_list(500, rng=9)
         config = AMPCConfig.for_input(500, seed=3)
@@ -449,12 +520,20 @@ class TestVectorizedSweep:
 
     def test_verify_smoke_vectorized_flag_without_variant(self):
         report = verify_sweep(
-            algorithms=["mis"], families=["er"], seeds=[0],
+            algorithms=["matching"], families=["er"], seeds=[0],
             smoke=True, vectorized=True,
         )
         assert report.ok, report.format_failures()
         # No run_vectorized registered: cells run (and record) scalar.
         assert all(not r.vectorized for r in report.records)
+
+    def test_verify_smoke_vectorized_mis_msf(self):
+        report = verify_sweep(
+            algorithms=["mis", "msf"], families=["er"], seeds=[0],
+            smoke=True, vectorized=True,
+        )
+        assert report.ok, report.format_failures()
+        assert all(r.vectorized for r in report.records)
 
 
 def test_benchmark_sweep_smoke():
@@ -466,9 +545,11 @@ def test_benchmark_sweep_smoke():
     spec = importlib.util.spec_from_file_location("bench_sim", bench_path)
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
-    payload = module.run_sweep(dds_ops=2_000, list_n=3_000, repeats=1)
+    payload = module.run_sweep(dds_ops=2_000, list_n=3_000, mis_n=600,
+                               msf_n=400, repeats=1)
     results = payload["results"]
-    assert set(results) == {"dds_write", "dds_read", "list_ranking"}
+    assert set(results) == {"dds_write", "dds_read", "list_ranking",
+                            "mis", "msf"}
     for entry in results.values():
         assert entry["scalar_s"] > 0 and entry["batched_s"] > 0
         assert np.isfinite(entry["speedup"])

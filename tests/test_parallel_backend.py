@@ -125,6 +125,34 @@ def test_fallback_on_unshippable_result(small_config):
     assert [r() for r in results] == list(range(16))
 
 
+def test_fused_strict_stays_serial_and_counts_fallback():
+    """Fused round_batch in strict mode never shards, and the serial
+    degradation is visible in the fallback counter."""
+
+    def run(backend_kwargs):
+        config = AMPCConfig(epsilon=0.5, space=256, n_machines=8, seed=7,
+                            strict=True)
+        runtime = AMPCRuntime(config, **backend_kwargs)
+        ids = np.arange(64, dtype=np.int64)
+
+        def fused(gctx):
+            vals = gctx.read_array("v", gctx.items, owner=gctx.machines)
+            return vals * 2
+
+        res = runtime.round_batch(
+            ids, fused, setup_arrays=[("v", ids, ids.astype(np.float64))],
+            fused=True, tag="t",
+        )
+        return res.results.tolist(), runtime
+
+    serial_res, serial_rt = run({})
+    proc_res, proc_rt = run({"backend": "process", "n_workers": 2})
+    assert proc_res == serial_res
+    assert serial_rt.parallel_fallbacks == 0
+    assert proc_rt.parallel_fallbacks == 1
+    assert _ledger(serial_rt.report) == _ledger(proc_rt.report)
+
+
 def test_strict_budget_error_parity():
     def run():
         config = AMPCConfig(epsilon=0.5, space=8, n_machines=4, seed=3,
