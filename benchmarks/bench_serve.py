@@ -1,0 +1,148 @@
+"""Experiment S1 — serving throughput and tail latency (repro.serve).
+
+Drives the standard synthetic traffic patterns (Poisson/uniform,
+Poisson/Zipf, bursty/hotspot) at a resident serving engine on each
+execution backend and records sustained QPS plus p50/p95/p99 latency —
+ROADMAP item 1's serving numbers.
+
+Two faces:
+
+* pytest (collected by ``repro bench --quick`` / ``pytest benchmarks``):
+  small instances; every run must answer correctly (spot-checked
+  against the sequential LFMIS oracle) and reconcile its per-request
+  ledgers against the tick rows and observe counters.
+* ``python benchmarks/bench_serve.py --out benchmarks/BENCH_serve.json``
+  regenerates the checked-in grid (3 workloads x serial/process). QPS
+  and latency are wall-clock and only meaningful relative to the
+  recorded host fingerprint; the answers, read counts, and admission
+  accounting in the same rows are deterministic in the seeds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.algorithms.mis import sequential_lfmis
+from repro.graph import generators
+from repro.perf import host_fingerprint
+from repro.serve import (
+    STANDARD_WORKLOADS,
+    AdmissionControl,
+    ServeRequest,
+    ServingEngine,
+    loadgen_matrix,
+    run_loadgen,
+    workload_config,
+)
+
+FULL = {"n": 2000, "requests": 600}
+QUICK = {"n": 150, "requests": 60}
+
+WORKLOADS = sorted(STANDARD_WORKLOADS)
+BACKENDS = ["serial", "process"]
+
+
+# -- pytest face -----------------------------------------------------------
+
+
+@pytest.mark.serve
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_serve_workload_cell(benchmark, record, workload):
+    n, requests = QUICK["n"], QUICK["requests"]
+    graph = generators.erdos_renyi_gnm(n, 2 * n, rng=0)
+    engine = ServingEngine(graph, seed=1)
+    cfg = workload_config(workload, n_requests=requests, seed=1)
+
+    result = benchmark.pedantic(lambda: run_loadgen(engine, cfg),
+                                rounds=1, iterations=1)
+    row = result.summary()
+    assert row["completed"] == requests
+    assert row["reconciled"], result.reconcile_problems
+    in_mis = sequential_lfmis(graph, engine.pi)
+    for resp in result.responses:
+        if resp.request.kind == "mis_member":
+            assert resp.value == bool(in_mis[resp.request.key])
+    record(
+        "S1: serving QPS + tail latency (quick sizes)",
+        ["workload", "n", "requests", "qps", "p50_ms", "p99_ms", "shed"],
+        [workload, n, requests, f"{row['qps']:.0f}",
+         f"{row['p50_ms']:.3f}", f"{row['p99_ms']:.3f}", row["rejected"]],
+        qps=row["qps"],
+        p99_ms=row["p99_ms"],
+    )
+
+
+@pytest.mark.serve
+def test_serve_backend_parity(benchmark, record):
+    """Answers and ledgers must match bit-for-bit across backends."""
+    n = QUICK["n"]
+    graph = generators.erdos_renyi_gnm(n, 2 * n, rng=0)
+    reqs = [ServeRequest("mis_member", v) for v in range(0, n, 3)]
+
+    def run(backend):
+        engine = ServingEngine(graph, seed=1, backend=backend, n_workers=2)
+        return engine, engine.execute(reqs)
+
+    _, serial = run("serial")
+    engine_p, process = benchmark.pedantic(lambda: run("process"),
+                                           rounds=1, iterations=1)
+    key = lambda rs: [(r.value, r.reads, r.query_calls) for r in rs]
+    assert key(serial) == key(process)
+    assert engine_p.reconcile() == []
+    record(
+        "S1: serving backend parity",
+        ["requests", "backend", "bit-identical"],
+        [len(reqs), "process(2)", "yes"],
+    )
+
+
+# -- JSON generation -------------------------------------------------------
+
+
+def sweep(sizes: dict, quick: bool) -> dict:
+    n, requests = sizes["n"], sizes["requests"]
+    graph = generators.erdos_renyi_gnm(n, 2 * n, rng=0)
+    payload = loadgen_matrix(
+        graph,
+        workloads=WORKLOADS,
+        backends=BACKENDS,
+        n_requests=requests,
+        seed=1,
+        n_workers=2,
+        admission=AdmissionControl(max_queue=256, batch_window=32),
+    )
+    return {
+        "experiment": "S1-serving",
+        "quick": quick,
+        "host": host_fingerprint(),
+        "workload_source": f"er(n={n}, m={2 * n}) seed=1",
+        "admission": {"max_queue": 256, "batch_window": 32},
+        "rows": payload["rows"],
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="benchmarks/BENCH_serve.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny instances (smoke-test the sweep itself; "
+                             "REPRO_BENCH_QUICK=1 implies this)")
+    args = parser.parse_args()
+    quick = args.quick or bool(os.environ.get("REPRO_BENCH_QUICK"))
+    payload = sweep(QUICK if quick else FULL, quick)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    ok = all(row["reconciled"] for row in payload["rows"])
+    print(f"wrote {args.out} ({len(payload['rows'])} rows, "
+          f"reconciled={'yes' if ok else 'NO'})")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

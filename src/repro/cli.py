@@ -22,6 +22,10 @@ Usage::
     python -m repro perf baseline --suite smoke [--profile ID]
     python -m repro perf report --suite smoke
     python -m repro perf regen [--quick] [--only observe]
+    python -m repro serve graph.txt --query mis_member:17
+    python -m repro serve --size 500 --workload bursty-hotspot
+    python -m repro loadgen --size 400 --backends serial,process \
+        --json benchmarks/BENCH_serve.json
     python -m repro generate er 1000 3000 out.txt [--seed 0]
 
 Algorithm runs, traces, and verify sweeps accept ``--backend
@@ -323,7 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_regen.add_argument("--only", action="append", default=None,
                          choices=["observe", "parallel", "simulator",
-                                  "resilience"],
+                                  "resilience", "serve"],
                          help="regenerate only this target (repeatable)")
     p_regen.add_argument("--quick", action="store_true",
                          help="smoke-test the regeneration pipeline with "
@@ -345,6 +349,63 @@ def build_parser() -> argparse.ArgumentParser:
                        help="benchmark directory (default: benchmarks)")
     bench.add_argument("-k", dest="keyword", default=None, metavar="EXPR",
                        help="forwarded to pytest -k")
+
+    serve = sub.add_parser(
+        "serve",
+        help="build a resident serving engine and answer queries "
+             "(LFMIS membership, connectivity, subtree aggregates) "
+             "against its sealed state",
+    )
+    serve.add_argument("graph", nargs="?", default=None,
+                       help="edge-list file; omit to generate an ER "
+                            "workload with --size")
+    serve.add_argument("--size", type=int, default=200,
+                       help="synthetic instance size n (default 200; "
+                            "m = 2n)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--epsilon", type=float, default=0.5)
+    add_backend(serve)
+    serve.add_argument("--query", action="append", default=None,
+                       metavar="KIND:KEY[,KEY2]",
+                       help="answer one request and print its ledger; "
+                            "repeatable (kinds: mis_member, component_of, "
+                            "same_component, subtree_size)")
+    serve.add_argument("--workload", default="poisson-zipf",
+                       help="named workload to demo when no --query is "
+                            "given (default poisson-zipf)")
+    serve.add_argument("--requests", type=int, default=50,
+                       help="demo workload length (default 50)")
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive synthetic traffic at a resident serving engine; "
+             "report sustained QPS + p50/p95/p99 per workload x backend "
+             "(the BENCH_serve.json generator)",
+    )
+    loadgen.add_argument("graph", nargs="?", default=None,
+                         help="edge-list file; omit to generate an ER "
+                              "workload with --size")
+    loadgen.add_argument("--size", type=int, default=400,
+                         help="synthetic instance size n (default 400; "
+                              "m = 2n)")
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--workloads", default=None, metavar="A,B,...",
+                         help="comma-separated workload names (default: "
+                              "all standard patterns)")
+    loadgen.add_argument("--requests", type=int, default=None,
+                         help="override n_requests per workload")
+    loadgen.add_argument("--backends", default="serial", metavar="A,B",
+                         help="comma-separated backends to compare "
+                              "(default serial; e.g. serial,process)")
+    loadgen.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="process-backend worker count")
+    loadgen.add_argument("--max-queue", type=int, default=256,
+                         help="admission-control queue bound (default 256)")
+    loadgen.add_argument("--batch-window", type=int, default=32,
+                         help="requests per scheduling tick (default 32)")
+    loadgen.add_argument("--json", metavar="PATH", default=None,
+                         help="write the BENCH_serve.json payload here "
+                              "('-' for stdout)")
 
     stats_p = sub.add_parser("stats", help="describe a graph file")
     stats_p.add_argument("graph", help="edge-list file")
@@ -376,6 +437,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _bench(args)
     if args.command == "perf":
         return _perf(args)
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "loadgen":
+        return _loadgen(args)
     if args.command == "stats":
         from repro.graph import files, stats
 
@@ -661,6 +726,9 @@ def _perf_regen(args) -> int:
         "simulator": [sys.executable, script("bench_simulator_overhead.py"),
                       os.path.join(out_dir, "BENCH_simulator.json")],
         "resilience": [sys.executable, script("bench_resilience.py")],
+        "serve": [sys.executable, script("bench_serve.py"),
+                  "--out", os.path.join(out_dir, "BENCH_serve.json")]
+                 + (["--quick"] if args.quick else []),
     }
     wanted = args.only or list(targets)
     if args.quick and "resilience" in wanted and args.only is None:
@@ -742,6 +810,7 @@ def _verify(args) -> int:
     backend_ok = True
     perf_ok = True
     vectorized_ok = True
+    serve_ok = True
     if args.smoke:
         observe_ok = _traced_smoke(args.observe_baseline, human)
         if args.backend == "serial":
@@ -753,8 +822,9 @@ def _verify(args) -> int:
             # smoke always exercises the batch engine's oracle too.
             vectorized_ok = _vectorized_smoke(human)
         perf_ok = _perf_smoke(human)
+        serve_ok = _serve_smoke(human)
     return 0 if (report.ok and observe_ok and backend_ok
-                 and vectorized_ok and perf_ok) else 1
+                 and vectorized_ok and perf_ok and serve_ok) else 1
 
 
 def _vectorized_smoke(human) -> bool:
@@ -796,6 +866,125 @@ def _perf_smoke(human) -> bool:
     for problem in outcome["problems"]:
         print(f"    perf smoke problem: {problem}", file=human)
     return outcome["ok"]
+
+
+def _serve_smoke(human) -> bool:
+    """The serve smoke cell of ``repro verify --smoke``.
+
+    Builds a tiny resident engine, replays a 50-request mixed workload
+    through the scheduler, oracle-checks every answer, reconciles the
+    per-request ledgers against the tick rows and observe counters, and
+    exercises admission-control rejection accounting. No wall-clock
+    thresholds.
+    """
+    from repro.verify.runner import serve_smoke_cell
+
+    outcome = serve_smoke_cell()
+    print(f"  [{'ok ' if outcome['ok'] else 'FAIL'}] serve smoke: "
+          f"resident engine, {outcome['requests']} requests "
+          f"ledger-reconciled, {outcome['rejected']} shed", file=human)
+    for problem in outcome["problems"]:
+        print(f"    serve smoke problem: {problem}", file=human)
+    return outcome["ok"]
+
+
+def _serve_graph(args):
+    """Load the edge-list, or generate the default ER serving instance."""
+    from repro.graph import files, generators
+
+    if args.graph is not None:
+        return files.read_edge_list(args.graph), args.graph
+    n = args.size
+    return (generators.erdos_renyi_gnm(n, 2 * n, rng=args.seed),
+            f"er(n={n}, m={2 * n})")
+
+
+def _parse_query(spec: str):
+    from repro.serve import ServeRequest
+
+    kind, _, keys = spec.partition(":")
+    parts = [p for p in keys.split(",") if p]
+    if not parts:
+        raise SystemExit(f"malformed --query {spec!r}; expected "
+                         f"KIND:KEY[,KEY2]")
+    key = int(parts[0])
+    key2 = int(parts[1]) if len(parts) > 1 else -1
+    return ServeRequest(kind=kind, key=key, key2=key2)
+
+
+def _serve(args) -> int:
+    """``repro serve`` — build a resident engine, answer queries."""
+    from repro.serve import ServingEngine, run_loadgen, workload_config
+
+    graph, source = _serve_graph(args)
+    engine = ServingEngine(graph, epsilon=args.epsilon, seed=args.seed,
+                           backend=args.backend, n_workers=args.workers)
+    s = engine.summary()
+    print(f"resident engine over {source}: n={s['n']} m={s['m']} "
+          f"components={s['n_components']} backend={s['backend']} "
+          f"(built in {s['build_rounds']} rounds)")
+    if args.query:
+        for spec in args.query:
+            resp = engine.execute_one(_parse_query(spec))
+            print(f"  {spec:32s} -> {resp.value!r}  "
+                  f"[reads={resp.reads} writes={resp.writes} "
+                  f"query_calls={resp.query_calls}]")
+        problems = engine.reconcile()
+        for problem in problems:
+            print(f"  ledger problem: {problem}", file=sys.stderr)
+        return 0 if not problems else 1
+    cfg = workload_config(args.workload, n_requests=args.requests,
+                          seed=args.seed)
+    result = run_loadgen(engine, cfg)
+    row = result.summary()
+    print(f"  workload {row['workload']}: {row['completed']} served, "
+          f"{row['rejected']} shed, qps={row['qps']:.0f}, "
+          f"p50={row['p50_ms']:.3f}ms p99={row['p99_ms']:.3f}ms, "
+          f"reconciled={row['reconciled']}")
+    return 0 if row["reconciled"] else 1
+
+
+def _loadgen(args) -> int:
+    """``repro loadgen`` — the workload x backend benchmark grid."""
+    import json as _json
+
+    from repro.serve import (
+        STANDARD_WORKLOADS, AdmissionControl, loadgen_matrix,
+    )
+
+    graph, source = _serve_graph(args)
+    names = (args.workloads.split(",") if args.workloads
+             else sorted(STANDARD_WORKLOADS))
+    backends = args.backends.split(",")
+    admission = AdmissionControl(max_queue=args.max_queue,
+                                 batch_window=args.batch_window)
+    payload = loadgen_matrix(
+        graph, workloads=names, backends=backends,
+        n_requests=args.requests, seed=args.seed, n_workers=args.workers,
+        admission=admission,
+    )
+    payload["source"] = source
+    print(f"loadgen over {source}: {len(names)} workloads x "
+          f"{len(backends)} backends")
+    header = (f"  {'workload':18s} {'backend':8s} {'served':>7s} "
+              f"{'shed':>5s} {'qps':>9s} {'p50ms':>8s} {'p99ms':>8s} ok")
+    print(header)
+    all_ok = True
+    for row in payload["rows"]:
+        all_ok &= row["reconciled"]
+        print(f"  {row['workload']:18s} {row['backend']:8s} "
+              f"{row['completed']:7d} {row['rejected']:5d} "
+              f"{row['qps']:9.0f} {row['p50_ms']:8.3f} "
+              f"{row['p99_ms']:8.3f} "
+              f"{'yes' if row['reconciled'] else 'NO'}")
+    if args.json == "-":
+        print(_json.dumps(payload, indent=2))
+    elif args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if all_ok else 1
 
 
 def _process_smoke(human) -> bool:

@@ -737,6 +737,20 @@ class DistributedDataStore:
         """Maximum reads any single server answered for this store."""
         return int(self._server_reads.max()) if self.n_servers else 0
 
+    def reset_read_load(self) -> None:
+        """Zero the read-side accounting (reads answered, per-server loads).
+
+        Serving rollback hook (:meth:`~repro.core.runtime.AMPCRuntime.query_round`):
+        a resident sealed store answers many mutually-independent query
+        rounds, and every round's ledger row snapshots the store's
+        *absolute* read-load histogram — so the serving path zeroes it
+        between rounds to make each round's contention accounting read
+        as if the store were freshly sealed. Write-side accounting
+        (items stored per server) is state, not traffic, and stays.
+        """
+        self.n_reads = 0
+        self._server_reads[:] = 0
+
 
 class ReplicatedDataStore(DistributedDataStore):
     """A round store whose pairs live on k DDS servers (§2.1, executable).

@@ -233,6 +233,93 @@ class AMPCRuntime:
         for obs in self.observers:
             obs.on_restore(self, checkpoint)
 
+    def publish_state(
+        self,
+        *,
+        pairs: Pairs | None = None,
+        arrays: Sequence[tuple[str, np.ndarray, np.ndarray]] | None = None,
+        tag: str = "publish",
+    ) -> "RoundCheckpoint":
+        """Build + seal: publish driver state as the resident readable store.
+
+        The first half of a serving deployment (:mod:`repro.serve`):
+        write ``pairs`` (scalar key-values) and ``arrays`` (columnar
+        ``(namespace, ids, values)`` triples) into a fresh store, seal
+        it, and make it the runtime's readable store. Charged as one
+        publication round — every write counted, spread over the
+        machines like :meth:`charge` — and the returned
+        :class:`RoundCheckpoint` pins the sealed state so
+        :meth:`query_round` can replay an unbounded request stream
+        against it (same placement seed, same ledger indices: every
+        query observes the state exactly as the first one did).
+        """
+        store = self._new_store()
+        count = 0
+        if pairs is not None:
+            count += store.write_many(pairs)
+        if arrays is not None:
+            for namespace, ids, values in arrays:
+                ids = np.asarray(ids, dtype=np.int64)
+                store.write_array(namespace, ids, values)
+                count += ids.size
+        store.seal()
+        self._store = store
+        self._round_counter += 1
+        per_machine = int(np.ceil(count / self.config.n_machines))
+        stats = RoundStats(
+            index=len(self.report.rounds),
+            tag=tag,
+            kind="primitive",
+            rounds=1,
+            total_writes=count,
+            max_machine_writes=per_machine,
+            n_machines_active=self.config.n_machines,
+            read_budget=self.config.read_budget,
+            write_budget=self.config.write_budget,
+        )
+        self.report.add(stats)
+        for obs in self.observers:
+            obs.on_charge(self, stats)
+        return self.checkpoint()
+
+    def query_round(
+        self,
+        work: Sequence[Any],
+        worker: Callable[..., Any],
+        *,
+        resident: "RoundCheckpoint | None" = None,
+        tag: str = "query",
+        item_key: Callable[[Any], Hashable] | None = None,
+    ) -> tuple["RoundResult", list[RoundStats]]:
+        """One adaptive round against the resident store, without
+        advancing the resident state.
+
+        The second half of a serving deployment: runs a plain
+        :meth:`round` (same random placement, budgets, and observer
+        hooks), captures the ledger rows it recorded, then rolls the
+        runtime back to ``resident`` (default: a checkpoint taken on
+        entry). Because :meth:`restore` resets the round counter and
+        the readable store, consecutive query rounds are mutually
+        independent — each replays bit-identically to the first query
+        a freshly built engine would execute, which is what lets a
+        long-lived engine answer requests indefinitely while staying
+        reproducible. Returns the round result together with the
+        captured :class:`~repro.core.cost.RoundStats` rows (the
+        per-request cost slice; the runtime's own report no longer
+        holds them after the rollback, so callers accumulate them in a
+        serving ledger of their own).
+        """
+        checkpoint = resident if resident is not None else self.checkpoint()
+        result = self.round(work, worker, tag=tag, item_key=item_key)
+        rows = self.report.rounds[checkpoint.report_length:]
+        self.restore(checkpoint)
+        if checkpoint.store is not None:
+            # The resident store's read-load histogram is absolute state;
+            # zero it so the next query round's contention row reads as if
+            # the store were freshly sealed (tick-vs-fresh bit-identity).
+            checkpoint.store.reset_read_load()
+        return result, rows
+
     def bootstrap(self, pairs: Pairs, tag: str = "bootstrap") -> None:
         """Load the input into D_0 (paper §2: "The input data is stored in
         D_0 and uses a set of keys known to all machines").

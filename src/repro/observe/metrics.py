@@ -139,6 +139,39 @@ class Histogram:
                 key = int(exp)
                 self.buckets[key] = self.buckets.get(key, 0) + int(n)
 
+    def quantile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        Bucket-resolution coarse by construction: the rank is located in
+        its base-2 bucket and interpolated linearly within ``(2**(k-1),
+        2**k]``, then clamped to the observed ``[min, max]`` — so the
+        estimate is within a factor of 2 of the true value, which is the
+        same up-to-constants granularity as the rest of the histogram.
+        Serving latency percentiles (p50/p95/p99 in :mod:`repro.serve`)
+        are sourced from here. Returns None when empty.
+        """
+        if self.count == 0 or self.vmin is None or self.vmax is None:
+            return None
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile q must be in [0, 1], got {q}")
+        rank = q * self.count
+        ordered = sorted(
+            self.buckets.items(),
+            key=lambda kv: -1 if kv[0] == "0" else int(kv[0]),
+        )
+        seen = 0
+        for key, n in ordered:
+            seen += n
+            if seen >= rank:
+                if key == "0":
+                    return max(0.0, self.vmin)
+                hi = float(2 ** int(key))
+                lo = hi / 2.0
+                frac = 1.0 - (seen - rank) / n
+                value = lo + frac * (hi - lo)
+                return min(max(value, self.vmin), self.vmax)
+        return self.vmax
+
     def snapshot(self) -> dict[str, Any]:
         def upper(key: int | str) -> str:
             return "0" if key == "0" else str(2 ** int(key))

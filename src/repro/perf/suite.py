@@ -40,6 +40,21 @@ SUITES: dict[str, list[_SuiteEntry]] = {
         ("msf", {"n": 300, "vectorized": True}, {"n": 100}),
         ("replay_merge", {"n": 400}, {"n": 160}),
     ],
+    # Serving-latency guard: a resident engine replays the standard
+    # traffic patterns (repro.serve); the timed thunk is the query loop
+    # only — the engine is built in setup, so a regression here is a
+    # serving-path regression, not a build-phase one.
+    "serve-smoke": [
+        ("serve", {"n": 240, "requests": 120,
+                   "workload": "poisson-uniform"},
+         {"n": 96, "requests": 40}),
+        ("serve", {"n": 240, "requests": 120,
+                   "workload": "poisson-zipf"},
+         {"n": 96, "requests": 40}),
+        ("serve", {"n": 240, "requests": 120,
+                   "workload": "bursty-hotspot"},
+         {"n": 96, "requests": 40}),
+    ],
     # The Figure-1 workloads at bench sizes (minutes, for real tracking).
     "full": [
         ("connectivity", {"n": 3000, "vectorized": False}, {"n": 240}),
@@ -105,6 +120,15 @@ def _setup(bench: str, params: dict[str, Any]) -> Callable[[], Any]:
         return lambda: repro.minimum_spanning_forest(
             graph, seed=1, vectorized=vectorized
         )
+    if bench == "serve":
+        from repro.serve import ServingEngine, run_loadgen, workload_config
+
+        graph = generators.erdos_renyi_gnm(n, 2 * n, 0)
+        engine = ServingEngine(graph, seed=1)
+        cfg = workload_config(params.get("workload", "poisson-uniform"),
+                              n_requests=int(params.get("requests", 100)),
+                              seed=1)
+        return lambda: run_loadgen(engine, cfg)
     if bench == "replay_merge":
         # Process-backend connectivity: the parent-side journal replay
         # merge dominates on few-core hosts, so this cell tracks the

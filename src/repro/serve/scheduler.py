@@ -1,0 +1,174 @@
+"""Request scheduler: admission control, bounded queue, batched ticks.
+
+Sits between a traffic source (:mod:`repro.serve.workload` /
+:mod:`repro.serve.loadgen`, or the ``repro serve`` CLI) and a
+:class:`~repro.serve.engine.ServingEngine`. The scheduler owns the two
+serving knobs:
+
+* ``max_queue`` — bounded-queue depth. :meth:`RequestScheduler.submit`
+  rejects once the queue is full (load shedding); rejections are counted
+  here and in the ``serve.rejected`` metric, never silently dropped.
+* ``batch_window`` — requests per tick. Each :meth:`RequestScheduler.step`
+  pops up to one window and executes it as one adaptive round, so the
+  window trades per-request latency against round amortization — the
+  serving analogue of the batch engine's fusing.
+
+Clocking is caller-supplied: ``submit(..., now=t)`` stamps arrival and
+``step(completed_at=t)`` stamps completion, so the same scheduler serves
+wall-clock interactive use (defaults: ``time.perf_counter``) and the
+loadgen's virtual-time queueing simulation. Latency = completion −
+arrival (queue wait + service) is observed into the ``serve.latency_s``
+histogram of the engine's :class:`~repro.observe.metrics.MetricsRegistry`;
+:meth:`RequestScheduler.percentiles` reads p50/p95/p99 back out via
+:meth:`~repro.observe.metrics.Histogram.quantile`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Sequence
+
+from .engine import ServeRequest, ServeResponse, ServingEngine
+
+#: Percentiles reported by :meth:`RequestScheduler.percentiles`.
+LATENCY_PERCENTILES = (0.50, 0.95, 0.99)
+
+
+@dataclass(frozen=True)
+class AdmissionControl:
+    """The scheduler's two knobs (see the module docstring)."""
+
+    max_queue: int = 256
+    batch_window: int = 32
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.batch_window < 1:
+            raise ValueError(
+                f"batch_window must be >= 1, got {self.batch_window}"
+            )
+
+
+class RequestScheduler:
+    """Admission-controlled front of a :class:`ServingEngine`.
+
+    Attributes:
+        accepted / rejected / completed: request accounting. Every
+            submitted request ends up in exactly one of
+            ``rejected`` or (eventually) ``completed``.
+    """
+
+    def __init__(
+        self,
+        engine: ServingEngine,
+        *,
+        admission: AdmissionControl | None = None,
+        metrics=None,
+    ) -> None:
+        """``metrics`` is the registry for the scheduler's instruments
+        (admission counters, latency histogram, queue-depth gauge);
+        default: the engine's registry. Pass a fresh
+        :class:`~repro.observe.metrics.MetricsRegistry` to scope latency
+        percentiles to one scheduler's lifetime — the loadgen does, so
+        each workload run reports its own distribution even when
+        several reuse one resident engine."""
+        self.engine = engine
+        self.admission = admission or AdmissionControl()
+        self._queue: deque[tuple[ServeRequest, float]] = deque()
+        self.accepted = 0
+        self.rejected = 0
+        self.completed = 0
+        #: wall-clock service time of the most recent tick (seconds).
+        self.last_service_s = 0.0
+        self.metrics = engine.metrics if metrics is None else metrics
+        self._accepted_c = self.metrics.counter("serve.accepted")
+        self._rejected_c = self.metrics.counter("serve.rejected")
+        self._latency_h = self.metrics.histogram("serve.latency_s")
+        self._depth_g = self.metrics.gauge("serve.queue_depth_peak")
+
+    @property
+    def pending(self) -> int:
+        """Requests accepted but not yet served."""
+        return len(self._queue)
+
+    def submit(self, request: ServeRequest, *, now: float | None = None) -> bool:
+        """Admit ``request`` or shed it; returns whether it was admitted.
+
+        ``now`` is the arrival timestamp (default: wall clock); latency
+        is measured from it, so queue wait counts.
+        """
+        if len(self._queue) >= self.admission.max_queue:
+            self.rejected += 1
+            self._rejected_c.inc()
+            return False
+        self.engine.validate(request)
+        arrival = time.perf_counter() if now is None else now
+        self._queue.append((request, arrival))
+        self.accepted += 1
+        self._accepted_c.inc()
+        self._depth_g.set_max(len(self._queue))
+        return True
+
+    def step(self, *, now: float | None = None) -> list[ServeResponse]:
+        """Serve one tick: up to ``batch_window`` queued requests.
+
+        ``now`` is the tick's start timestamp on the caller's clock
+        (default: wall clock). The scheduler measures the tick's service
+        wall time itself (exposed as :attr:`last_service_s`) and stamps
+        every request's completion as ``now + service``, so latency =
+        queue wait + service on a single consistent clock — wall for
+        interactive use, virtual for the loadgen simulation.
+        """
+        if not self._queue:
+            self.last_service_s = 0.0
+            return []
+        window = self.admission.batch_window
+        batch: list[tuple[ServeRequest, float]] = []
+        while self._queue and len(batch) < window:
+            batch.append(self._queue.popleft())
+        start_wall = time.perf_counter()
+        start = start_wall if now is None else now
+        responses = self.engine.execute([req for req, _ in batch])
+        self.last_service_s = time.perf_counter() - start_wall
+        done = start + self.last_service_s
+        for (_req, arrival), resp in zip(batch, responses):
+            resp.latency_s = max(0.0, done - arrival)
+            self._latency_h.observe(resp.latency_s)
+        self.completed += len(responses)
+        return responses
+
+    def drain(self, *, now: float | None = None) -> list[ServeResponse]:
+        """Serve ticks until the queue is empty.
+
+        In virtual-time mode the clock advances by each tick's measured
+        service time, so queue wait accrues tick over tick.
+        """
+        responses: list[ServeResponse] = []
+        clock = now
+        while self._queue:
+            responses.extend(self.step(now=clock))
+            if clock is not None:
+                clock += self.last_service_s
+        return responses
+
+    def percentiles(self) -> dict[str, float | None]:
+        """p50/p95/p99 latency (seconds) from the observe histogram."""
+        hist = self._latency_h
+        quantile = getattr(hist, "quantile", None)
+        if quantile is None:  # disabled registry hands out null instruments
+            return {f"p{int(q * 100)}": None for q in LATENCY_PERCENTILES}
+        return {
+            f"p{int(q * 100)}": quantile(q) for q in LATENCY_PERCENTILES
+        }
+
+    def counts(self) -> dict[str, int]:
+        """Accounting snapshot (accepted / rejected / completed / pending)."""
+        return {
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "pending": len(self._queue),
+        }

@@ -521,6 +521,93 @@ def perf_smoke_cell(store_root: str | None = None) -> dict:
     return {"ok": not problems, "cells": n_cells, "problems": problems}
 
 
+def serve_smoke_cell() -> dict:
+    """The serve cell of ``repro verify --smoke``.
+
+    Builds a tiny resident engine (:class:`repro.serve.ServingEngine`,
+    n = ``SMOKE_SIZE``), replays a 50-request mixed workload through the
+    admission-controlled scheduler, then checks
+
+    * **answers** against the sequential oracles: greedy LFMIS over the
+      engine's π, BFS component labels, and the rooted forest's subtree
+      sizes;
+    * **ledgers**: per-request read/write deltas must reconcile exactly
+      with the tick rows and the observe counters
+      (:meth:`~repro.serve.ServingEngine.reconcile`);
+    * **admission accounting**: a deliberately tiny queue must shed the
+      overflow and every submitted request must be accounted accepted
+      or rejected.
+
+    Returns ``{"ok", "requests", "rejected", "problems"}``.
+    """
+    from repro.algorithms.mis import sequential_lfmis
+    from repro.graph import generators, validation
+    from repro.serve import (
+        AdmissionControl, RequestScheduler, ServeRequest, ServingEngine,
+        run_loadgen, workload_config,
+    )
+
+    problems: list[str] = []
+    graph = generators.erdos_renyi_gnm(SMOKE_SIZE, 2 * SMOKE_SIZE, rng=0)
+    engine = ServingEngine(graph, seed=0)
+    cfg = workload_config("poisson-zipf", n_requests=50, seed=3)
+    outcome = run_loadgen(engine, cfg)
+
+    in_mis = sequential_lfmis(graph, engine.pi)
+    labels = validation.components_reference(graph)
+    if not validation.same_partition(engine.labels, labels):
+        problems.append("engine component labels disagree with the BFS "
+                        "reference partition")
+    for resp in outcome.responses:
+        req, got = resp.request, resp.value
+        if req.kind == "mis_member":
+            want = bool(in_mis[req.key])
+        elif req.kind == "component_of":
+            want = int(engine.labels[req.key])
+        elif req.kind == "same_component":
+            want = bool(labels[req.key] == labels[req.key2])
+        else:
+            want = int(engine.subtree_size[req.key])
+        if got != want:
+            problems.append(
+                f"{req.kind}({req.key}) answered {got!r}, oracle says "
+                f"{want!r}"
+            )
+    if len(outcome.responses) != cfg.n_requests:
+        problems.append(
+            f"served {len(outcome.responses)} of {cfg.n_requests} requests"
+        )
+    problems += outcome.reconcile_problems
+
+    # Admission accounting: a queue of 4 against a burst of 20 must shed
+    # exactly the overflow, and shed + served must cover every submit.
+    tiny = RequestScheduler(engine, admission=AdmissionControl(
+        max_queue=4, batch_window=4))
+    submitted = 20
+    admitted = sum(
+        tiny.submit(ServeRequest("component_of", v % graph.n), now=0.0)
+        for v in range(submitted)
+    )
+    tiny.drain(now=0.0)
+    counts = tiny.counts()
+    if counts["accepted"] != admitted or counts["accepted"] != 4:
+        problems.append(f"admission accepted {counts['accepted']}, "
+                        f"expected 4")
+    if counts["rejected"] != submitted - 4:
+        problems.append(f"admission rejected {counts['rejected']}, "
+                        f"expected {submitted - 4}")
+    if counts["completed"] != counts["accepted"] or counts["pending"]:
+        problems.append(f"admission accounting leak: {counts}")
+    problems += engine.reconcile()
+
+    return {
+        "ok": not problems,
+        "requests": len(outcome.responses),
+        "rejected": counts["rejected"],
+        "problems": problems,
+    }
+
+
 def verify_sweep(
     *,
     algorithms: Iterable[str] | None = None,

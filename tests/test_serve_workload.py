@@ -1,0 +1,153 @@
+"""Workload generator determinism and distribution shape, plus the
+histogram quantile estimator the latency percentiles rely on."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.observe.metrics import Histogram
+from repro.serve import (
+    REQUEST_KINDS,
+    STANDARD_WORKLOADS,
+    WorkloadConfig,
+    generate,
+    workload_config,
+)
+
+pytestmark = pytest.mark.serve
+
+N_KEYS = 200
+
+
+class TestGenerate:
+    def test_deterministic_under_seed(self):
+        cfg = workload_config("poisson-zipf", n_requests=300, seed=11)
+        assert generate(cfg, N_KEYS) == generate(cfg, N_KEYS)
+        other = generate(workload_config("poisson-zipf", n_requests=300,
+                                         seed=12), N_KEYS)
+        assert generate(cfg, N_KEYS) != other
+
+    @pytest.mark.parametrize("name", sorted(STANDARD_WORKLOADS))
+    def test_standard_patterns_are_well_formed(self, name):
+        cfg = workload_config(name, n_requests=250, seed=0)
+        events = generate(cfg, N_KEYS)
+        assert len(events) == 250
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        for event in events:
+            req = event.request
+            assert req.kind in REQUEST_KINDS
+            assert 0 <= req.key < N_KEYS
+            if req.kind == "same_component":
+                assert 0 <= req.key2 < N_KEYS
+            else:
+                assert req.key2 == -1
+
+    def test_poisson_rate_approximately_honored(self):
+        cfg = WorkloadConfig(arrivals="poisson", rate=1000.0,
+                             n_requests=2000, seed=0)
+        events = generate(cfg, N_KEYS)
+        span = events[-1].time - events[0].time
+        observed = (len(events) - 1) / span
+        assert 800.0 < observed < 1250.0
+
+    def test_bursty_arrivals_are_simultaneous_within_burst(self):
+        cfg = WorkloadConfig(arrivals="bursty", rate=1000.0, burst_size=25,
+                             n_requests=100, seed=0)
+        times = np.asarray([e.time for e in generate(cfg, N_KEYS)])
+        distinct = np.unique(times)
+        assert distinct.size == 4  # 100 / 25 bursts
+        # Inter-burst gap preserves the average offered rate.
+        assert np.allclose(np.diff(distinct), 25 / 1000.0)
+
+    def test_zipf_is_more_skewed_than_uniform(self):
+        def top_share(popularity):
+            cfg = WorkloadConfig(popularity=popularity, zipf_s=1.2,
+                                 n_requests=2000, seed=0)
+            keys = [e.request.key for e in generate(cfg, N_KEYS)]
+            counts = np.bincount(keys, minlength=N_KEYS)
+            return np.sort(counts)[::-1][:10].sum() / len(keys)
+
+        assert top_share("zipfian") > 2 * top_share("uniform")
+
+    def test_hotspot_concentrates_traffic(self):
+        cfg = WorkloadConfig(popularity="hotspot", hot_fraction=0.05,
+                             hot_weight=0.9, n_requests=2000, seed=0)
+        keys = np.asarray([e.request.key for e in generate(cfg, N_KEYS)])
+        counts = np.bincount(keys, minlength=N_KEYS)
+        n_hot = max(1, round(0.05 * N_KEYS))
+        hot_share = np.sort(counts)[::-1][:n_hot].sum() / keys.size
+        assert hot_share > 0.75
+
+    def test_mix_ratios_approximately_honored(self):
+        cfg = WorkloadConfig(mix=(("mis_member", 3.0), ("component_of", 1.0)),
+                             n_requests=2000, seed=0)
+        kinds = [e.request.kind for e in generate(cfg, N_KEYS)]
+        assert set(kinds) == {"mis_member", "component_of"}
+        share = kinds.count("mis_member") / len(kinds)
+        assert 0.68 < share < 0.82
+
+
+class TestConfigValidation:
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(arrivals="modem")
+        with pytest.raises(ValueError):
+            WorkloadConfig(popularity="famous")
+        with pytest.raises(ValueError):
+            WorkloadConfig(rate=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(mix=(("frobnicate", 1.0),))
+        with pytest.raises(ValueError):
+            workload_config("no-such-pattern")
+
+    def test_overrides_apply(self):
+        cfg = workload_config("bursty-hotspot", n_requests=7, seed=9)
+        assert cfg.n_requests == 7 and cfg.seed == 9
+        assert cfg.arrivals == "bursty" and cfg.popularity == "hotspot"
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_has_no_quantiles(self):
+        assert Histogram("h").quantile(0.5) is None
+
+    def test_single_value(self):
+        h = Histogram("h")
+        h.observe(5.0)
+        assert h.quantile(0.0) == 5.0
+        assert h.quantile(0.5) == 5.0
+        assert h.quantile(1.0) == 5.0
+
+    def test_monotone_and_bounded(self):
+        rng = np.random.default_rng(0)
+        h = Histogram("h")
+        values = rng.exponential(scale=3.0, size=500)
+        h.observe_many(values)
+        qs = [h.quantile(q) for q in (0.1, 0.5, 0.9, 0.95, 0.99)]
+        assert qs == sorted(qs)
+        assert all(h.vmin <= q <= h.vmax for q in qs)
+
+    def test_within_bucket_resolution_of_true_quantile(self):
+        rng = np.random.default_rng(1)
+        h = Histogram("h")
+        values = rng.uniform(0.5, 64.0, size=2000)
+        h.observe_many(values)
+        for q in (0.5, 0.95, 0.99):
+            true = float(np.quantile(values, q))
+            got = h.quantile(q)
+            # Base-2 buckets: the estimate lands in the true value's
+            # bucket, i.e. within a factor of 2.
+            assert true / 2 <= got <= true * 2
+
+    def test_zero_bucket(self):
+        h = Histogram("h")
+        h.observe_many([0.0, 0.0, 0.0, 8.0])
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(1.0) == 8.0
+
+    def test_rejects_out_of_range(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
