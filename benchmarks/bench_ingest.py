@@ -1,0 +1,317 @@
+"""Experiment I1 — out-of-core ingestion throughput and peak RSS.
+
+Measures the ingestion pipeline of ROADMAP item 4 (``repro.graph.files``
+/ ``repro.graph.csr``): per-line vs vectorized edge-list parsing, the
+write-once binary edge cache, external-memory CSR construction, the
+streaming RMAT generator, and end-to-end vectorized connectivity run
+straight off a memory-mapped CSR cache.
+
+Two faces:
+
+* pytest (collected by ``repro bench --quick`` / ``pytest benchmarks``):
+  small instances; every run must be bit-identical to the in-memory
+  reference (``Graph.from_edges``, the per-line parser).
+* ``python benchmarks/bench_ingest.py --out benchmarks/BENCH_ingest.json``
+  regenerates the checked-in grid. Each measured stage re-invokes this
+  script as a subprocess (``--stage``) so its ``ru_maxrss`` is the peak
+  RSS of that stage alone — the bounded-RSS evidence — and edges/sec
+  rates are wall-clock, meaningful relative to the recorded host
+  fingerprint. The ``speedups`` section holds the headline ratios of
+  the fast parse and warm binary cache over the per-line reader.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import subprocess
+import sys
+import tempfile
+import time
+
+import numpy as np
+import pytest
+
+from repro.graph import csr, files, generators
+from repro.graph.graph import Graph
+from repro.perf import host_fingerprint
+
+FULL = {
+    "parse_edges": [1_000_000, 10_000_000],
+    "rmat": {"scale": 20, "edge_factor": 10},   # 10,485,760 raw edges
+    "e2e": {"scale": 20, "edge_factor": 10},
+}
+QUICK = {
+    "parse_edges": [20_000],
+    "rmat": {"scale": 10, "edge_factor": 8},
+    "e2e": {"scale": 10, "edge_factor": 8},
+}
+
+CHUNK_EDGES = 1 << 20
+
+
+# -- pytest face -----------------------------------------------------------
+
+
+@pytest.mark.ingest
+@pytest.mark.parametrize("m", [2_000, 20_000])
+def test_ingest_parse_cell(benchmark, record, m):
+    n = max(4, m // 4)
+    rng = np.random.default_rng(0)
+    edges = rng.integers(0, n, size=(m, 2), dtype=np.int64)
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "edges.txt")
+        files.write_edge_list(Graph.from_edges(n, edges), path)
+        graph = benchmark.pedantic(lambda: files.read_edge_list(path),
+                                   rounds=1, iterations=1)
+        slow, _w, slow_n = files._parse(path, want_weights=False)
+        assert graph == Graph.from_edges(slow_n, slow)
+    record(
+        "I1: ingestion throughput (quick sizes)",
+        ["stage", "edges", "parity"],
+        ["parse_fast", m, "yes"],
+    )
+
+
+@pytest.mark.ingest
+@pytest.mark.parametrize("m", [2_000, 20_000])
+def test_ingest_csr_cell(benchmark, record, m):
+    n = max(4, m // 4)
+    rng = np.random.default_rng(1)
+    edges = rng.integers(0, n, size=(m, 2), dtype=np.int64)
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    want = Graph.from_edges(n, edges)
+    with tempfile.TemporaryDirectory() as tmp:
+        mapped = benchmark.pedantic(
+            lambda: csr.build_csr(edges, n, tmp, chunk_edges=1 << 12),
+            rounds=1, iterations=1)
+        assert np.array_equal(np.asarray(mapped.indptr), want.indptr)
+        assert np.array_equal(np.asarray(mapped.indices), want.indices)
+    record(
+        "I1: ingestion throughput (quick sizes)",
+        ["stage", "edges", "parity"],
+        ["csr_build", m, "yes"],
+    )
+
+
+# -- measured stages (each runs in its own subprocess) ---------------------
+
+
+def _peak_rss_mb() -> float:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _write_text(path: str, n: int, m: int, seed: int) -> int:
+    """Deterministic text edge list; returns the edge count written."""
+    rng = np.random.default_rng(seed)
+    written = 0
+    with open(path, "w") as fh:
+        fh.write(f"# nodes: {n}\n")
+        remaining = m
+        while remaining:
+            k = min(remaining, CHUNK_EDGES)
+            chunk = rng.integers(0, n, size=(k, 2), dtype=np.int64)
+            chunk = chunk[chunk[:, 0] != chunk[:, 1]]
+            np.savetxt(fh, chunk, fmt="%d")
+            written += chunk.shape[0]
+            remaining -= k
+    return written
+
+
+def stage_parse_perline(args) -> dict:
+    t0 = time.perf_counter()
+    edges, _weights, n = files._parse(args.path, want_weights=False)
+    dt = time.perf_counter() - t0
+    return {"edges": int(edges.shape[0]), "n": int(n), "seconds": dt}
+
+
+def stage_parse_fast(args) -> dict:
+    t0 = time.perf_counter()
+    edges, n = files._collect_fast(args.path)
+    dt = time.perf_counter() - t0
+    return {"edges": int(edges.shape[0]), "n": int(n), "seconds": dt}
+
+
+def stage_cache_build(args) -> dict:
+    t0 = time.perf_counter()
+    _npy, n = files.build_edge_cache(args.path)
+    dt = time.perf_counter() - t0
+    edges, _n = files.load_edge_cache(args.path)
+    return {"edges": int(edges.shape[0]), "n": int(n), "seconds": dt}
+
+
+def stage_cache_load(args) -> dict:
+    t0 = time.perf_counter()
+    edges, n = files.load_edge_cache(args.path)
+    # Touch every edge so the rate is a true read, not an mmap open.
+    checksum = int(edges.sum(dtype=np.int64))
+    dt = time.perf_counter() - t0
+    return {"edges": int(edges.shape[0]), "n": int(n), "seconds": dt,
+            "checksum": checksum}
+
+
+def stage_csr_build(args) -> dict:
+    edges, n = files.load_edge_cache(args.path)
+    t0 = time.perf_counter()
+    graph = csr.build_csr(edges, n, args.workdir, chunk_edges=CHUNK_EDGES,
+                          drop_self_loops=True)
+    dt = time.perf_counter() - t0
+    return {"edges": int(edges.shape[0]), "n": graph.n, "m": graph.m,
+            "seconds": dt}
+
+
+def stage_rmat(args) -> dict:
+    t0 = time.perf_counter()
+    total = 0
+    for chunk in generators.rmat_edge_chunks(
+            args.scale, args.edge_factor, rng=1, chunk_edges=CHUNK_EDGES):
+        total += chunk.shape[0]
+    dt = time.perf_counter() - t0
+    return {"edges": total, "n": 1 << args.scale, "seconds": dt}
+
+
+def stage_e2e(args) -> dict:
+    """RMAT stream -> CSR cache -> mmap graph -> vectorized connectivity."""
+    import repro
+
+    n = 1 << args.scale
+    t0 = time.perf_counter()
+    graph = csr.build_csr(
+        generators.rmat_edge_chunks(args.scale, args.edge_factor, rng=1,
+                                    chunk_edges=CHUNK_EDGES),
+        n, args.workdir, chunk_edges=CHUNK_EDGES, drop_self_loops=True,
+    )
+    t_ingest = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    result = repro.connectivity(graph, seed=1, vectorized=True)
+    t_solve = time.perf_counter() - t0
+    return {
+        "edges": int(args.edge_factor) << args.scale,
+        "n": graph.n,
+        "m": graph.m,
+        "ingest_seconds": t_ingest,
+        "solve_seconds": t_solve,
+        "seconds": t_ingest + t_solve,
+        "n_components": result.n_components,
+        "phases": result.phases,
+        "rounds": result.report.n_rounds,
+    }
+
+
+STAGES = {
+    "parse_perline": stage_parse_perline,
+    "parse_fast": stage_parse_fast,
+    "cache_build": stage_cache_build,
+    "cache_load": stage_cache_load,
+    "csr_build": stage_csr_build,
+    "rmat": stage_rmat,
+    "e2e": stage_e2e,
+}
+
+
+def _run_stage(stage: str, **kwargs) -> dict:
+    """Re-invoke this script for one stage; its ru_maxrss is clean."""
+    cmd = [sys.executable, os.path.abspath(__file__), "--stage", stage]
+    for key, value in kwargs.items():
+        cmd += [f"--{key.replace('_', '-')}", str(value)]
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"stage {stage} failed:\n{proc.stdout}\n{proc.stderr}")
+    out = json.loads(proc.stdout.strip().splitlines()[-1])
+    out["stage"] = stage
+    if "seconds" in out and out["seconds"] > 0 and "edges" in out:
+        out["edges_per_sec"] = round(out["edges"] / out["seconds"], 1)
+    return out
+
+
+def sweep(sizes: dict, quick: bool) -> dict:
+    rows = []
+    speedups = {}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-ingest-") as tmp:
+        for m in sizes["parse_edges"]:
+            n = max(4, m // 8)
+            path = os.path.join(tmp, f"edges-{m}.txt")
+            written = _write_text(path, n, m, seed=m)
+            print(f"ingest: text file m={written} -> measuring", flush=True)
+            per_stage = {}
+            for stage in ("parse_perline", "parse_fast", "cache_build",
+                          "cache_load"):
+                row = _run_stage(stage, path=path)
+                row["input_edges"] = written
+                rows.append(row)
+                per_stage[stage] = row
+            workdir = os.path.join(tmp, f"csr-{m}")
+            row = _run_stage("csr_build", path=path, workdir=workdir)
+            row["input_edges"] = written
+            rows.append(row)
+            base = per_stage["parse_perline"]["seconds"]
+            speedups[f"parse_fast_m{m}"] = round(
+                base / per_stage["parse_fast"]["seconds"], 2)
+            speedups[f"cache_load_m{m}"] = round(
+                base / per_stage["cache_load"]["seconds"], 2)
+        rmat = sizes["rmat"]
+        row = _run_stage("rmat", scale=rmat["scale"],
+                         edge_factor=rmat["edge_factor"])
+        rows.append(row)
+        e2e = sizes["e2e"]
+        print(f"ingest: e2e rmat scale={e2e['scale']} "
+              f"ef={e2e['edge_factor']} (vectorized connectivity)",
+              flush=True)
+        e2e_row = _run_stage("e2e", scale=e2e["scale"],
+                             edge_factor=e2e["edge_factor"],
+                             workdir=os.path.join(tmp, "csr-e2e"))
+        rows.append(e2e_row)
+    return {
+        "experiment": "I1-ingestion",
+        "quick": quick,
+        "host": host_fingerprint(),
+        "chunk_edges": CHUNK_EDGES,
+        "rows": rows,
+        "speedups": speedups,
+        "e2e": e2e_row,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="benchmarks/BENCH_ingest.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny instances (smoke-test the sweep itself; "
+                             "REPRO_BENCH_QUICK=1 implies this)")
+    parser.add_argument("--stage", choices=sorted(STAGES), default=None,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--path", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--workdir", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--scale", type=int, default=None,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--edge-factor", type=int, default=None,
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args()
+
+    if args.stage is not None:
+        out = STAGES[args.stage](args)
+        out["peak_rss_mb"] = round(_peak_rss_mb(), 1)
+        print(json.dumps(out))
+        return 0
+
+    quick = args.quick or bool(os.environ.get("REPRO_BENCH_QUICK"))
+    payload = sweep(QUICK if quick else FULL, quick)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    best = max((v for k, v in payload["speedups"].items()), default=0.0)
+    print(f"wrote {args.out} ({len(payload['rows'])} rows, "
+          f"best ingest speedup vs per-line: {best:.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,7 @@ from repro.core.config import AMPCConfig
 from repro.core.cost import RunReport
 from repro.core.runtime import AMPCRuntime
 from repro.graph.graph import Graph
-from repro.graph.io import encode_graph
+from repro.graph.io import encode_graph, encode_graph_arrays
 from repro.primitives.contraction import contract_graph, resolve_pointers
 from repro.primitives.sampling import leader_probability
 from repro.primitives.sorting import SORT_ROUNDS
@@ -303,9 +303,12 @@ def _increase_degrees(
         return counts
 
     if vectorized:
+        # Array-native setup: same keys, values, and placement as the
+        # scalar pair stream, but written in bounded chunks — mmap-backed
+        # graphs (MmapGraph) enter the store without materializing.
         result = runtime.round_batch(
             np.arange(graph.n, dtype=np.int64), batch_worker,
-            setup=encode_graph(graph), tag=tag,
+            setup_arrays=encode_graph_arrays(graph), tag=tag,
         )
         vs, xs = result.store.read_namespace("fedge")
         if vs.size == 0:

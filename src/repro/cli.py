@@ -327,7 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_regen.add_argument("--only", action="append", default=None,
                          choices=["observe", "parallel", "simulator",
-                                  "resilience", "serve"],
+                                  "resilience", "serve", "ingest"],
                          help="regenerate only this target (repeatable)")
     p_regen.add_argument("--quick", action="store_true",
                          help="smoke-test the regeneration pipeline with "
@@ -410,6 +410,34 @@ def build_parser() -> argparse.ArgumentParser:
     stats_p = sub.add_parser("stats", help="describe a graph file")
     stats_p.add_argument("graph", help="edge-list file")
 
+    ingest = sub.add_parser(
+        "ingest",
+        help="convert an edge-list file or RMAT spec into a "
+             "memory-mapped binary CSR cache (out-of-core; see "
+             "repro.graph.csr) and print its stats",
+    )
+    ingest.add_argument("source",
+                        help="edge-list path, or an RMAT spec "
+                             "'rmat:SCALE[:EDGE_FACTOR]' "
+                             "(e.g. rmat:20:16)")
+    ingest.add_argument("out", help="output CSR cache directory")
+    ingest.add_argument("--seed", type=int, default=0,
+                        help="RMAT seed (default 0)")
+    ingest.add_argument("--chunk-edges", type=int, default=1 << 20,
+                        metavar="K",
+                        help="edges processed per chunk (bounds RSS; "
+                             "default 2**20)")
+    ingest.add_argument("--drop-self-loops", action="store_true",
+                        help="silently drop u==u rows from edge-list "
+                             "input instead of failing (RMAT input "
+                             "always drops them)")
+    ingest.add_argument("--force", action="store_true",
+                        help="rebuild even if the cache directory "
+                             "already holds a CSR cache")
+    ingest.add_argument("--no-stats", action="store_true",
+                        help="skip the graph-stats summary (avoids "
+                             "touching every page of a huge cache)")
+
     gen = sub.add_parser("generate", help="write a synthetic workload")
     gen.add_argument("family", choices=["er", "ba", "grid", "cycle",
                                         "two-cycle", "tree"])
@@ -447,7 +475,51 @@ def main(argv: Sequence[str] | None = None) -> int:
         graph = files.read_edge_list(args.graph)
         print(stats.graph_stats(graph).format())
         return 0
+    if args.command == "ingest":
+        return _ingest(args)
     return _run(args)
+
+
+def _ingest(args) -> int:
+    """Build an on-disk CSR cache from an edge list or RMAT spec."""
+    from repro.graph import csr, files, generators, stats
+
+    out = args.out
+    if csr.is_cache(out) and not args.force:
+        graph = csr.MmapGraph.load(out)
+        print(f"cache up to date: {graph!r} (use --force to rebuild)")
+        return 0
+
+    spec = str(args.source)
+    if spec.startswith("rmat:"):
+        fields = spec.split(":")[1:]
+        if not 1 <= len(fields) <= 2:
+            print(f"bad RMAT spec {spec!r}: want rmat:SCALE[:EDGE_FACTOR]",
+                  file=sys.stderr)
+            return 2
+        try:
+            scale = int(fields[0])
+            edge_factor = int(fields[1]) if len(fields) == 2 else 16
+        except ValueError:
+            print(f"bad RMAT spec {spec!r}: want rmat:SCALE[:EDGE_FACTOR]",
+                  file=sys.stderr)
+            return 2
+        n = 1 << scale
+        chunks = generators.rmat_edge_chunks(
+            scale, edge_factor, rng=args.seed,
+            chunk_edges=args.chunk_edges)
+        graph = csr.build_csr(chunks, n, out,
+                              chunk_edges=args.chunk_edges,
+                              drop_self_loops=True)
+    else:
+        edges, n = files.load_edge_cache(args.source)
+        graph = csr.build_csr(edges, n, out,
+                              chunk_edges=args.chunk_edges,
+                              drop_self_loops=args.drop_self_loops)
+    print(f"built {graph!r}")
+    if not args.no_stats:
+        print(stats.graph_stats(graph).format())
+    return 0
 
 
 def _generate(args) -> int:
@@ -729,6 +801,9 @@ def _perf_regen(args) -> int:
         "serve": [sys.executable, script("bench_serve.py"),
                   "--out", os.path.join(out_dir, "BENCH_serve.json")]
                  + (["--quick"] if args.quick else []),
+        "ingest": [sys.executable, script("bench_ingest.py"),
+                   "--out", os.path.join(out_dir, "BENCH_ingest.json")]
+                  + (["--quick"] if args.quick else []),
     }
     wanted = args.only or list(targets)
     if args.quick and "resilience" in wanted and args.only is None:
@@ -811,6 +886,7 @@ def _verify(args) -> int:
     perf_ok = True
     vectorized_ok = True
     serve_ok = True
+    ingest_ok = True
     if args.smoke:
         observe_ok = _traced_smoke(args.observe_baseline, human)
         if args.backend == "serial":
@@ -823,8 +899,10 @@ def _verify(args) -> int:
             vectorized_ok = _vectorized_smoke(human)
         perf_ok = _perf_smoke(human)
         serve_ok = _serve_smoke(human)
+        ingest_ok = _ingest_smoke(human)
     return 0 if (report.ok and observe_ok and backend_ok
-                 and vectorized_ok and perf_ok and serve_ok) else 1
+                 and vectorized_ok and perf_ok and serve_ok
+                 and ingest_ok) else 1
 
 
 def _vectorized_smoke(human) -> bool:
@@ -885,6 +963,26 @@ def _serve_smoke(human) -> bool:
           f"ledger-reconciled, {outcome['rejected']} shed", file=human)
     for problem in outcome["problems"]:
         print(f"    serve smoke problem: {problem}", file=human)
+    return outcome["ok"]
+
+
+def _ingest_smoke(human) -> bool:
+    """The ingest smoke cell of ``repro verify --smoke``.
+
+    Round-trips a small graph through the binary edge cache and the
+    out-of-core CSR builder, then runs connectivity and MIS from the
+    mmap-backed graph on both the scalar and array-native setup paths:
+    results AND per-round cost ledgers must be bit-identical to the
+    in-memory ``Graph`` baseline. No wall-clock thresholds.
+    """
+    from repro.verify.runner import ingest_smoke_cell
+
+    outcome = ingest_smoke_cell()
+    print(f"  [{'ok ' if outcome['ok'] else 'FAIL'}] ingest smoke: "
+          f"mmap CSR n={outcome['n']} m={outcome['m']}, "
+          f"{outcome['checks']} parity checks", file=human)
+    for problem in outcome["problems"]:
+        print(f"    ingest smoke problem: {problem}", file=human)
     return outcome["ok"]
 
 

@@ -62,6 +62,21 @@ def _batch_keys(parts: Sequence[Any]) -> Iterator[tuple]:
     return zip(*columns)
 
 
+def _owned_chunk(array: np.ndarray) -> np.ndarray:
+    """A chunk safe to retain without copying the caller's buffer.
+
+    Mutable caller arrays are defensively copied (append-only store
+    semantics must survive caller-side mutation). Read-only arrays —
+    memory-mapped ``.npy`` columns opened with ``mmap_mode="r"`` and
+    their slices — are retained as-is: the caller cannot mutate them
+    either, and copying would defeat the out-of-core ingestion path's
+    bounded-RSS contract.
+    """
+    if isinstance(array, np.ndarray) and not array.flags.writeable:
+        return array
+    return np.array(array, copy=True)
+
+
 class _Column:
     """Columnar storage for one namespace of (id -> value) pairs.
 
@@ -69,58 +84,103 @@ class _Column:
     is built lazily on first lookup (i.e. after the store seals). Duplicate
     ids keep every row — bucket semantics — and a plain lookup returns the
     first-written row, matching the scalar store's duplicate-key rule.
+
+    A column is either *plain* (keys ``(namespace, id)``) or *slotted*
+    (keys ``(namespace, id, slot)``, e.g. adjacency slot addressing
+    ``("adj", u, i)``); the first append decides which, and the two key
+    shapes never share a column. Slotted lookups index a composite
+    ``id * stride + slot`` key, where ``stride`` is computed from the
+    column's own slot range at index-build time.
     """
 
     __slots__ = (
         "width",
         "dtype",
         "rows",
+        "slotted",
         "_id_chunks",
+        "_slot_chunks",
         "_value_chunks",
         "_ids",
+        "_slots",
         "_values",
         "_order",
         "_sorted_ids",
         "_n_distinct",
+        "_stride",
     )
 
-    def __init__(self, width: int, dtype: np.dtype) -> None:
+    def __init__(self, width: int, dtype: np.dtype, slotted: bool = False) -> None:
         self.width = width
         self.dtype = dtype
         self.rows = 0
+        self.slotted = slotted
         self._id_chunks: list[np.ndarray] = []
+        self._slot_chunks: list[np.ndarray] = []
         self._value_chunks: list[np.ndarray] = []
         self._ids: np.ndarray | None = None
+        self._slots: np.ndarray | None = None
         self._values: np.ndarray | None = None
         self._order: np.ndarray | None = None
         self._sorted_ids: np.ndarray | None = None
         self._n_distinct = 0
+        self._stride = 1
 
-    def append(self, ids: np.ndarray, values: np.ndarray) -> None:
+    def append(
+        self,
+        ids: np.ndarray,
+        values: np.ndarray,
+        slots: np.ndarray | None = None,
+    ) -> None:
         width = 1 if values.ndim == 1 else values.shape[1]
         if width != self.width or values.dtype != self.dtype:
             raise ValueError(
                 f"namespace value layout changed: expected width {self.width} "
                 f"dtype {self.dtype}, got width {width} dtype {values.dtype}"
             )
-        self._id_chunks.append(np.array(ids, copy=True))
-        self._value_chunks.append(np.array(values, copy=True))
+        if (slots is not None) != self.slotted:
+            raise ValueError(
+                f"namespace key layout changed: expected "
+                f"{'(namespace, id, slot)' if self.slotted else '(namespace, id)'} "
+                f"keys"
+            )
+        self._id_chunks.append(_owned_chunk(ids))
+        if slots is not None:
+            self._slot_chunks.append(_owned_chunk(slots))
+        self._value_chunks.append(_owned_chunk(values))
         self.rows += ids.size
-        self._ids = self._values = self._order = self._sorted_ids = None
+        self._ids = self._slots = self._values = None
+        self._order = self._sorted_ids = None
 
     def _materialized(self) -> tuple[np.ndarray, np.ndarray]:
         if self._ids is None:
             if len(self._id_chunks) == 1:
                 self._ids = self._id_chunks[0]
                 self._values = self._value_chunks[0]
+                if self.slotted:
+                    self._slots = self._slot_chunks[0]
             else:
                 self._ids = np.concatenate(self._id_chunks)
                 self._values = np.concatenate(self._value_chunks)
+                if self.slotted:
+                    self._slots = np.concatenate(self._slot_chunks)
         return self._ids, self._values
+
+    def _composite(self, ids: np.ndarray, slots: np.ndarray) -> np.ndarray:
+        return ids * self._stride + slots
 
     def _indexed(self) -> None:
         if self._order is None:
             ids, _ = self._materialized()
+            if self.slotted:
+                assert self._slots is not None
+                # Stride is derived from the data so the composite key is a
+                # bijection over the rows seen so far; every append resets
+                # the index, so stride stays consistent with the contents.
+                self._stride = (
+                    int(self._slots.max()) + 1 if self.rows else 1
+                )
+                ids = self._composite(ids, self._slots)
             # Stable sort: among duplicate ids, sorted order preserves write
             # order, so the first sorted occurrence is the first write.
             self._order = np.argsort(ids, kind="stable")
@@ -137,38 +197,64 @@ class _Column:
         self._indexed()
         return self._n_distinct
 
-    def lookup(self, ids: np.ndarray, fill: Any) -> tuple[np.ndarray, np.ndarray]:
+    def lookup(
+        self,
+        ids: np.ndarray,
+        fill: Any,
+        slots: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
         """First-written value per id, ``fill`` where absent; plus hit mask."""
         k = ids.size
         shape = k if self.width == 1 else (k, self.width)
-        if self.rows == 0:
+        if self.rows == 0 or (slots is not None) != self.slotted:
+            # Key-shape mismatch: those keys were never written into this
+            # column, so every probe misses (same as querying absent ids).
             return np.full(shape, fill, dtype=self.dtype), np.zeros(k, bool)
         self._indexed()
-        pos = np.searchsorted(self._sorted_ids, ids)
+        if slots is not None:
+            if np.any(slots < 0) or np.any(slots >= self._stride):
+                # Slots beyond the written range cannot collide with any
+                # composite key; clip after recording the misses.
+                valid = (slots >= 0) & (slots < self._stride)
+                probe = self._composite(ids, np.where(valid, slots, 0))
+            else:
+                valid = None
+                probe = self._composite(ids, slots)
+        else:
+            valid = None
+            probe = ids
+        pos = np.searchsorted(self._sorted_ids, probe)
         safe = np.minimum(pos, self.rows - 1)
-        found = self._sorted_ids[safe] == ids
+        found = self._sorted_ids[safe] == probe
+        if valid is not None:
+            found &= valid
         out = np.full(shape, fill, dtype=self.dtype)
         _, values = self._materialized()
         out[found] = values[self._order[safe[found]]]
         return out, found
 
-    def _span(self, id_: int) -> tuple[int, int]:
+    def _span(self, id_: int, slot: int | None = None) -> tuple[int, int]:
         self._indexed()
+        if self.slotted:
+            assert slot is not None
+            if not 0 <= slot < self._stride:
+                return 0, 0
+            id_ = id_ * self._stride + slot
         lo = int(np.searchsorted(self._sorted_ids, id_, side="left"))
         hi = int(np.searchsorted(self._sorted_ids, id_, side="right"))
         return lo, hi
 
-    def count(self, id_: int) -> int:
-        if self.rows == 0:
+    def count(self, id_: int, slot: int | None = None) -> int:
+        if self.rows == 0 or (slot is not None) != self.slotted:
             return 0
-        lo, hi = self._span(id_)
+        lo, hi = self._span(id_, slot)
         return hi - lo
 
-    def value_at(self, id_: int, index: int) -> Any:
+    def value_at(self, id_: int, index: int, slot: int | None = None) -> Any:
         """The ``index``-th (1-based, write-order) value of ``id_``, or None."""
-        if self.rows == 0:
+        if self.rows == 0 or (slot is not None) != self.slotted:
             return None
-        lo, hi = self._span(id_)
+        lo, hi = self._span(id_, slot)
         if index > hi - lo:
             return None
         _, values = self._materialized()
@@ -184,22 +270,31 @@ class _Column:
         """(ids, values) in write order — views, do not mutate."""
         return self._materialized()
 
-    def share_parts(
-        self,
-    ) -> tuple[int, np.dtype, np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+    def share_parts(self) -> dict[str, Any]:
         """Materialize + index, then expose the arrays for cross-process
-        sharing: ``(width, dtype, ids, values, order, sorted_ids,
-        n_distinct)``. Building the sorted index *before* sharing means
-        every worker reads one parent-built index instead of re-sorting
-        per process. The arrays are internal views — treat as read-only.
+        sharing as a dict with keys ``width``, ``dtype``, ``ids``,
+        ``values``, ``order``, ``sorted_ids``, ``n_distinct``, and — for
+        slotted columns — ``slots`` and ``stride``. Building the sorted
+        index *before* sharing means every worker reads one parent-built
+        index instead of re-sorting per process. The arrays are internal
+        views — treat as read-only.
         """
         ids, values = self._materialized()
         self._indexed()
         assert self._order is not None and self._sorted_ids is not None
-        return (
-            self.width, self.dtype, ids, values,
-            self._order, self._sorted_ids, self._n_distinct,
-        )
+        parts: dict[str, Any] = {
+            "width": self.width,
+            "dtype": self.dtype,
+            "ids": ids,
+            "values": values,
+            "order": self._order,
+            "sorted_ids": self._sorted_ids,
+            "n_distinct": self._n_distinct,
+        }
+        if self.slotted:
+            parts["slots"] = self._slots
+            parts["stride"] = self._stride
+        return parts
 
     @classmethod
     def from_shared_parts(
@@ -211,24 +306,37 @@ class _Column:
         order: np.ndarray,
         sorted_ids: np.ndarray,
         n_distinct: int,
+        slots: np.ndarray | None = None,
+        stride: int = 1,
     ) -> "_Column":
         """Rebuild a read-only column over externally-held (e.g. shared-
         memory) arrays without copying. The result is for lookups only;
         appending to it is unsupported (shadow stores are sealed).
         """
-        column = cls(width, dtype)
+        column = cls(width, dtype, slotted=slots is not None)
         column.rows = int(ids.size)
         column._ids = ids
+        column._slots = slots
         column._values = values
         column._order = order
         column._sorted_ids = sorted_ids
         column._n_distinct = int(n_distinct)
+        column._stride = int(stride)
         return column
 
     def iter_pairs(self) -> Iterator[tuple[int, Any]]:
         ids, values = self._materialized()
         for row in range(self.rows):
             yield int(ids[row]), self._scalar(values, row)
+
+    def iter_slotted_pairs(self) -> Iterator[tuple[int, int, Any]]:
+        ids, values = self._materialized()
+        assert self._slots is not None
+        for row in range(self.rows):
+            yield (
+                int(ids[row]), int(self._slots[row]),
+                self._scalar(values, row),
+            )
 
 
 def value_words(value: Any) -> int:
@@ -361,9 +469,15 @@ class DistributedDataStore:
         """Attribute one read to the server answering it."""
         self._server_reads[self._owner_of(key)] += 1
 
-    def _place_write_array(self, namespace: str, ids: np.ndarray) -> None:
+    def _place_write_array(
+        self,
+        namespace: str,
+        ids: np.ndarray,
+        slots: np.ndarray | None = None,
+    ) -> None:
         """Batch :meth:`_place_write`: one hash sweep, bincount histogram."""
-        servers = server_of_array([namespace, ids], self.n_servers, self.seed)
+        parts = [namespace, ids] if slots is None else [namespace, ids, slots]
+        servers = server_of_array(parts, self.n_servers, self.seed)
         self._server_items += np.bincount(servers, minlength=self.n_servers)
 
     def _serve_read_array(self, parts: Sequence[Any]) -> None:
@@ -464,7 +578,11 @@ class DistributedDataStore:
             self._place_write_array(namespace, np.asarray(ids, dtype=np.int64))
 
     def write_array(
-        self, namespace: str, ids: np.ndarray, values: np.ndarray
+        self,
+        namespace: str,
+        ids: np.ndarray,
+        values: np.ndarray,
+        slots: np.ndarray | None = None,
     ) -> None:
         """Columnar bulk write: pair ``(namespace, ids[i]) -> values[i]``.
 
@@ -476,6 +594,13 @@ class DistributedDataStore:
         ``values.shape[1]`` words per value. Mixing scalar ``write`` and
         ``write_array`` on the *same* (namespace, id) key leaves the
         duplicate ordering between the two paths unspecified.
+
+        With ``slots`` (an int64 array parallel to ``ids``), the row keys
+        are the 3-part ``(namespace, ids[i], slots[i])`` — the adjacency
+        slot addressing ``("adj", u, i)`` of :func:`repro.graph.io.
+        encode_graph` — hashed and placed exactly like the scalar
+        3-tuples. A namespace is either always slotted or never: the two
+        key shapes cannot share a column.
         """
         if self._sealed:
             raise StoreSealedError(
@@ -495,10 +620,19 @@ class DistributedDataStore:
                 f"values must be 1-D or 2-D with {ids.size} rows, "
                 f"got shape {values.shape}"
             )
+        if slots is not None:
+            slots = np.asarray(slots, dtype=np.int64)
+            if slots.shape != ids.shape:
+                raise ValueError(
+                    f"slots must match ids shape {ids.shape}, "
+                    f"got shape {slots.shape}"
+                )
         width = 1 if values.ndim == 1 else values.shape[1]
-        if 2 > self.max_words:
+        key_words = 2 if slots is None else 3
+        if key_words > self.max_words:
             raise ValueSizeError(
-                f"key exceeds {self.max_words} words: ({namespace!r}, id)"
+                f"key exceeds {self.max_words} words: "
+                f"({namespace!r}, id{', slot' if slots is not None else ''})"
             )
         if width > self.max_words:
             raise ValueSizeError(
@@ -506,11 +640,13 @@ class DistributedDataStore:
             )
         column = self._columns.get(namespace)
         if column is None:
-            column = self._columns[namespace] = _Column(width, values.dtype)
-        column.append(ids, values)
+            column = self._columns[namespace] = _Column(
+                width, values.dtype, slotted=slots is not None
+            )
+        column.append(ids, values, slots)
         self.n_writes += ids.size
         if self.track_contention:
-            self._place_write_array(namespace, ids)
+            self._place_write_array(namespace, ids, slots)
         if self.observer is not None:
             self.observer.on_store_write_batch(self, namespace, ids)
 
@@ -542,9 +678,10 @@ class DistributedDataStore:
         if isinstance(found, _Bucket):
             return found.values[0]
         if found is None and self._columns:
-            column = self._column_for(key)
-            if column is not None:
-                return column.value_at(int(key[1]), 1)
+            resolved = self._column_key(key)
+            if resolved is not None:
+                column, id_, slot = resolved
+                return column.value_at(id_, 1, slot=slot)
         return found
 
     def read_array(
@@ -552,6 +689,7 @@ class DistributedDataStore:
         namespace: str,
         ids: np.ndarray,
         *,
+        slots: np.ndarray | None = None,
         fill: Any = 0,
         return_found: bool = False,
     ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
@@ -562,7 +700,9 @@ class DistributedDataStore:
         same amounts on the same servers — but the batch is routed with one
         vectorized hash sweep. Missing ids yield ``fill`` (which must be
         castable to the namespace's value dtype); pass
-        ``return_found=True`` to also get the hit mask.
+        ``return_found=True`` to also get the hit mask. With ``slots``,
+        the probed keys are the 3-part ``(namespace, id, slot)`` of a
+        slotted :meth:`write_array` namespace.
         """
         if not self._sealed:
             raise StoreNotSealedError(
@@ -570,9 +710,14 @@ class DistributedDataStore:
                 f"be sealed before reads"
             )
         ids = np.asarray(ids, dtype=np.int64)
+        if slots is not None:
+            slots = np.asarray(slots, dtype=np.int64)
         self.n_reads += ids.size
         if self._route_reads:
-            self._serve_read_array([namespace, ids])
+            parts = (
+                [namespace, ids] if slots is None else [namespace, ids, slots]
+            )
+            self._serve_read_array(parts)
         if self.observer is not None:
             self.observer.on_store_read_batch(self, namespace, ids)
         column = self._columns.get(namespace)
@@ -580,7 +725,7 @@ class DistributedDataStore:
             out = np.full(ids.size, fill)
             found = np.zeros(ids.size, bool)
         else:
-            out, found = column.lookup(ids, fill)
+            out, found = column.lookup(ids, fill, slots=slots)
         if return_found:
             return out, found
         return out
@@ -638,6 +783,32 @@ class DistributedDataStore:
             return self._columns.get(key[0])
         return None
 
+    def _column_key(self, key: Hashable) -> tuple[_Column, int, int | None] | None:
+        """Resolve a scalar key against the columnar twin.
+
+        Returns ``(column, id, slot)`` when ``key`` is a batch-style
+        ``(str, int)`` or slotted ``(str, int, int)`` key whose namespace
+        has a column of the *matching* key shape; None otherwise (a plain
+        key can never hit a slotted column and vice versa — they are
+        different keys).
+        """
+        if not (type(key) is tuple and isinstance(key[0], str)):
+            return None
+        if len(key) == 2 and isinstance(key[1], (int, np.integer)):
+            slot: int | None = None
+        elif (
+            len(key) == 3
+            and isinstance(key[1], (int, np.integer))
+            and isinstance(key[2], (int, np.integer))
+        ):
+            slot = int(key[2])
+        else:
+            return None
+        column = self._columns.get(key[0])
+        if column is None or column.slotted != (slot is not None):
+            return None
+        return column, int(key[1]), slot
+
     def get_indexed(self, key: Hashable, index: int) -> Any:
         """Query the ``index``-th (1-based) pair with this key, or None.
 
@@ -657,9 +828,10 @@ class DistributedDataStore:
         found = self._data.get(key)
         if found is None:
             if self._columns:
-                column = self._column_for(key)
-                if column is not None:
-                    return column.value_at(int(key[1]), index)
+                resolved = self._column_key(key)
+                if resolved is not None:
+                    column, id_, slot = resolved
+                    return column.value_at(id_, index, slot=slot)
             return None
         if isinstance(found, _Bucket):
             return found.values[index - 1] if index <= len(found.values) else None
@@ -676,9 +848,10 @@ class DistributedDataStore:
         found = self._data.get(key)
         if found is None:
             if self._columns:
-                column = self._column_for(key)
-                if column is not None:
-                    return column.count(int(key[1]))
+                resolved = self._column_key(key)
+                if resolved is not None:
+                    column, id_, slot = resolved
+                    return column.count(id_, slot=slot)
             return 0
         if isinstance(found, _Bucket):
             return len(found.values)
@@ -688,9 +861,10 @@ class DistributedDataStore:
         if key in self._data:
             return True
         if self._columns:
-            column = self._column_for(key)
-            if column is not None:
-                return column.count(int(key[1])) > 0
+            resolved = self._column_key(key)
+            if resolved is not None:
+                column, id_, slot = resolved
+                return column.count(id_, slot=slot) > 0
         return False
 
     def __len__(self) -> int:
@@ -718,8 +892,12 @@ class DistributedDataStore:
             else:
                 yield key, value
         for namespace, column in self._columns.items():
-            for id_, value in column.iter_pairs():
-                yield (namespace, id_), value
+            if column.slotted:
+                for id_, slot, value in column.iter_slotted_pairs():
+                    yield (namespace, id_, slot), value
+            else:
+                for id_, value in column.iter_pairs():
+                    yield (namespace, id_), value
 
     # -- contention accounting (Lemma 2.1) --------------------------------
 
@@ -836,11 +1014,17 @@ class ReplicatedDataStore(DistributedDataStore):
         for server in self.replicas_of(key):
             self._server_items[server] += 1
 
-    def _place_write_array(self, namespace: str, ids: np.ndarray) -> None:
+    def _place_write_array(
+        self,
+        namespace: str,
+        ids: np.ndarray,
+        slots: np.ndarray | None = None,
+    ) -> None:
         # Replication placement is per-key (distinct-replica search), so
         # the batch degrades to the scalar loop; replicated stores exist
         # for the chaos path, which the vectorized engine opts out of.
-        for key in _batch_keys([namespace, ids]):
+        parts = [namespace, ids] if slots is None else [namespace, ids, slots]
+        for key in _batch_keys(parts):
             self._place_write(key)
 
     def _serve_read_array(self, parts: Sequence[Any]) -> None:

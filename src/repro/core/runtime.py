@@ -237,14 +237,16 @@ class AMPCRuntime:
         self,
         *,
         pairs: Pairs | None = None,
-        arrays: Sequence[tuple[str, np.ndarray, np.ndarray]] | None = None,
+        arrays: Iterable[tuple] | None = None,
         tag: str = "publish",
     ) -> "RoundCheckpoint":
         """Build + seal: publish driver state as the resident readable store.
 
         The first half of a serving deployment (:mod:`repro.serve`):
         write ``pairs`` (scalar key-values) and ``arrays`` (columnar
-        ``(namespace, ids, values)`` triples) into a fresh store, seal
+        ``(namespace, ids, values)`` triples or slotted
+        ``(namespace, ids, slots, values)`` quadruples) into a fresh
+        store, seal
         it, and make it the runtime's readable store. Charged as one
         publication round — every write counted, spread over the
         machines like :meth:`charge` — and the returned
@@ -258,9 +260,14 @@ class AMPCRuntime:
         if pairs is not None:
             count += store.write_many(pairs)
         if arrays is not None:
-            for namespace, ids, values in arrays:
+            for entry in arrays:
+                if len(entry) == 4:
+                    namespace, ids, slots, values = entry
+                else:
+                    namespace, ids, values = entry
+                    slots = None
                 ids = np.asarray(ids, dtype=np.int64)
-                store.write_array(namespace, ids, values)
+                store.write_array(namespace, ids, values, slots=slots)
                 count += ids.size
         store.seal()
         self._store = store
@@ -600,7 +607,7 @@ class AMPCRuntime:
         worker: Callable[..., Any],
         *,
         setup: Pairs | None = None,
-        setup_arrays: Sequence[tuple[str, np.ndarray, np.ndarray]] | None = None,
+        setup_arrays: Iterable[tuple] | None = None,
         fused: bool = False,
         tag: str = "round",
     ) -> "RoundResult":
@@ -627,9 +634,11 @@ class AMPCRuntime:
                 row per work item.
             setup: scalar key-value pairs readable this round (as in
                 :meth:`round`).
-            setup_arrays: columnar setup — (namespace, ids, values) triples
-                bulk-written into the readable store, charged like
-                ``setup`` pairs.
+            setup_arrays: columnar setup — an iterable (a list or a
+                lazily-chunked generator) of ``(namespace, ids, values)``
+                triples or slotted ``(namespace, ids, slots, values)``
+                quadruples bulk-written into the readable store, charged
+                like ``setup`` pairs.
             tag: label for the cost ledger.
         """
         start = time.perf_counter()
@@ -652,9 +661,14 @@ class AMPCRuntime:
             if setup is not None:
                 setup_writes += read_store.write_many(setup)
             if setup_arrays is not None:
-                for namespace, ids, values in setup_arrays:
+                for entry in setup_arrays:
+                    if len(entry) == 4:
+                        namespace, ids, slots, values = entry
+                    else:
+                        namespace, ids, values = entry
+                        slots = None
                     ids = np.asarray(ids, dtype=np.int64)
-                    read_store.write_array(namespace, ids, values)
+                    read_store.write_array(namespace, ids, values, slots=slots)
                     setup_writes += ids.size
             read_store.seal()
         else:

@@ -1,13 +1,17 @@
 """Graph substrate: containers, generators, DDS encodings, validation."""
 
-from . import files, generators, io, stats, validation
+from . import csr, files, generators, io, stats, validation
+from .csr import MmapGraph, build_csr
 from .graph import Graph, WeightedGraph, canonical_edges, edge_set_difference
 
 __all__ = [
     "Graph",
+    "MmapGraph",
     "WeightedGraph",
+    "build_csr",
     "canonical_edges",
     "edge_set_difference",
+    "csr",
     "files",
     "generators",
     "stats",

@@ -11,17 +11,45 @@ users can feed real graphs in:
 
 Vertex ids must be non-negative integers; they are used as-is (no
 re-mapping), matching the library's 0..n-1 vertex convention.
+
+Two reading speeds share one contract:
+
+* the **fast path** (:func:`scan_edge_list`) parses raw byte blocks with
+  ``np.frombuffer`` — byte-class histogram, token-count cumsum sampled
+  at newlines, C-tokenizer value parse, no per-line Python — and
+  streams bounded ``(k, 2)`` chunks. It handles
+  the common shape (leading comments, two integer columns); anything
+  else (weights, mid-file comments, negative ids, huge tokens) raises
+  :class:`FastParseUnsupported` and the caller restarts on
+* the **slow path** — the original per-line parser, kept verbatim so
+  every error message and edge case (including the ``# nodes:`` header
+  semantics) is unchanged.
+
+:func:`build_edge_cache` adds a write-once binary cache next to the
+text file (``<name>.edges.npy`` + ``<name>.edges.json`` fingerprint),
+so repeated ingestion runs memory-map parsed edges instead of
+re-parsing text.
 """
 
 from __future__ import annotations
 
 import io
+import json
+import os
 from pathlib import Path
-from typing import TextIO
+from typing import Iterator, TextIO
 
 import numpy as np
 
 from .graph import Graph, WeightedGraph
+
+FAST_BLOCK_BYTES = 1 << 22
+CACHE_VERSION = 1
+
+
+class FastParseUnsupported(Exception):
+    """The byte-level fast path cannot represent this file; use the
+    per-line parser (weighted columns, mid-file comments, signs, ...)."""
 
 
 def read_edge_list(source: str | Path | TextIO) -> Graph:
@@ -29,7 +57,18 @@ def read_edge_list(source: str | Path | TextIO) -> Graph:
 
     Weighted lines are accepted (the weight column is ignored); use
     :func:`read_weighted_edge_list` to keep the weights.
+
+    File paths take the chunked ``np.frombuffer`` fast path and fall
+    back to the per-line parser (identical results and error messages)
+    when the file is weighted or otherwise irregular.
     """
+    if isinstance(source, (str, Path)):
+        try:
+            edges, n = _collect_fast(source)
+        except FastParseUnsupported:
+            pass
+        else:
+            return Graph.from_edges(n, edges)
     edges, _weights, n = _parse(source, want_weights=False)
     return Graph.from_edges(n, edges)
 
@@ -105,6 +144,251 @@ def _parse(source, *, want_weights: bool):
                 if edges else np.zeros((0, 2), np.int64))
     weight_arr = np.array(weights, dtype=np.float64)
     return edge_arr, weight_arr, max(n, 0)
+
+
+# -- chunked np.frombuffer fast path ---------------------------------------
+
+_NEWLINE = 10
+
+
+def _parse_block(data: bytes) -> np.ndarray:
+    """Vectorized parse of whole lines: ``(k, 2)`` int64 edges.
+
+    ``data`` must end on a line boundary. Only digits and whitespace
+    separators may appear; every line must carry exactly two integer
+    tokens — anything else raises :class:`FastParseUnsupported`.
+
+    Validation is byte-level numpy (digit/separator masks; tokens
+    counted per line by binary-searching token starts against newline
+    positions); the values themselves come from ``np.fromstring``'s C
+    tokenizer, which keeps full int64 precision. Tokens are capped at
+    18 digits so the C parse can never saturate silently (10^18 <
+    2^63).
+    """
+    b = np.frombuffer(data, dtype=np.uint8)
+    if b.size == 0:
+        return np.zeros((0, 2), dtype=np.int64)
+    if b[-1] != _NEWLINE:
+        raise FastParseUnsupported("block not newline-terminated")
+    digit = (b >= ord("0")) & (b <= ord("9"))
+    separator = (b == 32) | (b == 9) | (b == 13) | (b == _NEWLINE)
+    if not np.all(digit | separator):
+        raise FastParseUnsupported("non-numeric byte")
+    starts = digit.copy()
+    starts[1:] &= ~digit[:-1]
+    start_pos = np.flatnonzero(starts)
+    if start_pos.size == 0:
+        return np.zeros((0, 2), dtype=np.int64)
+    newlines = np.flatnonzero(b == _NEWLINE)
+    # Exactly two tokens on every non-blank line (a third column would
+    # be a weight the slow path ignores — mispairing hazard).
+    per_line = np.diff(np.searchsorted(start_pos, newlines),
+                       prepend=np.int64(0))
+    if np.any((per_line != 2) & (per_line != 0)):
+        raise FastParseUnsupported("tokens per line != 2")
+    # Token-length cap: a two-token line of <= 21 bytes (newline
+    # included) cannot hold a token over 18 digits; only longer lines
+    # need the per-run scan.
+    if int(np.diff(newlines, prepend=np.int64(-1)).max()) > 21:
+        ends = digit.copy()
+        ends[:-1] &= ~digit[1:]
+        lengths = np.flatnonzero(ends) - start_pos
+        if int(lengths.max()) >= 18:
+            raise FastParseUnsupported("token too long for int64")
+    values = np.fromstring(data, dtype=np.int64, sep=" ")
+    if values.size != start_pos.size:
+        raise FastParseUnsupported("token count mismatch")
+    return values.reshape(-1, 2)
+
+
+def _scan_header(handle) -> tuple[int | None, int]:
+    """Consume leading comment/blank lines of a binary handle.
+
+    Returns ``(declared_n, data_offset)`` — the ``# nodes:`` value if
+    present, and the byte offset of the first data line.
+    """
+    declared_n: int | None = None
+    offset = 0
+    while True:
+        line = handle.readline()
+        if not line:
+            return declared_n, offset
+        stripped = line.strip()
+        if stripped and not stripped.startswith(b"#"):
+            return declared_n, offset
+        if stripped.startswith(b"#"):
+            body = stripped[1:].strip().lower()
+            if body.startswith(b"nodes:"):
+                try:
+                    declared_n = int(body.split(b":", 1)[1])
+                except ValueError as err:
+                    # Let the slow path raise its own int() error.
+                    raise FastParseUnsupported("bad nodes header") from err
+        offset = handle.tell()
+
+
+def scan_edge_list(
+    path: str | Path, *, block_bytes: int = FAST_BLOCK_BYTES
+) -> tuple[int | None, Iterator[np.ndarray]]:
+    """Stream an edge-list file as bounded ``(k, 2)`` int64 chunks.
+
+    Returns ``(declared_n, chunk_iterator)``; ``declared_n`` is the
+    ``# nodes:`` header value or None. The iterator (and this call)
+    raise :class:`FastParseUnsupported` for files the byte-level parser
+    cannot handle — callers restart with the per-line reader.
+    """
+    with open(path, "rb") as handle:
+        declared_n, offset = _scan_header(handle)
+
+    def _chunks() -> Iterator[np.ndarray]:
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            carry = b""
+            while True:
+                block = handle.read(block_bytes)
+                if not block:
+                    break
+                block = carry + block
+                cut = block.rfind(b"\n")
+                if cut < 0:
+                    carry = block
+                    continue
+                carry = block[cut + 1 :]
+                edges = _parse_block(block[: cut + 1])
+                if edges.size:
+                    yield edges
+            if carry.strip():
+                edges = _parse_block(carry + b"\n")
+                if edges.size:
+                    yield edges
+
+    return declared_n, _chunks()
+
+
+def resolve_node_count(declared_n: int | None, max_id: int) -> int:
+    """The slow path's vertex-count rule, shared by the fast path."""
+    n = declared_n if declared_n is not None else max_id + 1
+    if max_id >= n:
+        raise ValueError(f"declared nodes: {n} but saw vertex id {max_id}")
+    return max(n, 0)
+
+
+def _collect_fast(path: str | Path) -> tuple[np.ndarray, int]:
+    """Fast-path read of a whole file: ``(edges, n)``."""
+    declared_n, chunks = scan_edge_list(path)
+    parts = list(chunks)
+    edges = (
+        np.concatenate(parts) if parts else np.zeros((0, 2), np.int64)
+    )
+    max_id = int(edges.max()) if edges.size else -1
+    return edges, resolve_node_count(declared_n, max_id)
+
+
+# -- write-once binary edge cache ------------------------------------------
+
+
+def edge_cache_paths(path: str | Path) -> tuple[Path, Path]:
+    """``(<name>.edges.npy, <name>.edges.json)`` next to the text file."""
+    p = Path(path)
+    return (
+        p.with_name(p.name + ".edges.npy"),
+        p.with_name(p.name + ".edges.json"),
+    )
+
+
+def _cache_fingerprint(path: Path) -> dict:
+    stat = path.stat()
+    return {"source_bytes": stat.st_size, "source_mtime_ns": stat.st_mtime_ns}
+
+
+def cache_valid(path: str | Path) -> bool:
+    """Whether a current binary cache exists for this text file."""
+    source = Path(path)
+    npy_path, meta_path = edge_cache_paths(source)
+    if not (npy_path.is_file() and meta_path.is_file()):
+        return False
+    try:
+        meta = json.loads(meta_path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return False
+    return (
+        meta.get("version") == CACHE_VERSION
+        and {k: meta.get(k) for k in ("source_bytes", "source_mtime_ns")}
+        == _cache_fingerprint(source)
+    )
+
+
+def build_edge_cache(
+    path: str | Path, *, block_bytes: int = FAST_BLOCK_BYTES
+) -> tuple[Path, int]:
+    """Parse a text edge list once into ``<name>.edges.npy``.
+
+    Write-once: if a cache with a matching source fingerprint exists it
+    is reused untouched. The fast path streams chunks through a raw
+    spool (RAM stays O(block)); fallback files are parsed per-line in
+    memory. Returns ``(npy_path, n)``.
+    """
+    source = Path(path)
+    npy_path, meta_path = edge_cache_paths(source)
+    if cache_valid(source):
+        return npy_path, int(json.loads(meta_path.read_text())["n"])
+
+    spool_path = npy_path.with_suffix(".spool")
+    rows = 0
+    max_id = -1
+    try:
+        try:
+            declared_n, chunks = scan_edge_list(
+                source, block_bytes=block_bytes
+            )
+            with open(spool_path, "wb") as spool:
+                for chunk in chunks:
+                    spool.write(np.ascontiguousarray(chunk).tobytes())
+                    rows += chunk.shape[0]
+                    max_id = max(max_id, int(chunk.max()))
+            n = resolve_node_count(declared_n, max_id)
+            out = np.lib.format.open_memmap(
+                npy_path, mode="w+", dtype=np.int64, shape=(rows, 2)
+            )
+            if rows:
+                spool = np.memmap(
+                    spool_path, dtype=np.int64, mode="r"
+                ).reshape(-1, 2)
+                step = max(1, block_bytes // 16)
+                for lo in range(0, rows, step):
+                    hi = min(rows, lo + step)
+                    out[lo:hi] = spool[lo:hi]
+                del spool
+            out.flush()
+            del out
+        except FastParseUnsupported:
+            edges, _weights, n = _parse(source, want_weights=False)
+            rows = edges.shape[0]
+            np.save(npy_path, edges)
+    finally:
+        try:
+            os.unlink(spool_path)
+        except FileNotFoundError:
+            pass
+    meta = {
+        "version": CACHE_VERSION,
+        "n": int(n),
+        "rows": int(rows),
+        **_cache_fingerprint(source),
+    }
+    meta_path.write_text(json.dumps(meta))
+    return npy_path, int(n)
+
+
+def load_edge_cache(path: str | Path) -> tuple[np.ndarray, int]:
+    """Memory-mapped ``(edges, n)`` for a text edge list, building the
+    binary cache on first use."""
+    npy_path, meta_path = edge_cache_paths(path)
+    if not cache_valid(path):
+        build_edge_cache(path)
+    n = int(json.loads(meta_path.read_text())["n"])
+    edges = np.load(npy_path, mmap_mode="r")
+    return edges, n
 
 
 def loads(text: str) -> Graph:

@@ -287,6 +287,82 @@ def bipartite_random(
 
 
 # ---------------------------------------------------------------------------
+# RMAT / Kronecker (graph500 family — the scale workloads of the AMPC
+# evaluation literature)
+# ---------------------------------------------------------------------------
+
+def rmat_edge_chunks(
+    scale: int,
+    edge_factor: int = 16,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    rng: np.random.Generator | int | None = None,
+    chunk_edges: int = 1 << 20,
+):
+    """Stream RMAT (recursive-matrix / graph500 Kronecker) edges.
+
+    Yields ``(k, 2)`` int64 chunks totalling ``edge_factor * 2**scale``
+    edges over ``2**scale`` vertices, never materializing the list: per
+    chunk, every bit of both endpoints is drawn with one vectorized
+    quadrant descent (probabilities ``a``/``b``/``c`` and
+    ``d = 1-a-b-c``, graph500 defaults). The raw stream contains
+    self-loops and duplicates, as the generator family specifies —
+    downstream construction (``build_csr(..., drop_self_loops=True)``
+    or :meth:`Graph.from_edges`) canonicalizes.
+
+    Deterministic for a given ``rng`` seed and ``chunk_edges``.
+    """
+    if scale < 0:
+        raise ValueError(f"scale must be >= 0, got {scale}")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ValueError("quadrant probabilities must be >= 0 and sum <= 1")
+    gen = _rng(rng)
+    remaining = int(edge_factor) << scale
+    step = max(1, int(chunk_edges))
+    while remaining > 0:
+        k = min(step, remaining)
+        u = np.zeros(k, dtype=np.int64)
+        v = np.zeros(k, dtype=np.int64)
+        for _ in range(scale):
+            r = gen.random(k)
+            # quadrants: [0,a) -> (0,0); [a,a+b) -> (0,1);
+            # [a+b,a+b+c) -> (1,0); rest -> (1,1)
+            u_bit = r >= a + b
+            v_bit = ((r >= a) & (r < a + b)) | (r >= a + b + c)
+            u = (u << 1) | u_bit
+            v = (v << 1) | v_bit
+        yield np.column_stack([u, v])
+        remaining -= k
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int = 16,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    rng: np.random.Generator | int | None = None,
+) -> Graph:
+    """In-memory RMAT graph (small scales / tests): the streamed edge
+    list with self-loops dropped and duplicates collapsed."""
+    chunks = [
+        chunk
+        for chunk in rmat_edge_chunks(
+            scale, edge_factor, a=a, b=b, c=c, rng=rng
+        )
+    ]
+    edges = (
+        np.concatenate(chunks) if chunks else np.zeros((0, 2), np.int64)
+    )
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    return Graph.from_edges(1 << scale, edges)
+
+
+# ---------------------------------------------------------------------------
 # trees and forests (forest connectivity, tree ops, 2-edge connectivity)
 # ---------------------------------------------------------------------------
 

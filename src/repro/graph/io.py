@@ -43,6 +43,53 @@ def encode_graph(graph: Graph, prefix: str = "adj") -> Pairs:
             yield (prefix, v, i), int(indices[start + i])
 
 
+def encode_graph_arrays(
+    graph: Graph,
+    prefix: str = "adj",
+    *,
+    chunk_edges: int = 1 << 20,
+) -> Iterator[tuple]:
+    """Chunked columnar twin of :func:`encode_graph` for
+    ``round_batch(setup_arrays=...)``.
+
+    Yields ``("deg", vertex_ids, degrees)`` triples and slotted
+    ``(prefix, vertex_ids, slots, neighbors)`` quadruples whose keys,
+    values, write count (n + 2m) and per-server placement are identical
+    to the scalar pair stream — only the write *order* differs (all
+    degrees, then adjacency), which no ledger observes.
+
+    Chunking is the out-of-core contract: no yielded array exceeds
+    ``chunk_edges`` rows, and when ``graph`` is an
+    :class:`~repro.graph.csr.MmapGraph` the neighbor columns are
+    read-only mmap slices the store retains without copying — peak RSS
+    stays O(chunk), not O(m).
+    """
+    indptr, indices = graph.indptr, graph.indices
+    n = graph.n
+    step = max(1, int(chunk_edges))
+
+    def _sealed(array: np.ndarray) -> np.ndarray:
+        # Freshly computed, never exposed elsewhere: marking it read-only
+        # lets the store's append retain it instead of re-copying.
+        array.flags.writeable = False
+        return array
+
+    for lo in range(0, n, step):
+        hi = min(n, lo + step)
+        degs = np.asarray(indptr[lo + 1 : hi + 1]) - np.asarray(
+            indptr[lo:hi]
+        )
+        ids = np.arange(lo, hi, dtype=np.int64)
+        yield ("deg", _sealed(ids), _sealed(degs))
+    total = int(indptr[-1]) if n else 0
+    for lo in range(0, total, step):
+        hi = min(total, lo + step)
+        pos = np.arange(lo, hi, dtype=np.int64)
+        rows = np.searchsorted(indptr, pos, side="right") - 1
+        slots = pos - np.asarray(indptr[rows])
+        yield (prefix, _sealed(rows), _sealed(slots), indices[lo:hi])
+
+
 def encode_weighted_graph(graph: WeightedGraph, prefix: str = "adjw") -> Pairs:
     """Weighted adjacency as (prefix, v, i) -> (nbr, weight, edge_id)."""
     indptr, indices = graph.indptr, graph.indices

@@ -50,6 +50,37 @@ class StoreExportError(TypeError):
     """The store cannot be exported (e.g. replicated/chaos store)."""
 
 
+def _mmap_descriptor(array: np.ndarray) -> dict | None:
+    """Zero-copy descriptor for a file-backed (``np.memmap``) array.
+
+    When a column array is a memory-mapped ``.npy`` column (or a view of
+    one), shipping it through a shared-memory segment would copy the
+    whole file back into RAM. Instead the descriptor names the backing
+    file and byte offset; workers re-map it read-only, and the page
+    cache — already warm from the parent's map — is shared for free.
+    Returns None for anything that is not cleanly re-mappable (the
+    caller then falls back to a segment copy).
+    """
+    if array.nbytes == 0 or array.dtype.hasobject:
+        return None
+    if not array.flags.c_contiguous:
+        return None
+    root = array
+    while isinstance(root.base, np.ndarray):
+        root = root.base
+    if not isinstance(root, np.memmap) or root.filename is None:
+        return None
+    delta = array.ctypes.data - root.ctypes.data
+    if delta < 0 or delta + array.nbytes > root.nbytes:
+        return None
+    return {
+        "file": str(root.filename),
+        "shape": array.shape,
+        "dtype": array.dtype.str,
+        "offset": int(root.offset) + int(delta),
+    }
+
+
 def disable_worker_shm_tracking() -> None:
     """Stop the resource tracker from tracking attaches in this process.
 
@@ -90,8 +121,14 @@ class ShmArena:
         descriptor :func:`attached` workers turn back into a view.
 
         Zero-size and object-dtype arrays are shipped inline (a segment
-        cannot hold them / adds nothing).
+        cannot hold them / adds nothing). File-backed (``np.memmap``)
+        arrays skip the segment entirely: workers re-map the backing
+        file read-only, so an out-of-core column crosses the process
+        boundary without a second full copy.
         """
+        mapped = _mmap_descriptor(array)
+        if mapped is not None:
+            return mapped
         arr = np.ascontiguousarray(array)
         if arr.nbytes == 0 or arr.dtype.hasobject:
             return {"inline": arr}
@@ -149,6 +186,17 @@ class AttachedSegments:
         inline = descriptor.get("inline")
         if inline is not None:
             return inline
+        path = descriptor.get("file")
+        if path is not None:
+            # File-backed column: re-map read-only. The np.memmap keeps
+            # its own file handle alive, so nothing to track here.
+            return np.memmap(
+                path,
+                dtype=np.dtype(descriptor["dtype"]),
+                mode="r",
+                offset=descriptor["offset"],
+                shape=tuple(descriptor["shape"]),
+            )
         segment = shared_memory.SharedMemory(name=descriptor["name"])
         self._segments.append(segment)
         return np.ndarray(
@@ -191,18 +239,20 @@ def export_store(store: DistributedDataStore, arena: ShmArena) -> dict:
         )
     columns = {}
     for namespace, column in store._columns.items():
-        width, dtype, ids, values, order, sorted_ids, n_distinct = (
-            column.share_parts()
-        )
-        columns[namespace] = {
-            "width": width,
-            "dtype": np.dtype(dtype).str,
-            "ids": arena.share_array(ids),
-            "values": arena.share_array(values),
-            "order": arena.share_array(order),
-            "sorted_ids": arena.share_array(sorted_ids),
-            "n_distinct": n_distinct,
+        parts = column.share_parts()
+        desc = {
+            "width": parts["width"],
+            "dtype": np.dtype(parts["dtype"]).str,
+            "ids": arena.share_array(parts["ids"]),
+            "values": arena.share_array(parts["values"]),
+            "order": arena.share_array(parts["order"]),
+            "sorted_ids": arena.share_array(parts["sorted_ids"]),
+            "n_distinct": parts["n_distinct"],
         }
+        if "slots" in parts:
+            desc["slots"] = arena.share_array(parts["slots"])
+            desc["stride"] = parts["stride"]
+        columns[namespace] = desc
     blob = (
         pickle.dumps(store._data, protocol=pickle.HIGHEST_PROTOCOL)
         if store._data
@@ -241,6 +291,10 @@ def attach_store(
                 handles.array(desc["order"]),
                 handles.array(desc["sorted_ids"]),
                 desc["n_distinct"],
+                slots=(
+                    handles.array(desc["slots"]) if "slots" in desc else None
+                ),
+                stride=desc.get("stride", 1),
             )
         raw = handles.blob(export["data"])
         data = pickle.loads(raw) if len(raw) else {}

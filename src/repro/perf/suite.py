@@ -55,6 +55,17 @@ SUITES: dict[str, list[_SuiteEntry]] = {
                    "workload": "bursty-hotspot"},
          {"n": 96, "requests": 40}),
     ],
+    # Ingestion throughput guard (repro.graph.files/csr, ROADMAP item 4):
+    # the timed thunks are the vectorized edge-list parse, the
+    # external-memory CSR build, and the streaming RMAT generator — a
+    # regression here is an ingestion-path regression (benchmarks/
+    # bench_ingest.py holds the absolute edges/sec + peak-RSS numbers).
+    "ingest": [
+        ("ingest_parse", {"n": 4000}, {"n": 256}),
+        ("ingest_csr", {"n": 4000}, {"n": 256}),
+        ("ingest_rmat", {"scale": 13, "edge_factor": 8},
+         {"scale": 7, "edge_factor": 4}),
+    ],
     # The Figure-1 workloads at bench sizes (minutes, for real tracking).
     "full": [
         ("connectivity", {"n": 3000, "vectorized": False}, {"n": 240}),
@@ -97,7 +108,7 @@ def _setup(bench: str, params: dict[str, Any]) -> Callable[[], Any]:
     import repro
     from repro.graph import generators
 
-    n = int(params["n"])
+    n = int(params.get("n", 0))
     if bench == "connectivity":
         graph = generators.erdos_renyi_gnm(n, 2 * n, 0)
         vectorized = bool(params.get("vectorized", False))
@@ -129,6 +140,42 @@ def _setup(bench: str, params: dict[str, Any]) -> Callable[[], Any]:
                               n_requests=int(params.get("requests", 100)),
                               seed=1)
         return lambda: run_loadgen(engine, cfg)
+    if bench == "ingest_parse":
+        import tempfile
+
+        from repro.graph import files
+
+        graph = generators.erdos_renyi_gnm(n, 2 * n, 0)
+        tmp = tempfile.TemporaryDirectory(prefix="repro-bench-ingest-")
+        path = os.path.join(tmp.name, "edges.txt")
+        files.write_edge_list(graph, path)
+        # The closure keeps `tmp` alive; its finalizer cleans up at exit.
+        return lambda tmp=tmp: files.read_edge_list(path)
+    if bench == "ingest_csr":
+        import tempfile
+
+        from repro.graph import csr
+
+        graph = generators.erdos_renyi_gnm(n, 2 * n, 0)
+        edges = graph.edges()
+        tmp = tempfile.TemporaryDirectory(prefix="repro-bench-ingest-")
+        out = os.path.join(tmp.name, "csr")
+        return lambda tmp=tmp: csr.build_csr(edges, graph.n, out,
+                                             chunk_edges=1 << 14)
+    if bench == "ingest_rmat":
+        from repro.graph import generators as gen
+
+        scale = int(params["scale"])
+        edge_factor = int(params.get("edge_factor", 8))
+
+        def run_rmat():
+            total = 0
+            for chunk in gen.rmat_edge_chunks(scale, edge_factor, rng=1,
+                                              chunk_edges=1 << 16):
+                total += chunk.shape[0]
+            return total
+
+        return run_rmat
     if bench == "replay_merge":
         # Process-backend connectivity: the parent-side journal replay
         # merge dominates on few-core hosts, so this cell tracks the

@@ -608,6 +608,95 @@ def serve_smoke_cell() -> dict:
     }
 
 
+def ingest_smoke_cell() -> dict:
+    """The ingest cell of ``repro verify --smoke``.
+
+    Round-trips a small ER graph through the full out-of-core ingestion
+    pipeline — text edge list → binary edge cache → external-memory CSR
+    build → :class:`repro.graph.csr.MmapGraph` — with a deliberately
+    tiny ``chunk_edges`` so the chunked paths are actually exercised,
+    then checks
+
+    * **CSR parity**: the mmap ``indptr``/``indices`` must be
+      bit-identical to ``Graph.from_edges`` on the same edges;
+    * **result + ledger parity**: connectivity and MIS run from the
+      mmap-backed graph (scalar and vectorized/array-native setup) must
+      produce bit-identical labels/membership AND bit-identical
+      per-round cost ledgers vs the in-memory baseline.
+
+    Returns ``{"ok", "n", "m", "checks", "problems"}``.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.algorithms.connectivity import connectivity
+    from repro.algorithms.mis import maximal_independent_set
+    from repro.graph import csr, files, generators
+
+    def _rows(report) -> list[tuple]:
+        return [
+            (s.tag, s.kind, s.rounds, s.total_reads, s.total_writes,
+             s.max_machine_reads, s.max_machine_writes,
+             s.n_machines_active, s.budget_violations, s.max_server_load)
+            for s in report.rounds
+        ]
+
+    problems: list[str] = []
+    checks = 0
+    base = generators.erdos_renyi_gnm(SMOKE_SIZE, 2 * SMOKE_SIZE, rng=0)
+    with tempfile.TemporaryDirectory(prefix="repro-ingest-smoke-") as tmp:
+        text = Path(tmp) / "smoke.txt"
+        files.write_edge_list(base, text)
+        edges, n = files.load_edge_cache(text)
+        if n != base.n or edges.shape[0] != base.m:
+            problems.append(
+                f"edge cache holds n={n} rows={edges.shape[0]}, "
+                f"expected n={base.n} m={base.m}"
+            )
+        checks += 1
+        mapped = csr.build_csr(edges, n, Path(tmp) / "csr", chunk_edges=97)
+        if (
+            mapped.n != base.n
+            or not np.array_equal(np.asarray(mapped.indptr), base.indptr)
+            or not np.array_equal(np.asarray(mapped.indices), base.indices)
+        ):
+            problems.append("mmap CSR arrays differ from Graph.from_edges")
+        checks += 1
+        for vectorized in (False, True):
+            mode = "vectorized" if vectorized else "scalar"
+            want = connectivity(base, seed=0, vectorized=vectorized)
+            got = connectivity(mapped, seed=0, vectorized=vectorized)
+            if (
+                not np.array_equal(got.labels, want.labels)
+                or got.n_components != want.n_components
+            ):
+                problems.append(f"{mode} connectivity labels differ on "
+                                f"the mmap graph")
+            if _rows(got.report) != _rows(want.report):
+                problems.append(f"{mode} connectivity ledger differs on "
+                                f"the mmap graph")
+            checks += 2
+            want_mis = maximal_independent_set(base, seed=0,
+                                               vectorized=vectorized)
+            got_mis = maximal_independent_set(mapped, seed=0,
+                                              vectorized=vectorized)
+            if not np.array_equal(got_mis.in_mis, want_mis.in_mis):
+                problems.append(f"{mode} MIS membership differs on the "
+                                f"mmap graph")
+            if _rows(got_mis.report) != _rows(want_mis.report):
+                problems.append(f"{mode} MIS ledger differs on the "
+                                f"mmap graph")
+            checks += 2
+
+    return {
+        "ok": not problems,
+        "n": base.n,
+        "m": base.m,
+        "checks": checks,
+        "problems": problems,
+    }
+
+
 def verify_sweep(
     *,
     algorithms: Iterable[str] | None = None,

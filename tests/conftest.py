@@ -18,7 +18,7 @@ from repro.graph import generators
 # arm SIGALRM ourselves (main thread, POSIX — fine for this suite).
 PARALLEL_TEST_TIMEOUT_S = 120
 
-_TIMEBOXED_MARKERS = ("parallel", "faultproc", "perf", "serve")
+_TIMEBOXED_MARKERS = ("parallel", "faultproc", "perf", "serve", "ingest")
 
 try:  # pragma: no cover - presence probe
     import pytest_timeout  # noqa: F401

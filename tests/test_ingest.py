@@ -1,0 +1,298 @@
+"""Out-of-core ingestion (:mod:`repro.graph.files` / :mod:`repro.graph.csr`).
+
+The ingestion pipeline — vectorized text parse, write-once binary edge
+cache, external-memory CSR build, mmap-backed graphs, array-native DDS
+setup — is a pure I/O optimization: every test here asserts
+bit-identity against the in-memory reference (``Graph.from_edges``,
+the per-line parser, ``encode_graph``), most of them down to the full
+per-round cost ledger.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core import AMPCConfig, AMPCRuntime
+from repro.graph import csr, files, generators
+from repro.graph.graph import Graph
+from repro.graph.io import encode_graph, encode_graph_arrays
+from repro.parallel import use_backend
+
+pytestmark = pytest.mark.ingest
+
+
+def _ledger(report):
+    """Cost ledger rows with every model-visible field (no wall time)."""
+    return [
+        (s.tag, s.kind, s.rounds, s.total_reads, s.total_writes,
+         s.max_machine_reads, s.max_machine_writes, s.n_machines_active,
+         s.budget_violations, s.max_server_load)
+        for s in report.rounds
+    ]
+
+
+def _store_state(store):
+    return (
+        store.n_writes,
+        store.server_item_loads.tolist(),
+        len(store),
+        sorted(store.items()),
+    )
+
+
+def edge_arrays(max_n: int = 40, max_m: int = 120, self_loops: bool = False):
+    """Strategy: (n, edges) with duplicates in both orientations."""
+    def build(n, pairs):
+        if not pairs:
+            return n, np.zeros((0, 2), dtype=np.int64)
+        return n, np.array(pairs, dtype=np.int64)
+
+    def pairs_for(n):
+        pair = st.tuples(st.integers(0, n - 1), st.integers(0, n - 1))
+        if not self_loops:
+            pair = pair.filter(lambda uv: uv[0] != uv[1])
+        return st.lists(pair, max_size=max_m)
+
+    return st.integers(2, max_n).flatmap(
+        lambda n: st.builds(build, st.just(n), pairs_for(n))
+    )
+
+
+# ---------------------------------------------------------------------------
+# external-memory CSR build vs Graph.from_edges
+# ---------------------------------------------------------------------------
+
+
+class TestBuildCSR:
+    @settings(max_examples=40, deadline=None)
+    @given(edge_arrays(), st.integers(1, 64))
+    def test_round_trip_matches_from_edges(self, inst, chunk):
+        n, edges = inst
+        want = Graph.from_edges(n, edges)
+        with tempfile.TemporaryDirectory() as tmp:
+            got = csr.build_csr(edges, n, tmp, chunk_edges=chunk)
+            assert got.n == want.n
+            assert np.array_equal(np.asarray(got.indptr), want.indptr)
+            assert np.array_equal(np.asarray(got.indices), want.indices)
+
+    @settings(max_examples=20, deadline=None)
+    @given(edge_arrays(self_loops=True), st.integers(1, 64))
+    def test_drop_self_loops_matches_filtered_input(self, inst, chunk):
+        n, edges = inst
+        kept = edges[edges[:, 0] != edges[:, 1]] if edges.size else edges
+        want = Graph.from_edges(n, kept)
+        with tempfile.TemporaryDirectory() as tmp:
+            got = csr.build_csr(edges, n, tmp, chunk_edges=chunk,
+                                drop_self_loops=True)
+            assert np.array_equal(np.asarray(got.indptr), want.indptr)
+            assert np.array_equal(np.asarray(got.indices), want.indices)
+
+    def test_generator_input_is_spooled_and_replayed(self):
+        rng = np.random.default_rng(7)
+        edges = rng.integers(0, 200, size=(3000, 2), dtype=np.int64)
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        want = Graph.from_edges(200, edges)
+        with tempfile.TemporaryDirectory() as tmp:
+            got = csr.build_csr(csr.edge_chunks(edges, 257), 200, tmp,
+                                chunk_edges=257)
+            assert np.array_equal(np.asarray(got.indptr), want.indptr)
+            assert np.array_equal(np.asarray(got.indices), want.indices)
+            # Scratch files are gone; only the cache triple remains.
+            assert sorted(os.listdir(tmp)) == [
+                "indices.npy", "indptr.npy", "meta.json"
+            ]
+            assert csr.is_cache(tmp)
+
+    def test_self_loop_rejected_by_default(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            with pytest.raises(ValueError, match="self-loops"):
+                csr.build_csr(np.array([[1, 1]]), 4, tmp)
+
+    def test_endpoint_out_of_range(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            with pytest.raises(ValueError, match="out of range"):
+                csr.build_csr(np.array([[0, 9]]), 4, tmp)
+
+    def test_empty_and_null_graphs(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            g = csr.build_csr(np.zeros((0, 2), dtype=np.int64), 5,
+                              Path(tmp) / "empty")
+            assert g.n == 5 and g.m == 0
+            h = csr.build_csr(np.zeros((0, 2), dtype=np.int64), 0,
+                              Path(tmp) / "null")
+            assert h.n == 0 and h.m == 0
+
+    def test_load_rejects_unknown_version(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            csr.build_csr(np.array([[0, 1]]), 2, tmp)
+            meta = Path(tmp) / "meta.json"
+            meta.write_text(meta.read_text().replace('"version": 1',
+                                                     '"version": 99'))
+            with pytest.raises(ValueError, match="version"):
+                csr.MmapGraph.load(tmp)
+
+
+# ---------------------------------------------------------------------------
+# text edge lists: fast parse + binary cache
+# ---------------------------------------------------------------------------
+
+
+class TestEdgeCache:
+    @settings(max_examples=25, deadline=None)
+    @given(edge_arrays())
+    def test_text_cache_csr_graph_parity(self, inst):
+        n, edges = inst
+        graph = Graph.from_edges(n, edges)
+        with tempfile.TemporaryDirectory() as tmp:
+            text = Path(tmp) / "g.txt"
+            files.write_edge_list(graph, text)
+            # Text -> fast parse.
+            parsed = files.read_edge_list(text)
+            assert parsed == graph
+            # Text -> binary cache -> mmap edges.
+            cached, cached_n = files.load_edge_cache(text)
+            assert cached_n == graph.n
+            # Cache -> CSR -> Graph, all bit-identical.
+            mapped = csr.build_csr(cached, cached_n, Path(tmp) / "csr",
+                                   chunk_edges=61)
+            assert np.array_equal(np.asarray(mapped.indptr), graph.indptr)
+            assert np.array_equal(np.asarray(mapped.indices), graph.indices)
+
+    def test_cache_is_write_once_and_fingerprinted(self):
+        graph = generators.erdos_renyi_gnm(30, 60, rng=1)
+        with tempfile.TemporaryDirectory() as tmp:
+            text = Path(tmp) / "g.txt"
+            files.write_edge_list(graph, text)
+            npy_path, _ = files.build_edge_cache(text)
+            stamp = os.stat(npy_path).st_mtime_ns
+            files.build_edge_cache(text)  # valid cache: untouched
+            assert os.stat(npy_path).st_mtime_ns == stamp
+            # Source change invalidates the fingerprint.
+            other = generators.erdos_renyi_gnm(31, 50, rng=2)
+            files.write_edge_list(other, text)
+            assert not files.cache_valid(text)
+            edges, n = files.load_edge_cache(text)
+            assert n == other.n
+            assert Graph.from_edges(n, edges) == other
+
+    def test_fast_and_slow_paths_raise_identical_errors(self):
+        cases = [
+            "# nodes: 3\n0 1\n5 1\n",   # id above declared n
+            "0 1\n7\n",                 # single token on a line
+        ]
+        for content in cases:
+            with tempfile.TemporaryDirectory() as tmp:
+                text = Path(tmp) / "g.txt"
+                text.write_text(content)
+                with pytest.raises(ValueError) as fast_err:
+                    files.read_edge_list(text)
+                import io
+                with pytest.raises(ValueError) as slow_err:
+                    files.read_edge_list(io.StringIO(content))
+                assert str(fast_err.value) == str(slow_err.value)
+
+
+# ---------------------------------------------------------------------------
+# streaming RMAT
+# ---------------------------------------------------------------------------
+
+
+class TestRMAT:
+    def test_deterministic_and_chunk_invariant_totals(self):
+        a = list(generators.rmat_edge_chunks(8, 4, rng=3, chunk_edges=100))
+        b = list(generators.rmat_edge_chunks(8, 4, rng=3, chunk_edges=100))
+        assert sum(c.shape[0] for c in a) == 4 << 8
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_rmat_graph_equals_csr_of_stream(self):
+        # The raw stream is deterministic per (rng, chunk_edges); use the
+        # generator's default chunking so it matches rmat_graph's.
+        graph = generators.rmat_graph(7, 4, rng=5)
+        with tempfile.TemporaryDirectory() as tmp:
+            mapped = csr.build_csr(
+                generators.rmat_edge_chunks(7, 4, rng=5),
+                1 << 7, tmp, chunk_edges=64, drop_self_loops=True,
+            )
+            assert np.array_equal(np.asarray(mapped.indptr), graph.indptr)
+            assert np.array_equal(np.asarray(mapped.indices), graph.indices)
+
+
+# ---------------------------------------------------------------------------
+# array-native DDS setup: ledger identity with encode_graph
+# ---------------------------------------------------------------------------
+
+
+class TestArrayNativeSetup:
+    def test_publish_ledger_and_placement_identical(self):
+        graph = generators.erdos_renyi_gnm(50, 100, rng=4)
+        config = AMPCConfig.for_input(graph.n + graph.m, seed=9)
+
+        scalar_rt = AMPCRuntime(config)
+        scalar_rt.publish_state(pairs=encode_graph(graph))
+        arrays_rt = AMPCRuntime(config)
+        arrays_rt.publish_state(arrays=encode_graph_arrays(
+            graph, chunk_edges=17))
+
+        assert _store_state(scalar_rt._store) == _store_state(
+            arrays_rt._store)
+        assert _ledger(scalar_rt.report) == _ledger(arrays_rt.report)
+
+    def test_vectorized_connectivity_ledger_identity(self):
+        # The vectorized path seeds the DDS via encode_graph_arrays, the
+        # scalar path via encode_graph: identical labels and ledgers is
+        # the array-native setup contract end-to-end.
+        graph = generators.erdos_renyi_gnm(90, 180, rng=6)
+        scalar = repro.connectivity(graph, seed=2, vectorized=False)
+        vector = repro.connectivity(graph, seed=2, vectorized=True)
+        assert np.array_equal(scalar.labels, vector.labels)
+        assert _ledger(scalar.report) == _ledger(vector.report)
+
+
+# ---------------------------------------------------------------------------
+# mmap graphs through the full stack
+# ---------------------------------------------------------------------------
+
+
+class TestMmapGraphEndToEnd:
+    def _mapped(self, graph, tmp):
+        return csr.build_csr(graph.edges(), graph.n, tmp, chunk_edges=97)
+
+    def test_connectivity_and_mis_bit_identical(self):
+        graph = generators.erdos_renyi_gnm(80, 160, rng=8)
+        with tempfile.TemporaryDirectory() as tmp:
+            mapped = self._mapped(graph, tmp)
+            for vectorized in (False, True):
+                want = repro.connectivity(graph, seed=1,
+                                          vectorized=vectorized)
+                got = repro.connectivity(mapped, seed=1,
+                                         vectorized=vectorized)
+                assert np.array_equal(want.labels, got.labels)
+                assert _ledger(want.report) == _ledger(got.report)
+                want_mis = repro.maximal_independent_set(
+                    graph, seed=1, vectorized=vectorized)
+                got_mis = repro.maximal_independent_set(
+                    mapped, seed=1, vectorized=vectorized)
+                assert np.array_equal(want_mis.in_mis, got_mis.in_mis)
+                assert _ledger(want_mis.report) == _ledger(got_mis.report)
+
+    def test_process_backend_bit_identical(self):
+        # Zero-copy handoff: the worker re-maps the CSR files read-only
+        # instead of receiving copies; results and ledgers must still be
+        # bit-identical to the serial in-memory run.
+        graph = generators.erdos_renyi_gnm(120, 240, rng=9)
+        with tempfile.TemporaryDirectory() as tmp:
+            mapped = self._mapped(graph, tmp)
+            serial = repro.connectivity(graph, seed=4)
+            with use_backend("process", 2):
+                process = repro.connectivity(mapped, seed=4)
+            assert np.array_equal(serial.labels, process.labels)
+            assert _ledger(serial.report) == _ledger(process.report)
